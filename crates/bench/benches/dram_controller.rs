@@ -1,0 +1,46 @@
+//! Criterion bench: the FR-FCFS GDDR5 channel under three canonical
+//! streams — row-hit, row-conflict and bank-parallel — measuring the
+//! simulator-side cost of the DRAM substrate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use valley_dram::{DramChannel, DramConfig, DramRequest};
+
+fn drive(pattern: impl Fn(u64) -> (usize, usize)) -> u64 {
+    let mut ch = DramChannel::new(DramConfig::gddr5());
+    let mut next = 0u64;
+    let mut done = 0u64;
+    let mut cycle = 0u64;
+    while done < 512 {
+        if next < 512 {
+            let (bank, row) = pattern(next);
+            if ch.try_enqueue(DramRequest {
+                id: next,
+                bank,
+                row,
+                is_write: next % 4 == 0,
+                arrival: cycle,
+            }) {
+                next += 1;
+            }
+        }
+        done += ch.tick(cycle).len() as u64;
+        cycle += 1;
+    }
+    cycle
+}
+
+fn dram_controller(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram_512_requests");
+    group.bench_function("row_hits", |b| b.iter(|| black_box(drive(|_| (0, 5)))));
+    group.bench_function("row_conflicts", |b| {
+        b.iter(|| black_box(drive(|i| (0, (i % 2) as usize))))
+    });
+    group.bench_function("bank_parallel", |b| {
+        b.iter(|| black_box(drive(|i| ((i % 16) as usize, (i / 16) as usize))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, dram_controller);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench: full-system simulation throughput — one small (test
+//! scale) benchmark per mapping scheme, end to end. This is the knob that
+//! bounds how large the Ref-scale experiment sweeps can be.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use valley_core::{AddressMapper, GddrMap, SchemeKind};
+use valley_sim::{GpuConfig, GpuSim};
+use valley_workloads::{Benchmark, Scale};
+
+fn run(bench: Benchmark, scheme: SchemeKind) -> u64 {
+    let map = GddrMap::baseline();
+    let mapper = AddressMapper::build(scheme, &map, 1);
+    let sim = GpuSim::new(
+        GpuConfig::table1(),
+        mapper,
+        map,
+        Box::new(bench.workload(Scale::Test)),
+    );
+    sim.run().cycles
+}
+
+fn end_to_end_small(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_test_scale");
+    group.sample_size(10);
+    for scheme in [
+        SchemeKind::Base,
+        SchemeKind::Pm,
+        SchemeKind::Pae,
+        SchemeKind::Fae,
+    ] {
+        group.bench_function(format!("mt_{}", scheme.label()), |b| {
+            b.iter(|| black_box(run(Benchmark::Mt, scheme)))
+        });
+    }
+    group.bench_function("sp_base", |b| {
+        b.iter(|| black_box(run(Benchmark::Sp, SchemeKind::Base)))
+    });
+    group.bench_function("mum_pae", |b| {
+        b.iter(|| black_box(run(Benchmark::Mum, SchemeKind::Pae)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, end_to_end_small);
+criterion_main!(benches);

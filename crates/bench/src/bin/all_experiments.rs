@@ -1,0 +1,87 @@
+//! One-shot driver: regenerates every table and figure of the paper's
+//! evaluation in a single invocation, running the valley and non-valley
+//! simulation suites once each and reusing them across figures.
+//!
+//! The output of this binary is the basis of `EXPERIMENTS.md`.
+
+use valley_bench::{all_schemes, figures, run_suite};
+use valley_core::DramAddressMap;
+use valley_sim::WorkloadSource;
+use valley_workloads::{analysis, Benchmark, Scale};
+
+fn main() {
+    println!("================================================================");
+    println!(" Valley reproduction: all experiments");
+    println!("================================================================");
+
+    // --- Entropy analyses (no simulation needed) ---
+    entropy_figures();
+
+    // --- Simulation suites ---
+    let schemes = all_schemes();
+    eprintln!("running valley suite (10 benchmarks x 6 schemes)...");
+    let valley = run_suite(&Benchmark::VALLEY, &schemes, Scale::Ref);
+    eprintln!("running non-valley suite (6 benchmarks x 6 schemes)...");
+    let nonvalley = run_suite(&Benchmark::NON_VALLEY, &schemes, Scale::Ref);
+
+    figures::fig11(&valley);
+    figures::fig12(&valley, "Figure 12: speedup over BASE (valley benchmarks)");
+    figures::fig13a(&valley);
+    figures::fig13b(&valley);
+    figures::fig14(&valley);
+    figures::fig15(&valley);
+    figures::fig16(&valley);
+    figures::fig17(&valley);
+    figures::fig12(
+        &nonvalley,
+        "Figure 20: speedup over BASE (non-valley benchmarks)",
+    );
+
+    println!("\n(figures 18 and 19 are longer sweeps; run fig18_sensitivity and");
+    println!(" fig19_bim_sensitivity; Table I/II via table1_config / table2_workloads)");
+}
+
+fn entropy_figures() {
+    let window = 12;
+    let map = valley_core::GddrMap::baseline();
+    let targets = map.target_field_bits();
+    let candidates = map.non_block_bits();
+
+    println!("\nFigure 5: per-bit entropy summary (BASE map, w = {window})");
+    println!(
+        "{:<10}{:>12}{:>14}{:>10}{:>10}",
+        "bench", "requests", "H*(ch/bank)", "valley", "paper"
+    );
+    let mut panels: Vec<(String, Box<dyn WorkloadSource>, bool)> = Vec::new();
+    for b in Benchmark::ALL {
+        panels.push((
+            b.label().to_string(),
+            Box::new(b.workload(Scale::Ref)),
+            b.has_valley(),
+        ));
+        if b == Benchmark::Srad2 || b == Benchmark::Dwt2d {
+            let k1 = b.workload(Scale::Ref).single_kernel(0);
+            panels.push((k1.name(), Box::new(k1), true));
+        }
+    }
+    for (name, w, paper_valley) in panels {
+        let p = analysis::application_profile(w.as_ref(), window, None);
+        let has = p.has_valley(&targets, &candidates, 0.25);
+        println!(
+            "{:<10}{:>12}{:>14.2}{:>10}{:>10}",
+            name,
+            p.requests(),
+            p.mean_over(&targets),
+            if has { "yes" } else { "no" },
+            if paper_valley { "yes" } else { "no" }
+        );
+    }
+
+    println!("\nFigure 10: MT mean channel/bank-bit entropy per scheme");
+    let mt = Benchmark::Mt.workload(Scale::Ref);
+    for kind in valley_core::SchemeKind::ALL_SCHEMES {
+        let mapper = valley_core::AddressMapper::build(kind, &map, valley_bench::DEFAULT_SEED);
+        let p = analysis::application_profile(&mt, window, Some(&mapper));
+        println!("  {:<6} {:.3}", kind.label(), p.mean_over(&targets));
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 5: window-based entropy distribution of all 16 benchmarks plus
+//! the SRAD2K1 and DWT2DK1 kernels, under the BASE (Hynix) address map.
+//!
+//! Prints one ASCII panel per benchmark (MSB left, like the paper), the
+//! mean entropy over the bank+channel bits (gray bits, 8–13) and the
+//! valley score/classification.
+
+use valley_core::DramAddressMap;
+use valley_sim::WorkloadSource;
+use valley_workloads::{analysis, Benchmark, Scale};
+
+fn main() {
+    let window = 12; // the SM-count heuristic of Section III-A
+    let map = valley_core::GddrMap::baseline();
+    let targets = map.target_field_bits();
+    let candidates = map.non_block_bits();
+
+    println!("Figure 5: per-bit window-based entropy (BASE map, w = {window})");
+    println!("bits 29 (left) .. 6 (right); bank+channel bits are 8-13\n");
+
+    let mut panels: Vec<(String, Box<dyn WorkloadSource>)> = Vec::new();
+    for b in Benchmark::ALL {
+        panels.push((b.label().to_string(), Box::new(b.workload(Scale::Ref))));
+        if b == Benchmark::Srad2 || b == Benchmark::Dwt2d {
+            let k1 = b.workload(Scale::Ref).single_kernel(0);
+            panels.push((k1.name(), Box::new(k1)));
+        }
+    }
+
+    for (name, w) in panels {
+        let p = analysis::application_profile(w.as_ref(), window, None);
+        let score = p.valley_score(&targets, &candidates);
+        let has = p.has_valley(&targets, &candidates, 0.25);
+        println!(
+            "--- {name}  (requests: {}, mean H* over ch/bank bits: {:.2}, valley score: {:.2}{})",
+            p.requests(),
+            p.mean_over(&targets),
+            score,
+            if has { ", VALLEY" } else { "" }
+        );
+        print!("{}", p.ascii_chart(6, 29));
+        println!();
+    }
+}

@@ -1,0 +1,42 @@
+//! Figure 10: MT's entropy distribution under the six address mapping
+//! schemes. PAE and FAE must remove the valley in the channel/bank bits
+//! (8–13); ALL additionally raises the row/column bits.
+
+use valley_bench::DEFAULT_SEED;
+use valley_core::{AddressMapper, DramAddressMap, GddrMap, SchemeKind};
+use valley_workloads::{analysis, Benchmark, Scale};
+
+fn main() {
+    let window = 12;
+    let map = GddrMap::baseline();
+    let targets = map.target_field_bits();
+    let mt = Benchmark::Mt.workload(Scale::Ref);
+
+    println!("Figure 10: MT entropy under the six mapping schemes (w = {window})");
+    println!("bits 29 (left) .. 6 (right); bank+channel bits are 8-13\n");
+
+    for kind in SchemeKind::ALL_SCHEMES {
+        let mapper = AddressMapper::build(kind, &map, DEFAULT_SEED);
+        let p = analysis::application_profile(&mt, window, Some(&mapper));
+        println!(
+            "--- {} (mean H* over ch/bank bits: {:.2})",
+            kind.label(),
+            p.mean_over(&targets)
+        );
+        print!("{}", p.ascii_chart(6, 29));
+        println!();
+    }
+
+    // The paper's qualitative claim, as a check: PAE and FAE lift the
+    // valley that BASE/PM/RMP leave in the target bits.
+    let mean_for = |kind: SchemeKind| {
+        let mapper = AddressMapper::build(kind, &map, DEFAULT_SEED);
+        analysis::application_profile(&mt, window, Some(&mapper)).mean_over(&targets)
+    };
+    let base = mean_for(SchemeKind::Base);
+    let pae = mean_for(SchemeKind::Pae);
+    let fae = mean_for(SchemeKind::Fae);
+    println!("mean target-bit entropy: BASE {base:.2} -> PAE {pae:.2}, FAE {fae:.2}");
+    assert!(pae > base + 0.2, "PAE must lift the valley");
+    assert!(fae > base + 0.2, "FAE must lift the valley");
+}

@@ -1,0 +1,41 @@
+//! Figure 12: per-benchmark speedup over BASE for the ten entropy-valley
+//! benchmarks under PM, RMP, PAE, FAE and ALL, plus the harmonic mean.
+//!
+//! Paper shape: PAE/FAE/ALL ≈ 1.5× average (up to ~7.5× for MT/LU),
+//! PM ≈ 1.16×, RMP ≈ 1.21×.
+
+use valley_bench::{all_schemes, hmean, run_suite, scheme_header, speedup};
+use valley_core::SchemeKind;
+use valley_workloads::{Benchmark, Scale};
+
+fn main() {
+    let schemes = all_schemes();
+    let suite = run_suite(&Benchmark::VALLEY, &schemes, Scale::Ref);
+
+    println!("\nFigure 12: speedup over BASE (valley benchmarks)");
+    println!("{}", scheme_header("bench", &schemes, 8));
+    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for b in Benchmark::VALLEY {
+        let mut vals = Vec::new();
+        for (i, &s) in schemes.iter().enumerate() {
+            let sp = speedup(&suite, b, s);
+            per_scheme[i].push(sp);
+            vals.push(sp);
+        }
+        println!("{}", valley_bench::row(b.label(), &vals, 8, 2));
+    }
+    let hmeans: Vec<f64> = per_scheme.iter().map(|v| hmean(v)).collect();
+    println!("{}", valley_bench::row("HMEAN", &hmeans, 8, 2));
+
+    // Context line matching the paper's headline claims.
+    let pae = hmeans[schemes.iter().position(|&s| s == SchemeKind::Pae).unwrap()];
+    let fae = hmeans[schemes.iter().position(|&s| s == SchemeKind::Fae).unwrap()];
+    let pm = hmeans[schemes.iter().position(|&s| s == SchemeKind::Pm).unwrap()];
+    println!(
+        "\npaper: PAE 1.52x, FAE 1.56x, ALL 1.54x, PM 1.16x, RMP 1.21x (HMEAN over valley set)"
+    );
+    println!(
+        "measured: PAE {pae:.2}x, FAE {fae:.2}x; PAE over PM: {:.2}x (paper: 1.31x)",
+        pae / pm
+    );
+}

@@ -1,0 +1,80 @@
+//! Figure 18: performance sensitivity to SM count (12/24/48 with
+//! conventional GDDR5) and to 3D-stacked memory (64 SMs, 64 vaults).
+//!
+//! Paper shape: PAE/FAE/ALL improve performance consistently across SM
+//! counts and memory organizations; RMP collapses toward BASE on the
+//! 3D-stacked configuration.
+//!
+//! To keep runtime in check, this sweep uses a 4-benchmark representative
+//! subset of the valley group (documented in EXPERIMENTS.md).
+
+use valley_bench::{all_schemes, hmean, run_one_stacked, run_one_with, DEFAULT_SEED};
+use valley_core::SchemeKind;
+use valley_sim::GpuConfig;
+use valley_workloads::{Benchmark, Scale};
+
+const SUBSET: [Benchmark; 4] = [Benchmark::Mt, Benchmark::Nw, Benchmark::Srad2, Benchmark::Sp];
+
+fn main() {
+    let schemes = all_schemes();
+
+    println!("Figure 18: HMEAN speedup over BASE (subset: MT, NW, SRAD2, SP)\n");
+    print!("{:<24}", "config");
+    for &s in &schemes {
+        print!("{:>8}", s.label());
+    }
+    println!();
+
+    for sms in [12usize, 24, 48] {
+        let cfg = GpuConfig::table1().with_sms(sms);
+        let mut base_cycles = std::collections::BTreeMap::new();
+        for b in SUBSET {
+            eprintln!("  {sms} SMs / BASE / {b} ...");
+            let r = run_one_with(b, SchemeKind::Base, DEFAULT_SEED, Scale::Ref, cfg.clone());
+            base_cycles.insert(b, r.cycles);
+        }
+        let mut row = Vec::new();
+        for &s in &schemes {
+            let mut speedups = Vec::new();
+            for b in SUBSET {
+                let r = if s == SchemeKind::Base {
+                    None
+                } else {
+                    eprintln!("  {sms} SMs / {s} / {b} ...");
+                    Some(run_one_with(b, s, DEFAULT_SEED, Scale::Ref, cfg.clone()))
+                };
+                let cycles = r.map_or(base_cycles[&b], |r| r.cycles);
+                speedups.push(base_cycles[&b] as f64 / cycles as f64);
+            }
+            row.push(hmean(&speedups));
+        }
+        print!("{:<24}", format!("{sms} SMs conv. DRAM"));
+        for v in row {
+            print!("{v:>8.2}");
+        }
+        println!();
+    }
+
+    // 3D-stacked: 64 SMs, 64 vaults, wider NoC.
+    let mut base_cycles = std::collections::BTreeMap::new();
+    for b in SUBSET {
+        eprintln!("  stacked / BASE / {b} ...");
+        base_cycles.insert(b, run_one_stacked(b, SchemeKind::Base, DEFAULT_SEED, Scale::Ref).cycles);
+    }
+    print!("{:<24}", "64 SMs 3D DRAM");
+    for &s in &schemes {
+        let mut speedups = Vec::new();
+        for b in SUBSET {
+            let cycles = if s == SchemeKind::Base {
+                base_cycles[&b]
+            } else {
+                eprintln!("  stacked / {s} / {b} ...");
+                run_one_stacked(b, s, DEFAULT_SEED, Scale::Ref).cycles
+            };
+            speedups.push(base_cycles[&b] as f64 / cycles as f64);
+        }
+        print!("{:>8.2}", hmean(&speedups));
+    }
+    println!();
+    println!("\npaper: consistent PAE/FAE/ALL gains at every SM count; RMP ~ BASE on 3D-stacked");
+}

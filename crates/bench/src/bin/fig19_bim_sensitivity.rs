@@ -1,0 +1,42 @@
+//! Figure 19: sensitivity to the randomly generated BIM — three random
+//! BIMs per scheme (PAE, FAE, ALL), average speedup over BASE.
+//!
+//! Paper shape: FAE and ALL are insensitive to the specific BIM; PAE is
+//! slightly more sensitive (it draws from fewer input bits), but even its
+//! worst BIM is a substantial improvement.
+//!
+//! Uses the same 4-benchmark subset as Figure 18.
+
+use valley_bench::{hmean, run_one, DEFAULT_SEED};
+use valley_core::SchemeKind;
+use valley_workloads::{Benchmark, Scale};
+
+const SUBSET: [Benchmark; 4] = [Benchmark::Mt, Benchmark::Nw, Benchmark::Srad2, Benchmark::Sp];
+
+fn main() {
+    let schemes = [SchemeKind::Pae, SchemeKind::Fae, SchemeKind::All];
+    let seeds = [DEFAULT_SEED, DEFAULT_SEED + 1, DEFAULT_SEED + 2];
+
+    let mut base_cycles = std::collections::BTreeMap::new();
+    for b in SUBSET {
+        eprintln!("  BASE / {b} ...");
+        base_cycles.insert(b, run_one(b, SchemeKind::Base, DEFAULT_SEED, Scale::Ref).cycles);
+    }
+
+    println!("Figure 19: HMEAN speedup for three random BIMs per scheme");
+    println!("{:<8}{:>8}{:>8}{:>8}", "scheme", "BIM-1", "BIM-2", "BIM-3");
+    for s in schemes {
+        print!("{:<8}", s.label());
+        for seed in seeds {
+            let mut speedups = Vec::new();
+            for b in SUBSET {
+                eprintln!("  {s} seed {seed} / {b} ...");
+                let r = run_one(b, s, seed, Scale::Ref);
+                speedups.push(base_cycles[&b] as f64 / r.cycles as f64);
+            }
+            print!("{:>8.2}", hmean(&speedups));
+        }
+        println!();
+    }
+    println!("\npaper: different BIMs lead to similar improvements; PAE slightly more sensitive");
+}

@@ -1,0 +1,17 @@
+//! Figure 20: normalized performance for the six non-entropy-valley
+//! benchmarks.
+//!
+//! Paper shape: address mapping has a relatively minor impact; PAE and
+//! FAE give small average improvements and no benchmark regresses badly.
+
+use valley_bench::{all_schemes, figures, run_suite};
+use valley_workloads::{Benchmark, Scale};
+
+fn main() {
+    let suite = run_suite(&Benchmark::NON_VALLEY, &all_schemes(), Scale::Ref);
+    figures::fig12(
+        &suite,
+        "Figure 20: speedup over BASE (non-valley benchmarks)",
+    );
+    println!("\npaper: all schemes within a few percent of BASE on this group");
+}

@@ -1,0 +1,62 @@
+//! Table I: the simulated GPU architecture, as configured in this
+//! reproduction.
+
+use valley_core::DramAddressMap;
+use valley_sim::GpuConfig;
+
+fn main() {
+    let c = GpuConfig::table1();
+    let map = valley_core::GddrMap::baseline();
+
+    println!("Table I: simulated GPU architecture");
+    println!("--- SM configuration");
+    println!("  SMs:                {}", c.num_sms);
+    println!("  core clock:         {} GHz", c.core_clock_ghz);
+    println!("  warp size:          {}", c.warp_size);
+    println!(
+        "  max warps/threads:  {} warps, {} threads per SM",
+        c.max_warps_per_sm, c.max_threads_per_sm
+    );
+    println!("  schedulers:         {} (GTO)", c.issue_width);
+    println!(
+        "  L1 data cache:      {} KB, {}-way, {} sets, {} B lines, {} MSHRs",
+        c.l1.size_bytes() / 1024,
+        c.l1.assoc(),
+        c.l1.sets(),
+        c.l1.line_bytes(),
+        c.l1_mshrs
+    );
+    println!(
+        "  LLC:                {} KB total ({} slices x {} KB, {}-way), {}-cycle latency",
+        c.llc_slices as u64 * c.llc_slice.size_bytes() / 1024,
+        c.llc_slices,
+        c.llc_slice.size_bytes() / 1024,
+        c.llc_slice.assoc(),
+        c.llc_latency
+    );
+    println!(
+        "  NoC:                {}x{} crossbar @ {} GHz, 32 B channels",
+        c.num_sms, c.llc_slices, c.noc_clock_ghz
+    );
+    println!("--- DRAM configuration");
+    println!(
+        "  {} channels x {} banks, {} rows x {} columns, {} GHz",
+        map.num_controllers(),
+        map.banks_per_controller(),
+        map.rows_per_bank(),
+        map.columns_per_row(),
+        c.dram.clock_ghz
+    );
+    let t = c.dram.timing;
+    println!(
+        "  timing: CL {} tRCD {} tRP {} tRAS {} tRRD {} tCCD {} burst {}",
+        t.cl, t.trcd, t.trp, t.tras, t.trrd, t.tccd, t.tburst
+    );
+    println!(
+        "  bandwidth: {:.1} GB/s",
+        32.0 * c.dram.clock_ghz * map.num_controllers() as f64
+    );
+    println!("  scheduling: FR-FCFS, open page");
+    println!("--- Address map (Figure 4, LSB -> MSB)");
+    println!("  block[5:0] col_lo[7:6] channel[9:8] bank[13:10] col_hi[17:14] row[29:18]");
+}

@@ -1,0 +1,60 @@
+//! Table II: workload characterization — LLC APKI, LLC MPKI, kernel
+//! count and dynamic instruction count under the BASE mapping, next to
+//! the paper's reported values (our traces are scaled; see DESIGN.md).
+
+use valley_bench::{run_one, DEFAULT_SEED};
+use valley_core::SchemeKind;
+use valley_workloads::{Benchmark, Scale};
+
+/// (paper APKI, paper MPKI, paper #kernels, paper #insns in billions).
+fn paper_row(b: Benchmark) -> (f64, f64, u64, f64) {
+    match b {
+        Benchmark::Mt => (7.44, 5.69, 4, 0.19),
+        Benchmark::Lu => (12.32, 1.97, 1022, 2.22),
+        Benchmark::Gs => (9.09, 0.01, 510, 0.43),
+        Benchmark::Nw => (5.25, 5.12, 255, 0.21),
+        Benchmark::Lps => (2.27, 1.66, 2, 2.33),
+        Benchmark::Sc => (4.24, 3.58, 50, 1.71),
+        Benchmark::Srad2 => (3.29, 1.85, 4, 2.43),
+        Benchmark::Dwt2d => (1.56, 1.21, 10, 0.33),
+        Benchmark::Hs => (0.71, 0.08, 1, 1.3),
+        Benchmark::Sp => (2.17, 2.16, 1, 0.12),
+        Benchmark::Fwt => (2.69, 1.38, 22, 4.38),
+        Benchmark::Nn => (2.33, 0.2, 4, 0.31),
+        Benchmark::Spmv => (5.95, 2.75, 50, 0.19),
+        Benchmark::Lm => (18.23, 0.01, 1, 2.11),
+        Benchmark::Mum => (25.63, 22.53, 2, 0.23),
+        Benchmark::Bfs => (26.92, 18.14, 24, 0.46),
+    }
+}
+
+fn main() {
+    println!("Table II: workload characterization (BASE mapping, Ref scale)");
+    println!(
+        "{:<8}{:>9}{:>9}{:>7}{:>10}   |{:>9}{:>9}{:>7}{:>9}",
+        "bench", "APKI", "MPKI", "#knls", "#insns", "paper", "paper", "paper", "paper"
+    );
+    println!(
+        "{:<8}{:>9}{:>9}{:>7}{:>10}   |{:>9}{:>9}{:>7}{:>9}",
+        "", "", "", "", "(M)", "APKI", "MPKI", "#knls", "#insns(B)"
+    );
+    for b in Benchmark::ALL {
+        eprintln!("  characterizing {b} ...");
+        let r = run_one(b, SchemeKind::Base, DEFAULT_SEED, Scale::Ref);
+        let (papki, pmpki, pknls, pinsns) = paper_row(b);
+        println!(
+            "{:<8}{:>9.2}{:>9.2}{:>7}{:>10.2}   |{:>9.2}{:>9.2}{:>7}{:>9.2}",
+            b.label(),
+            r.apki(),
+            r.mpki(),
+            r.kernels,
+            r.thread_instructions as f64 / 1e6,
+            papki,
+            pmpki,
+            pknls,
+            pinsns
+        );
+    }
+    println!("\n(traces are scaled: absolute counts differ; the memory-intensity");
+    println!(" ordering and valley/non-valley split are the reproduced properties)");
+}

@@ -1,0 +1,210 @@
+//! Shared figure printers: each function renders one paper artifact from
+//! a previously-run [`Suite`], so `all_experiments` can run the
+//! simulations once and print everything.
+
+use crate::{amean, hmean, row, scheme_header, speedup, Suite};
+use valley_core::SchemeKind;
+use valley_power::{perf_per_watt, DramPowerModel};
+use valley_sim::SimReport;
+use valley_workloads::Benchmark;
+
+fn schemes_of(suite: &Suite) -> Vec<SchemeKind> {
+    let mut s: Vec<SchemeKind> = suite.keys().map(|&(_, s)| s).collect();
+    s.sort();
+    s.dedup();
+    // Present in the paper's order.
+    SchemeKind::ALL_SCHEMES
+        .into_iter()
+        .filter(|k| s.contains(k))
+        .collect()
+}
+
+fn benches_of(suite: &Suite) -> Vec<Benchmark> {
+    let mut b: Vec<Benchmark> = suite.keys().map(|&(b, _)| b).collect();
+    b.sort();
+    b.dedup();
+    Benchmark::ALL.into_iter().filter(|x| b.contains(x)).collect()
+}
+
+/// Generic per-benchmark × per-scheme metric table with a final
+/// aggregate row (`agg` = arithmetic or harmonic mean).
+fn metric_table(
+    title: &str,
+    suite: &Suite,
+    metric: impl Fn(&SimReport) -> f64,
+    agg: impl Fn(&[f64]) -> f64,
+    agg_label: &str,
+    precision: usize,
+) {
+    let schemes = schemes_of(suite);
+    let benches = benches_of(suite);
+    println!("\n{title}");
+    println!("{}", scheme_header("bench", &schemes, 8));
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for &b in &benches {
+        let vals: Vec<f64> = schemes.iter().map(|&s| metric(&suite[&(b, s)])).collect();
+        for (c, v) in vals.iter().enumerate() {
+            cols[c].push(*v);
+        }
+        println!("{}", row(b.label(), &vals, 8, precision));
+    }
+    let aggs: Vec<f64> = cols.iter().map(|c| agg(c)).collect();
+    println!("{}", row(agg_label, &aggs, 8, precision));
+}
+
+/// Figure 11: normalized execution time vs normalized DRAM power,
+/// averaged over the suite's benchmarks.
+pub fn fig11(suite: &Suite) {
+    let schemes = schemes_of(suite);
+    let benches = benches_of(suite);
+    let model = DramPowerModel::gddr5();
+    println!("\nFigure 11: normalized execution time vs normalized DRAM power");
+    println!("{:<8}{:>16}{:>18}", "scheme", "norm exec time", "norm DRAM power");
+    for &s in &schemes {
+        let mut times = Vec::new();
+        let mut powers = Vec::new();
+        for &b in &benches {
+            let base = &suite[&(b, SchemeKind::Base)];
+            let r = &suite[&(b, s)];
+            times.push(r.cycles as f64 / base.cycles as f64);
+            powers.push(model.evaluate(r).total() / model.evaluate(base).total());
+        }
+        println!("{:<8}{:>16.3}{:>18.3}", s.label(), amean(&times), amean(&powers));
+    }
+}
+
+/// Figure 12 (or 20 for the non-valley suite): speedup over BASE.
+pub fn fig12(suite: &Suite, title: &str) {
+    let schemes = schemes_of(suite);
+    let benches = benches_of(suite);
+    println!("\n{title}");
+    println!("{}", scheme_header("bench", &schemes, 8));
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for &b in &benches {
+        let vals: Vec<f64> = schemes.iter().map(|&s| speedup(suite, b, s)).collect();
+        for (c, v) in vals.iter().enumerate() {
+            cols[c].push(*v);
+        }
+        println!("{}", row(b.label(), &vals, 8, 2));
+    }
+    let hm: Vec<f64> = cols.iter().map(|c| hmean(c)).collect();
+    println!("{}", row("HMEAN", &hm, 8, 2));
+}
+
+/// Figure 13a: mean NoC packet latency in core cycles.
+pub fn fig13a(suite: &Suite) {
+    metric_table(
+        "Figure 13a: average NoC packet latency (core cycles)",
+        suite,
+        |r| r.noc_latency,
+        amean,
+        "AVG",
+        1,
+    );
+}
+
+/// Figure 13b: LLC miss rate (%).
+pub fn fig13b(suite: &Suite) {
+    metric_table(
+        "Figure 13b: LLC miss rate (%)",
+        suite,
+        |r| r.llc_miss_rate() * 100.0,
+        amean,
+        "AVG",
+        1,
+    );
+}
+
+/// Figure 14a/b/c: LLC-, channel- and bank-level parallelism.
+pub fn fig14(suite: &Suite) {
+    metric_table(
+        "Figure 14a: LLC-level parallelism (busy slices)",
+        suite,
+        |r| r.llc_parallelism,
+        amean,
+        "AVG",
+        2,
+    );
+    metric_table(
+        "Figure 14b: channel-level parallelism (busy channels)",
+        suite,
+        |r| r.channel_parallelism,
+        amean,
+        "AVG",
+        2,
+    );
+    metric_table(
+        "Figure 14c: bank-level parallelism (busy banks per busy channel)",
+        suite,
+        |r| r.bank_parallelism,
+        amean,
+        "AVG",
+        2,
+    );
+}
+
+/// Figure 15: DRAM row-buffer hit rate (%).
+pub fn fig15(suite: &Suite) {
+    metric_table(
+        "Figure 15: DRAM row-buffer hit rate (%)",
+        suite,
+        |r| r.row_buffer_hit_rate() * 100.0,
+        amean,
+        "AVG",
+        1,
+    );
+}
+
+/// Figure 16: DRAM power breakdown, averaged over benchmarks.
+pub fn fig16(suite: &Suite) {
+    let schemes = schemes_of(suite);
+    let benches = benches_of(suite);
+    let model = DramPowerModel::gddr5();
+    println!("\nFigure 16: DRAM power breakdown (Watts), averaged over benchmarks");
+    println!(
+        "{:<8}{:>12}{:>12}{:>12}{:>12}{:>12}",
+        "scheme", "background", "activate", "read", "write", "total"
+    );
+    for &s in &schemes {
+        let (mut bg, mut act, mut rd, mut wr) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        for &b in &benches {
+            let p = model.evaluate(&suite[&(b, s)]);
+            bg.push(p.background);
+            act.push(p.activate);
+            rd.push(p.read);
+            wr.push(p.write);
+        }
+        let (bg, act, rd, wr) = (amean(&bg), amean(&act), amean(&rd), amean(&wr));
+        println!(
+            "{:<8}{:>12.1}{:>12.1}{:>12.1}{:>12.1}{:>12.1}",
+            s.label(),
+            bg,
+            act,
+            rd,
+            wr,
+            bg + act + rd + wr
+        );
+    }
+}
+
+/// Figure 17: normalized performance per Watt.
+pub fn fig17(suite: &Suite) {
+    let schemes = schemes_of(suite);
+    let benches = benches_of(suite);
+    println!("\nFigure 17: normalized performance per Watt (GPU + DRAM)");
+    println!("{}", scheme_header("bench", &schemes, 8));
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for &b in &benches {
+        let base = &suite[&(b, SchemeKind::Base)];
+        let vals: Vec<f64> = schemes
+            .iter()
+            .map(|&s| perf_per_watt(&suite[&(b, s)], base))
+            .collect();
+        for (c, v) in vals.iter().enumerate() {
+            cols[c].push(*v);
+        }
+        println!("{}", row(b.label(), &vals, 8, 2));
+    }
+    let hm: Vec<f64> = cols.iter().map(|c| hmean(c)).collect();
+    println!("{}", row("HMEAN", &hm, 8, 2));
+}

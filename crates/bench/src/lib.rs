@@ -1,0 +1,180 @@
+//! # valley-bench
+//!
+//! The experiment harness: shared driver code used by the per-figure
+//! binaries in `src/bin/` (one per table/figure of the paper) and by the
+//! Criterion micro-benchmarks in `benches/`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod figures;
+
+use std::collections::BTreeMap;
+use valley_core::{AddressMapper, GddrMap, SchemeKind, StackedMap};
+use valley_sim::{GpuConfig, GpuSim, SimReport};
+use valley_workloads::{Benchmark, Scale};
+
+/// The BIM seed used for the headline results (the paper generates three
+/// random BIMs per scheme and reports the best; Figure 19 shows the
+/// spread — regenerate it with `fig19_bim_sensitivity`).
+pub const DEFAULT_SEED: u64 = 1;
+
+/// Runs one (benchmark, scheme) simulation on the baseline GDDR5 GPU.
+pub fn run_one(bench: Benchmark, scheme: SchemeKind, seed: u64, scale: Scale) -> SimReport {
+    run_one_with(bench, scheme, seed, scale, GpuConfig::table1())
+}
+
+/// Runs one simulation with an explicit GPU configuration (SM sweeps).
+pub fn run_one_with(
+    bench: Benchmark,
+    scheme: SchemeKind,
+    seed: u64,
+    scale: Scale,
+    cfg: GpuConfig,
+) -> SimReport {
+    let map = GddrMap::baseline();
+    let mapper = AddressMapper::build(scheme, &map, seed);
+    let sim = GpuSim::new(cfg, mapper, map, Box::new(bench.workload(scale)));
+    sim.run()
+}
+
+/// Runs one simulation with an explicit, possibly hand-built mapper
+/// (ablations: density-constrained or profile-guided BIMs).
+pub fn run_custom(
+    bench: Benchmark,
+    mapper: AddressMapper,
+    cfg: GpuConfig,
+    scale: Scale,
+) -> SimReport {
+    let map = GddrMap::baseline();
+    GpuSim::new(cfg, mapper, map, Box::new(bench.workload(scale))).run()
+}
+
+/// Runs one simulation on the 3D-stacked memory configuration
+/// (Figure 18, rightmost group).
+pub fn run_one_stacked(bench: Benchmark, scheme: SchemeKind, seed: u64, scale: Scale) -> SimReport {
+    let map = StackedMap::baseline();
+    let mapper = AddressMapper::build(scheme, &map, seed);
+    let sim = GpuSim::new(GpuConfig::stacked(), mapper, map, Box::new(bench.workload(scale)));
+    sim.run()
+}
+
+/// A suite of simulation results keyed by (benchmark, scheme).
+pub type Suite = BTreeMap<(Benchmark, SchemeKind), SimReport>;
+
+/// Runs the cross product of `benches × schemes` on a thread pool (each
+/// simulation is independent), printing progress to stderr.
+pub fn run_suite(benches: &[Benchmark], schemes: &[SchemeKind], scale: Scale) -> Suite {
+    let jobs: Vec<(Benchmark, SchemeKind)> = benches
+        .iter()
+        .flat_map(|&b| schemes.iter().map(move |&s| (b, s)))
+        .collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results = std::sync::Mutex::new(Suite::new());
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs.len())
+        .max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(b, s)) = jobs.get(i) else { break };
+                eprintln!("  running {b} / {s} ...");
+                let r = run_one(b, s, DEFAULT_SEED, scale);
+                if r.truncated {
+                    eprintln!("    WARNING: {b}/{s} hit the cycle limit");
+                }
+                results
+                    .lock()
+                    .expect("no panics while holding the lock")
+                    .insert((b, s), r);
+            });
+        }
+    });
+    results.into_inner().expect("all workers joined")
+}
+
+/// The six schemes in the paper's presentation order.
+pub fn all_schemes() -> Vec<SchemeKind> {
+    SchemeKind::ALL_SCHEMES.to_vec()
+}
+
+/// Speedup of `scheme` over BASE for `bench` within a suite.
+///
+/// # Panics
+///
+/// Panics if either run is missing from the suite.
+pub fn speedup(suite: &Suite, bench: Benchmark, scheme: SchemeKind) -> f64 {
+    let base = &suite[&(bench, SchemeKind::Base)];
+    suite[&(bench, scheme)].speedup_over(base)
+}
+
+/// Arithmetic mean.
+pub fn amean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Harmonic mean (the paper's HMEAN for speedups).
+pub fn hmean(xs: &[f64]) -> f64 {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        0.0
+    } else {
+        xs.len() as f64 / xs.iter().map(|x| 1.0 / x).sum::<f64>()
+    }
+}
+
+/// Renders one row of a fixed-width table.
+pub fn row(label: &str, values: &[f64], width: usize, precision: usize) -> String {
+    let mut s = format!("{label:<10}");
+    for v in values {
+        s.push_str(&format!("{v:>width$.precision$}"));
+    }
+    s
+}
+
+/// Prints a header row for a scheme-column table.
+pub fn scheme_header(label: &str, schemes: &[SchemeKind], width: usize) -> String {
+    let mut s = format!("{label:<10}");
+    for sc in schemes {
+        s.push_str(&format!("{:>width$}", sc.label()));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means() {
+        assert!((amean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((hmean(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!(hmean(&[2.0, 2.0]) > 1.99);
+        assert_eq!(hmean(&[]), 0.0);
+        assert_eq!(hmean(&[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn formatting() {
+        let h = scheme_header("bench", &[SchemeKind::Base, SchemeKind::Pae], 8);
+        assert!(h.contains("BASE") && h.contains("PAE"));
+        let r = row("MT", &[1.0, 2.5], 8, 2);
+        assert!(r.contains("1.00") && r.contains("2.50"));
+    }
+
+    #[test]
+    fn smoke_run_tiny_sim() {
+        // An end-to-end run of the smallest benchmark at test scale.
+        let r = run_one(Benchmark::Sp, SchemeKind::Base, 1, Scale::Test);
+        assert!(!r.truncated, "tiny run must terminate");
+        assert!(r.cycles > 0);
+        assert!(r.memory_transactions > 0);
+        assert!(r.warp_instructions > 0);
+    }
+}

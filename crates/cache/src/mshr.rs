@@ -1,0 +1,174 @@
+//! Miss Status Holding Registers (MSHRs) with request merging.
+//!
+//! An MSHR file tracks outstanding cache misses by line address. A second
+//! miss to a line that is already being fetched *merges* into the existing
+//! entry instead of issuing a duplicate memory request — essential for GPU
+//! L1s, where many warps touch the same lines in short order. The paper's
+//! L1 configuration provides 32 MSHR entries per SM (Table I).
+
+use std::collections::HashMap;
+
+/// Outcome of asking the MSHR file to track a miss.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MshrAllocation {
+    /// A new entry was allocated; the caller must issue the memory request.
+    NewEntry,
+    /// The line is already outstanding; the waiter was merged and no new
+    /// memory request is needed.
+    Merged,
+    /// The file (or the entry's merge capacity) is full; the requester must
+    /// stall and retry later.
+    Stalled,
+}
+
+/// An MSHR file: outstanding miss lines, each with the waiters (opaque
+/// `u64` tokens — warp ids, transaction ids, ...) to wake on fill.
+///
+/// # Examples
+///
+/// ```
+/// use valley_cache::{MshrAllocation, MshrFile};
+///
+/// let mut m = MshrFile::new(2, 4);
+/// assert_eq!(m.allocate(0x100, 7), MshrAllocation::NewEntry);
+/// assert_eq!(m.allocate(0x100, 8), MshrAllocation::Merged);
+/// assert_eq!(m.complete(0x100), Some(vec![7, 8]));
+/// ```
+#[derive(Clone, Debug)]
+pub struct MshrFile {
+    capacity: usize,
+    max_merges: usize,
+    entries: HashMap<u64, Vec<u64>>,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` entries, each holding at most
+    /// `max_merges` waiters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `max_merges` is zero.
+    pub fn new(capacity: usize, max_merges: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be non-zero");
+        assert!(max_merges > 0, "merge capacity must be non-zero");
+        MshrFile {
+            capacity,
+            max_merges,
+            entries: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// Number of entry slots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of outstanding lines.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no misses are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether all entry slots are in use.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Whether `line` is already being fetched.
+    pub fn contains(&self, line: u64) -> bool {
+        self.entries.contains_key(&line)
+    }
+
+    /// Tracks a miss on `line` for `waiter`. See [`MshrAllocation`] for the
+    /// three possible outcomes.
+    pub fn allocate(&mut self, line: u64, waiter: u64) -> MshrAllocation {
+        if let Some(waiters) = self.entries.get_mut(&line) {
+            if waiters.len() >= self.max_merges {
+                return MshrAllocation::Stalled;
+            }
+            waiters.push(waiter);
+            return MshrAllocation::Merged;
+        }
+        if self.entries.len() >= self.capacity {
+            return MshrAllocation::Stalled;
+        }
+        self.entries.insert(line, vec![waiter]);
+        MshrAllocation::NewEntry
+    }
+
+    /// Completes the fetch of `line`, freeing its entry and returning the
+    /// waiters to wake (in allocation order), or `None` if the line was not
+    /// outstanding.
+    pub fn complete(&mut self, line: u64) -> Option<Vec<u64>> {
+        self.entries.remove(&line)
+    }
+
+    /// Iterates over the outstanding line addresses (arbitrary order).
+    pub fn outstanding_lines(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_then_complete() {
+        let mut m = MshrFile::new(4, 8);
+        assert_eq!(m.allocate(0x40, 1), MshrAllocation::NewEntry);
+        assert!(m.contains(0x40));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.complete(0x40), Some(vec![1]));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn merging_preserves_order() {
+        let mut m = MshrFile::new(4, 8);
+        m.allocate(0x40, 10);
+        assert_eq!(m.allocate(0x40, 11), MshrAllocation::Merged);
+        assert_eq!(m.allocate(0x40, 12), MshrAllocation::Merged);
+        assert_eq!(m.len(), 1, "merges must not consume entries");
+        assert_eq!(m.complete(0x40), Some(vec![10, 11, 12]));
+    }
+
+    #[test]
+    fn capacity_stalls_new_lines_but_not_merges() {
+        let mut m = MshrFile::new(2, 8);
+        m.allocate(0x000, 1);
+        m.allocate(0x040, 2);
+        assert!(m.is_full());
+        assert_eq!(m.allocate(0x080, 3), MshrAllocation::Stalled);
+        // Merging into an existing entry still works at capacity.
+        assert_eq!(m.allocate(0x000, 4), MshrAllocation::Merged);
+    }
+
+    #[test]
+    fn merge_capacity_stalls() {
+        let mut m = MshrFile::new(2, 2);
+        m.allocate(0x40, 1);
+        m.allocate(0x40, 2);
+        assert_eq!(m.allocate(0x40, 3), MshrAllocation::Stalled);
+    }
+
+    #[test]
+    fn complete_unknown_line_is_none() {
+        let mut m = MshrFile::new(2, 2);
+        assert_eq!(m.complete(0xdead), None);
+    }
+
+    #[test]
+    fn outstanding_lines_iterates_all() {
+        let mut m = MshrFile::new(4, 2);
+        m.allocate(0x40, 1);
+        m.allocate(0x80, 2);
+        let mut lines: Vec<u64> = m.outstanding_lines().collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![0x40, 0x80]);
+    }
+}

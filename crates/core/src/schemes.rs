@@ -1,0 +1,727 @@
+//! The six address mapping schemes evaluated in the paper (Section IV/VI).
+//!
+//! | Scheme | Strategy | Input bits | Output bits rewritten |
+//! |--------|----------|------------|-----------------------|
+//! | BASE   | identity | —          | —                     |
+//! | PM     | permutation-based \[4,5\] | one LSB row bit per target bit | channel + bank |
+//! | RMP    | remap (permutation matrix) | highest-average-entropy bits | channel + bank |
+//! | PAE    | Broad    | random page-address bits (row ∪ bank ∪ channel) | channel + bank |
+//! | FAE    | Broad    | random non-block bits (full address) | channel + bank |
+//! | ALL    | Broad    | random non-block bits | all non-block bits |
+//!
+//! Every scheme is realized as a [`Bim`] and wrapped in an
+//! [`AddressMapper`], which also carries the 1-cycle mapping-unit latency
+//! charged to all but the baseline scheme (Section V).
+
+use crate::addr::PhysAddr;
+use crate::addrmap::DramAddressMap;
+use crate::bim::Bim;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Identifies one of the paper's six address mapping schemes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SchemeKind {
+    /// The Hynix GDDR5 baseline map (identity transformation).
+    Base,
+    /// Permutation-based mapping: XOR each channel/bank bit with one
+    /// least-significant row bit (Zhang et al. / Chatterjee et al.).
+    Pm,
+    /// Remap: move the globally highest-average-entropy bits into the
+    /// channel/bank positions (a pure permutation matrix).
+    Rmp,
+    /// Page Address Entropy: channel/bank output bits harvest entropy from
+    /// random subsets of the DRAM page address (row, bank, channel bits).
+    Pae,
+    /// Full Address Entropy: like PAE but harvesting from the full
+    /// (non-block) address, including column bits.
+    Fae,
+    /// Randomize all non-block output bits from full-address inputs.
+    All,
+}
+
+impl SchemeKind {
+    /// All six schemes in the paper's presentation order.
+    pub const ALL_SCHEMES: [SchemeKind; 6] = [
+        SchemeKind::Base,
+        SchemeKind::Pm,
+        SchemeKind::Rmp,
+        SchemeKind::Pae,
+        SchemeKind::Fae,
+        SchemeKind::All,
+    ];
+
+    /// The scheme's name as printed in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchemeKind::Base => "BASE",
+            SchemeKind::Pm => "PM",
+            SchemeKind::Rmp => "RMP",
+            SchemeKind::Pae => "PAE",
+            SchemeKind::Fae => "FAE",
+            SchemeKind::All => "ALL",
+        }
+    }
+
+    /// Whether the scheme's BIM is drawn at random (PAE/FAE/ALL) rather
+    /// than fixed by construction (BASE/PM/RMP).
+    pub fn is_randomized(self) -> bool {
+        matches!(self, SchemeKind::Pae | SchemeKind::Fae | SchemeKind::All)
+    }
+}
+
+impl std::fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A ready-to-use address mapping unit: a BIM plus its pipeline latency.
+///
+/// The mapper sits directly after the memory coalescer (Section IV); all
+/// coalesced transactions pass through [`AddressMapper::map`] before touching
+/// the LLC slice selector, NoC or DRAM.
+///
+/// # Examples
+///
+/// ```
+/// use valley_core::{AddressMapper, GddrMap, PhysAddr, SchemeKind};
+///
+/// let map = GddrMap::baseline();
+/// let pae = AddressMapper::build(SchemeKind::Pae, &map, 1);
+/// let a = PhysAddr::new(0x1234_5678 & 0x3fff_ffff);
+/// let mapped = pae.map(a);
+/// // Block offset bits are never altered.
+/// assert_eq!(mapped.raw() & 0x3f, a.raw() & 0x3f);
+/// // The mapping is invertible.
+/// assert_eq!(pae.unmap(mapped), a);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AddressMapper {
+    kind: SchemeKind,
+    bim: Bim,
+    inverse: Bim,
+    latency: u32,
+    seed: u64,
+}
+
+impl AddressMapper {
+    /// Builds the scheme `kind` for the given DRAM address map.
+    ///
+    /// `seed` selects the random BIM instance for PAE/FAE/ALL (the paper
+    /// generates three per scheme and reports the best; see Figure 19) and
+    /// is ignored by BASE/PM/RMP.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a valid invertible BIM cannot be constructed, which for
+    /// the supported address maps cannot happen (rejection sampling always
+    /// terminates with probability 1 and is bounded generously).
+    pub fn build(kind: SchemeKind, map: &dyn DramAddressMap, seed: u64) -> Self {
+        let bim = match kind {
+            SchemeKind::Base => Bim::identity(map.addr_bits()),
+            SchemeKind::Pm => build_pm(map),
+            SchemeKind::Rmp => build_rmp(map, &default_rmp_sources(map)),
+            SchemeKind::Pae => {
+                build_broad(map, &map.page_address_bits(), &map.target_field_bits(), seed)
+            }
+            SchemeKind::Fae => {
+                build_broad(map, &map.non_block_bits(), &map.target_field_bits(), seed)
+            }
+            SchemeKind::All => build_broad(map, &map.non_block_bits(), &map.non_block_bits(), seed),
+        };
+        let inverse = bim
+            .inverse()
+            .expect("scheme construction must yield an invertible BIM");
+        let latency = if kind == SchemeKind::Base { 0 } else { 1 };
+        AddressMapper {
+            kind,
+            bim,
+            inverse,
+            latency,
+            seed,
+        }
+    }
+
+    /// Builds an RMP mapper from a measured entropy profile: the
+    /// `target` bits are fed from the bits with the highest average
+    /// entropy (Section IV-B derives these from the aggregate profile of
+    /// all benchmarks).
+    pub fn rmp_from_hot_bits(map: &dyn DramAddressMap, hot_bits: &[u8]) -> Self {
+        let bim = build_rmp(map, hot_bits);
+        let inverse = bim.inverse().expect("permutation matrices are invertible");
+        AddressMapper {
+            kind: SchemeKind::Rmp,
+            bim,
+            inverse,
+            latency: 1,
+            seed: 0,
+        }
+    }
+
+    /// Builds the *minimalist open-page* remap of Kaseridis et al.
+    /// (cited by the paper as a Remap-strategy instance): the channel and
+    /// bank fields move just above the block offset, so consecutive
+    /// cache lines interleave across channels/banks at the finest
+    /// granularity while whole rows stay together. A pure permutation —
+    /// helpful for streaming CPU-style access, but no help against
+    /// entropy valleys.
+    pub fn minimalist_open_page(map: &dyn DramAddressMap) -> Self {
+        let targets = map.target_field_bits();
+        let sources: Vec<u8> =
+            (map.block_bits()..map.block_bits() + targets.len() as u8).collect();
+        let bim = build_rmp(map, &sources);
+        let inverse = bim.inverse().expect("permutation matrices are invertible");
+        AddressMapper {
+            kind: SchemeKind::Rmp,
+            bim,
+            inverse,
+            latency: 1,
+            seed: 0,
+        }
+    }
+
+    /// Builds a PAE variant whose target rows each harvest exactly
+    /// `density` randomly-chosen page-address bits (instead of an
+    /// expected half of them). Used by the density ablation: too few
+    /// inputs make the scheme fragile to where the entropy happens to
+    /// sit; more inputs cost XOR gates (see `Bim::xor_gate_count`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `density` is zero or not strictly below the page-bit
+    /// count (at full density every target row selects the same mask, so
+    /// the matrix is singular by construction).
+    pub fn pae_with_density(map: &dyn DramAddressMap, seed: u64, density: usize) -> Self {
+        let inputs = map.page_address_bits();
+        assert!(
+            density >= 1 && density < inputs.len(),
+            "density must be within the input-bit count (full density is singular)"
+        );
+        let bim = build_broad_density(map, &inputs, &map.target_field_bits(), seed, density);
+        let inverse = bim.inverse().expect("density construction is invertible");
+        AddressMapper {
+            kind: SchemeKind::Pae,
+            bim,
+            inverse,
+            latency: 1,
+            seed,
+        }
+    }
+
+    /// Builds a profile-guided Broad scheme: each candidate input bit is
+    /// included with probability proportional to its *measured* window
+    /// entropy (`weights[bit]`, e.g. from
+    /// `valley_workloads::analysis::application_profile`). An extension
+    /// of the paper's design space: instead of sampling page bits
+    /// uniformly, harvest preferentially where the entropy actually is.
+    ///
+    /// `kind` selects the input field: [`SchemeKind::Pae`] restricts to
+    /// page bits, [`SchemeKind::Fae`] uses the full non-block address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not PAE or FAE, or `weights` is shorter than
+    /// the address width.
+    pub fn guided(
+        kind: SchemeKind,
+        map: &dyn DramAddressMap,
+        weights: &[f64],
+        seed: u64,
+    ) -> Self {
+        let inputs = match kind {
+            SchemeKind::Pae => map.page_address_bits(),
+            SchemeKind::Fae => map.non_block_bits(),
+            other => panic!("guided construction supports PAE/FAE, not {other}"),
+        };
+        assert!(
+            weights.len() >= map.addr_bits() as usize,
+            "need one weight per address bit"
+        );
+        let bim = build_broad_weighted(map, &inputs, weights, &map.target_field_bits(), seed);
+        let inverse = bim.inverse().expect("guided construction is invertible");
+        AddressMapper {
+            kind,
+            bim,
+            inverse,
+            latency: 1,
+            seed,
+        }
+    }
+
+    /// Wraps an explicit invertible BIM (for experiments with hand-built
+    /// matrices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bim` is singular.
+    pub fn from_bim(kind: SchemeKind, bim: Bim, latency: u32) -> Self {
+        let inverse = bim.inverse().expect("BIM must be invertible");
+        AddressMapper {
+            kind,
+            bim,
+            inverse,
+            latency,
+            seed: 0,
+        }
+    }
+
+    /// Applies the mapping to a physical address.
+    #[inline]
+    pub fn map(&self, addr: PhysAddr) -> PhysAddr {
+        PhysAddr::new(self.bim.apply(addr.raw()))
+    }
+
+    /// Applies the inverse mapping (decode direction).
+    #[inline]
+    pub fn unmap(&self, addr: PhysAddr) -> PhysAddr {
+        PhysAddr::new(self.inverse.apply(addr.raw()))
+    }
+
+    /// The scheme this mapper implements.
+    pub fn kind(&self) -> SchemeKind {
+        self.kind
+    }
+
+    /// The pipeline latency of the mapping unit in core cycles
+    /// (0 for BASE, 1 for everything else, per Section V).
+    pub fn latency_cycles(&self) -> u32 {
+        self.latency
+    }
+
+    /// The seed used for randomized construction (0 for fixed schemes).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Read access to the underlying matrix.
+    pub fn bim(&self) -> &Bim {
+        &self.bim
+    }
+}
+
+/// Permutation-based mapping (Figure 8): the `k`-th target (channel/bank)
+/// bit is XORed with the `k`-th least-significant row bit.
+fn build_pm(map: &dyn DramAddressMap) -> Bim {
+    let mut bim = Bim::identity(map.addr_bits());
+    let targets = map.target_field_bits();
+    let rows = map.row_bits();
+    assert!(
+        rows.len() >= targets.len(),
+        "PM needs at least as many row bits as target bits"
+    );
+    for (k, &t) in targets.iter().enumerate() {
+        bim.set_row(t, (1u64 << t) | (1u64 << rows[k]));
+    }
+    bim
+}
+
+/// The paper's RMP source bits for the baseline map: "the 6 bits with the
+/// highest average entropy ... (i.e., bits 8-11, 15, and 16)".
+fn default_rmp_sources(map: &dyn DramAddressMap) -> Vec<u8> {
+    let targets = map.target_field_bits();
+    if map.addr_bits() == 30 && targets == vec![8, 9, 10, 11, 12, 13] {
+        vec![8, 9, 10, 11, 15, 16]
+    } else {
+        // For other maps (e.g. 3D-stacked) fall back to the lowest
+        // non-block bits, which for streaming-style workloads carry the
+        // most average entropy (Kaseridis et al.).
+        let nb = map.non_block_bits();
+        nb[..targets.len()].to_vec()
+    }
+}
+
+/// Remap strategy: a permutation matrix that routes `sources[k]` into
+/// `targets[k]` and the displaced bits back into the vacated positions.
+fn build_rmp(map: &dyn DramAddressMap, sources: &[u8]) -> Bim {
+    let targets = map.target_field_bits();
+    assert_eq!(
+        sources.len(),
+        targets.len(),
+        "RMP needs exactly one source bit per target bit"
+    );
+    let n = map.addr_bits() as usize;
+    // perm[out] = in; start from identity and swap so the result is always
+    // a permutation (hence invertible).
+    let mut perm: Vec<u8> = (0..n as u8).collect();
+    for (k, &t) in targets.iter().enumerate() {
+        let s = sources[k];
+        let cur = perm
+            .iter()
+            .position(|&p| p == s)
+            .expect("source bit must exist");
+        perm.swap(t as usize, cur);
+    }
+    let rows = perm.iter().map(|&p| 1u64 << p).collect();
+    Bim::from_rows(rows).expect("permutation rows are valid")
+}
+
+/// Broad strategy (PAE/FAE/ALL): each output bit in `targets` becomes the
+/// XOR of a random subset of `inputs`; all other bits pass through.
+/// Rejection-samples until the resulting matrix is invertible.
+fn build_broad(map: &dyn DramAddressMap, inputs: &[u8], targets: &[u8], seed: u64) -> Bim {
+    assert!(!inputs.is_empty() && !targets.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    // A random square matrix over GF(2) is invertible with probability
+    // ~0.289, so a few hundred attempts make failure astronomically
+    // unlikely; we bound the loop to keep the panic reachable in theory
+    // and silence none of the logic.
+    for _ in 0..10_000 {
+        let mut bim = Bim::identity(map.addr_bits());
+        for &t in targets {
+            let mut mask = 0u64;
+            for &i in inputs {
+                if rng.random::<bool>() {
+                    mask |= 1u64 << i;
+                }
+            }
+            // Guarantee each output row harvests at least two inputs so
+            // no target bit degenerates to a copy or a constant.
+            if mask.count_ones() < 2 {
+                let a = inputs[rng.random_range(0..inputs.len())];
+                let mut b = a;
+                while b == a {
+                    b = inputs[rng.random_range(0..inputs.len())];
+                }
+                mask |= (1u64 << a) | (1u64 << b);
+            }
+            bim.set_row(t, mask);
+        }
+        if bim.is_invertible() {
+            return bim;
+        }
+    }
+    panic!("failed to sample an invertible Broad BIM (astronomically unlikely)");
+}
+
+/// Broad strategy with a fixed number of inputs per target row.
+fn build_broad_density(
+    map: &dyn DramAddressMap,
+    inputs: &[u8],
+    targets: &[u8],
+    seed: u64,
+    density: usize,
+) -> Bim {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xde75);
+    for _ in 0..10_000 {
+        let mut bim = Bim::identity(map.addr_bits());
+        for &t in targets {
+            // The row always contains its own bit (as in Figure 6d),
+            // which keeps the target-column submatrix near-identity and
+            // invertibility likely; then sample `density - 1` distinct
+            // other inputs (partial Fisher-Yates).
+            let mut pool: Vec<u8> = inputs.iter().copied().filter(|&b| b != t).collect();
+            let mut mask = 1u64 << t;
+            for k in 0..density - 1 {
+                let j = k + rng.random_range(0..pool.len() - k);
+                pool.swap(k, j);
+                mask |= 1u64 << pool[k];
+            }
+            bim.set_row(t, mask);
+        }
+        if bim.is_invertible() {
+            return bim;
+        }
+    }
+    panic!("failed to sample an invertible density-constrained BIM");
+}
+
+/// Broad strategy with per-bit inclusion probabilities derived from a
+/// measured entropy profile: `p(bit) = 0.08 + 0.84 * weight(bit)/max`.
+fn build_broad_weighted(
+    map: &dyn DramAddressMap,
+    inputs: &[u8],
+    weights: &[f64],
+    targets: &[u8],
+    seed: u64,
+) -> Bim {
+    let max_w = inputs
+        .iter()
+        .map(|&b| weights[b as usize])
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x91de);
+    for _ in 0..10_000 {
+        let mut bim = Bim::identity(map.addr_bits());
+        for &t in targets {
+            // Own bit always included (Figure 6d's Broad structure): the
+            // target-column submatrix stays near-identity, so weights
+            // concentrated far from the target bits still yield an
+            // invertible matrix.
+            let mut mask = 1u64 << t;
+            for &i in inputs {
+                let p = 0.08 + 0.84 * (weights[i as usize] / max_w);
+                if i != t && rng.random_bool(p.clamp(0.0, 1.0)) {
+                    mask |= 1u64 << i;
+                }
+            }
+            if mask.count_ones() < 2 {
+                let mut b = t;
+                while b == t {
+                    b = inputs[rng.random_range(0..inputs.len())];
+                }
+                mask |= 1u64 << b;
+            }
+            bim.set_row(t, mask);
+        }
+        if bim.is_invertible() {
+            return bim;
+        }
+    }
+    panic!("failed to sample an invertible weighted BIM");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addrmap::{GddrMap, StackedMap};
+
+    fn map() -> GddrMap {
+        GddrMap::baseline()
+    }
+
+    #[test]
+    fn base_is_identity_with_zero_latency() {
+        let m = AddressMapper::build(SchemeKind::Base, &map(), 0);
+        assert!(m.bim().is_identity());
+        assert_eq!(m.latency_cycles(), 0);
+        let a = PhysAddr::new(0x2f0f_1234);
+        assert_eq!(m.map(a), a);
+    }
+
+    #[test]
+    fn pm_xors_targets_with_low_row_bits() {
+        let m = AddressMapper::build(SchemeKind::Pm, &map(), 0);
+        assert_eq!(m.latency_cycles(), 1);
+        // Flipping row bit 18 must flip target bit 8 in the output.
+        let a = PhysAddr::new(0);
+        let b = PhysAddr::new(1 << 18);
+        let delta = m.map(a).raw() ^ m.map(b).raw();
+        assert_eq!(delta, (1 << 18) | (1 << 8));
+        // Row bits themselves are unchanged by PM.
+        assert_eq!(m.map(b).raw() & (1 << 18), 1 << 18);
+    }
+
+    #[test]
+    fn pm_matches_figure6c_structure() {
+        // Each target row has exactly two ones: itself and one row bit.
+        let m = AddressMapper::build(SchemeKind::Pm, &map(), 0);
+        for &t in &map().target_field_bits() {
+            let row = m.bim().row(t);
+            assert_eq!(row.count_ones(), 2);
+            assert_ne!(row & (1 << t), 0);
+        }
+    }
+
+    #[test]
+    fn rmp_is_permutation_using_paper_bits() {
+        let m = AddressMapper::build(SchemeKind::Rmp, &map(), 0);
+        // Every row has exactly one 1 (permutation matrix).
+        for i in 0..30 {
+            assert_eq!(m.bim().row(i).count_ones(), 1);
+        }
+        // Targets source from bits 8-11, 15, 16.
+        let sources: Vec<u8> = map()
+            .target_field_bits()
+            .iter()
+            .map(|&t| m.bim().row(t).trailing_zeros() as u8)
+            .collect();
+        assert_eq!(sources, vec![8, 9, 10, 11, 15, 16]);
+        assert!(m.bim().is_invertible());
+    }
+
+    #[test]
+    fn rmp_from_custom_hot_bits() {
+        let m = AddressMapper::rmp_from_hot_bits(&map(), &[20, 21, 22, 23, 24, 25]);
+        let sources: Vec<u8> = map()
+            .target_field_bits()
+            .iter()
+            .map(|&t| m.bim().row(t).trailing_zeros() as u8)
+            .collect();
+        assert_eq!(sources, vec![20, 21, 22, 23, 24, 25]);
+        assert!(m.bim().is_invertible());
+    }
+
+    #[test]
+    fn pae_rows_stay_within_page_bits() {
+        let dm = map();
+        let page_mask: u64 = dm.page_address_bits().iter().map(|&b| 1u64 << b).sum();
+        for seed in 0..20 {
+            let m = AddressMapper::build(SchemeKind::Pae, &dm, seed);
+            assert!(m.bim().is_invertible());
+            for &t in &dm.target_field_bits() {
+                let row = m.bim().row(t);
+                assert_eq!(row & !page_mask, 0, "PAE row escapes page bits");
+                assert!(row.count_ones() >= 2);
+            }
+            // Non-target rows are identity.
+            for bit in 0..30u8 {
+                if !dm.target_field_bits().contains(&bit) {
+                    assert_eq!(m.bim().row(bit), 1u64 << bit);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fae_rows_cover_full_non_block_address() {
+        let dm = map();
+        let nb_mask: u64 = dm.non_block_bits().iter().map(|&b| 1u64 << b).sum();
+        let col_mask: u64 = dm.column_bits().iter().map(|&b| 1u64 << b).sum();
+        // Across several seeds, FAE must sometimes pick column bits —
+        // that is precisely what distinguishes it from PAE.
+        let mut saw_column_input = false;
+        for seed in 0..20 {
+            let m = AddressMapper::build(SchemeKind::Fae, &dm, seed);
+            assert!(m.bim().is_invertible());
+            for &t in &dm.target_field_bits() {
+                let row = m.bim().row(t);
+                assert_eq!(row & !nb_mask, 0);
+                if row & col_mask != 0 {
+                    saw_column_input = true;
+                }
+            }
+        }
+        assert!(saw_column_input, "FAE never harvested column bits");
+    }
+
+    #[test]
+    fn all_rewrites_every_non_block_bit() {
+        let dm = map();
+        let m = AddressMapper::build(SchemeKind::All, &dm, 7);
+        assert!(m.bim().is_invertible());
+        // Block bits stay identity.
+        for bit in 0..6u8 {
+            assert_eq!(m.bim().row(bit), 1u64 << bit);
+        }
+        // At least some row/column output bits are non-identity.
+        let non_identity = (6..30u8)
+            .filter(|&b| m.bim().row(b) != 1u64 << b)
+            .count();
+        assert!(non_identity > 12, "ALL should rewrite most non-block bits");
+    }
+
+    #[test]
+    fn block_bits_always_preserved() {
+        for kind in SchemeKind::ALL_SCHEMES {
+            let m = AddressMapper::build(kind, &map(), 3);
+            for raw in [0x3fu64, 0x15, 0x2a] {
+                let a = PhysAddr::new(raw | (0x1234 << 14));
+                assert_eq!(m.map(a).raw() & 0x3f, raw & 0x3f, "{kind} altered block bits");
+            }
+        }
+    }
+
+    #[test]
+    fn map_unmap_roundtrip_all_schemes() {
+        for kind in SchemeKind::ALL_SCHEMES {
+            let m = AddressMapper::build(kind, &map(), 11);
+            for &raw in &[0u64, 1, 0x3fff_ffff, 0x1357_9bdf & 0x3fff_ffff] {
+                let a = PhysAddr::new(raw);
+                assert_eq!(m.unmap(m.map(a)), a, "{kind} roundtrip failed");
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_random_bims() {
+        let a = AddressMapper::build(SchemeKind::Pae, &map(), 1);
+        let b = AddressMapper::build(SchemeKind::Pae, &map(), 2);
+        assert_ne!(a.bim(), b.bim());
+        // And the same seed reproduces the same BIM (determinism).
+        let c = AddressMapper::build(SchemeKind::Pae, &map(), 1);
+        assert_eq!(a.bim(), c.bim());
+    }
+
+    #[test]
+    fn schemes_build_for_stacked_map() {
+        let sm = StackedMap::baseline();
+        for kind in SchemeKind::ALL_SCHEMES {
+            let m = AddressMapper::build(kind, &sm, 5);
+            assert!(m.bim().is_invertible());
+            // 10 target bits for 3D-stacked (2 stack + 4 vault + 4 bank).
+            assert_eq!(sm.target_field_bits().len(), 10);
+            let a = PhysAddr::new(0x0fed_cba9 & 0x3fff_ffff);
+            assert_eq!(m.unmap(m.map(a)), a);
+        }
+    }
+
+    #[test]
+    fn minimalist_open_page_moves_targets_to_low_bits() {
+        let dm = map();
+        let m = AddressMapper::minimalist_open_page(&dm);
+        assert!(m.bim().is_invertible());
+        // The six target bits now source from bits 6..12 (just above the
+        // block offset), and every row is a single-one permutation row.
+        for (k, &t) in dm.target_field_bits().iter().enumerate() {
+            let row = m.bim().row(t);
+            assert_eq!(row.count_ones(), 1);
+            assert_eq!(row.trailing_zeros() as u8, 6 + k as u8);
+        }
+        // Consecutive 64 B blocks alternate channels under this map.
+        let a = m.map(PhysAddr::new(0));
+        let b = m.map(PhysAddr::new(64));
+        assert_ne!(dm.controller_of(a), dm.controller_of(b));
+    }
+
+    #[test]
+    fn density_constructor_uses_exact_row_weight() {
+        let dm = map();
+        for density in [2usize, 4, 8, 16] {
+            let m = AddressMapper::pae_with_density(&dm, 3, density);
+            assert!(m.bim().is_invertible());
+            for &t in &dm.target_field_bits() {
+                assert_eq!(
+                    m.bim().row(t).count_ones() as usize,
+                    density,
+                    "density {density} row has wrong weight"
+                );
+            }
+            let a = PhysAddr::new(0x2468_ace0 & 0x3fff_ffff);
+            assert_eq!(m.unmap(m.map(a)), a);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "density must be within")]
+    fn density_zero_rejected() {
+        let _ = AddressMapper::pae_with_density(&map(), 1, 0);
+    }
+
+    #[test]
+    fn guided_constructor_prefers_high_entropy_bits() {
+        let dm = map();
+        // Give all the weight to bits 24..=29: across seeds, guided rows
+        // must select those bits far more often than the near-zero ones.
+        let mut weights = vec![0.01f64; 30];
+        for b in 24..30 {
+            weights[b] = 1.0;
+        }
+        let mut hot = 0u32;
+        let mut cold = 0u32;
+        for seed in 0..20 {
+            let m = AddressMapper::guided(SchemeKind::Pae, &dm, &weights, seed);
+            assert!(m.bim().is_invertible());
+            for &t in &dm.target_field_bits() {
+                let row = m.bim().row(t);
+                hot += (row >> 24 & 0x3f).count_ones();
+                cold += (row >> 18 & 0x3f).count_ones();
+            }
+        }
+        assert!(hot > 3 * cold, "hot {hot} vs cold {cold}");
+    }
+
+    #[test]
+    #[should_panic(expected = "guided construction supports PAE/FAE")]
+    fn guided_rejects_non_broad_kinds() {
+        let _ = AddressMapper::guided(SchemeKind::Pm, &map(), &[0.5; 30], 1);
+    }
+
+    #[test]
+    fn scheme_labels() {
+        assert_eq!(SchemeKind::Pae.label(), "PAE");
+        assert_eq!(SchemeKind::Pae.to_string(), "PAE");
+        assert!(SchemeKind::Fae.is_randomized());
+        assert!(!SchemeKind::Pm.is_randomized());
+    }
+}

@@ -1,0 +1,467 @@
+//! A single DRAM channel: banks, open-page row buffers and an FR-FCFS
+//! scheduler (Rixner et al.), as configured in Table I.
+
+use crate::config::DramConfig;
+use crate::stats::DramStats;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// A memory transaction presented to a channel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DramRequest {
+    /// Caller-assigned token returned on completion.
+    pub id: u64,
+    /// Bank index within the channel.
+    pub bank: usize,
+    /// DRAM row.
+    pub row: usize,
+    /// Whether this is a write (writes return a completion when the data
+    /// is accepted; reads when the data burst finishes).
+    pub is_write: bool,
+    /// Arrival time in DRAM cycles (for latency accounting).
+    pub arrival: u64,
+}
+
+/// A finished transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DramCompletion {
+    /// The token from the originating [`DramRequest`].
+    pub id: u64,
+    /// DRAM cycle at which the data burst completed.
+    pub finish: u64,
+    /// Whether the access was a write.
+    pub is_write: bool,
+}
+
+/// How a column access found the row buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RowBufferOutcome {
+    /// The addressed row was already open.
+    Hit,
+    /// The bank was idle; only an ACT was needed.
+    Empty,
+    /// A different row was open; PRE + ACT were needed.
+    Conflict,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Bank {
+    open_row: Option<usize>,
+    /// When the bank can accept its next column/PRE/ACT command.
+    ready_at: u64,
+    /// Time of the last ACT (for the tRAS constraint before PRE).
+    act_at: u64,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct InFlight {
+    finish: u64,
+    id: u64,
+    bank: usize,
+    is_write: bool,
+    arrival: u64,
+}
+
+impl PartialEq for InFlight {
+    fn eq(&self, other: &Self) -> bool {
+        self.finish == other.finish && self.id == other.id
+    }
+}
+impl Eq for InFlight {}
+impl PartialOrd for InFlight {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for InFlight {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.finish, self.id).cmp(&(other.finish, other.id))
+    }
+}
+
+/// One DRAM channel with FR-FCFS scheduling and an open-page policy.
+///
+/// Drive it with [`DramChannel::try_enqueue`] and advance time with
+/// [`DramChannel::tick`] once per DRAM cycle; completions come back with
+/// the caller's request tokens.
+///
+/// # Examples
+///
+/// ```
+/// use valley_dram::{DramChannel, DramConfig, DramRequest};
+///
+/// let mut ch = DramChannel::new(DramConfig::gddr5());
+/// ch.try_enqueue(DramRequest { id: 1, bank: 0, row: 7, is_write: false, arrival: 0 });
+/// let mut done = Vec::new();
+/// for cycle in 0..200 {
+///     done.extend(ch.tick(cycle));
+/// }
+/// assert_eq!(done.len(), 1);
+/// assert_eq!(done[0].id, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DramChannel {
+    cfg: DramConfig,
+    banks: Vec<Bank>,
+    queue: VecDeque<DramRequest>,
+    inflight: BinaryHeap<Reverse<InFlight>>,
+    /// Earliest cycle the next ACT may issue (tRRD).
+    next_act_at: u64,
+    /// Cycle at which the shared data bus becomes free.
+    bus_free_at: u64,
+    stats: DramStats,
+}
+
+impl DramChannel {
+    /// Creates an idle channel.
+    pub fn new(cfg: DramConfig) -> Self {
+        DramChannel {
+            banks: vec![Bank::default(); cfg.banks],
+            queue: VecDeque::with_capacity(cfg.queue_capacity),
+            inflight: BinaryHeap::new(),
+            next_act_at: 0,
+            bus_free_at: 0,
+            stats: DramStats::default(),
+            cfg,
+        }
+    }
+
+    /// The channel configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Attempts to append a request to the scheduling queue; returns
+    /// `false` (back-pressure) when the queue is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request's bank index is out of range.
+    pub fn try_enqueue(&mut self, req: DramRequest) -> bool {
+        assert!(req.bank < self.cfg.banks, "bank index out of range");
+        if self.queue.len() >= self.cfg.queue_capacity {
+            return false;
+        }
+        self.queue.push_back(req);
+        true
+    }
+
+    /// Number of queued (not yet scheduled) requests.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether any request is queued or in flight.
+    pub fn is_busy(&self) -> bool {
+        !self.queue.is_empty() || !self.inflight.is_empty()
+    }
+
+    /// Total outstanding requests (queued + in flight).
+    pub fn outstanding(&self) -> usize {
+        self.queue.len() + self.inflight.len()
+    }
+
+    /// Number of distinct banks with at least one outstanding request —
+    /// the paper's per-channel bank-level parallelism sample (Figure 14c).
+    pub fn busy_banks(&self) -> usize {
+        let mut mask = 0u64;
+        for r in &self.queue {
+            mask |= 1 << r.bank;
+        }
+        for f in &self.inflight {
+            mask |= 1 << f.0.bank;
+        }
+        mask.count_ones() as usize
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// Advances the channel to DRAM cycle `cycle`: retires finished
+    /// transactions and schedules at most one new column access (FR-FCFS:
+    /// oldest row-hit first, otherwise oldest).
+    pub fn tick(&mut self, cycle: u64) -> Vec<DramCompletion> {
+        self.stats.total_cycles += 1;
+        if self.is_busy() {
+            self.stats.busy_cycles += 1;
+        }
+        if self.bus_free_at > cycle {
+            self.stats.data_bus_cycles += 1;
+        }
+
+        let mut done = Vec::new();
+        while let Some(Reverse(f)) = self.inflight.peek() {
+            if f.finish > cycle {
+                break;
+            }
+            let Reverse(f) = self.inflight.pop().expect("peeked entry exists");
+            self.stats.total_latency += f.finish.saturating_sub(f.arrival);
+            done.push(DramCompletion {
+                id: f.id,
+                finish: f.finish,
+                is_write: f.is_write,
+            });
+        }
+
+        if let Some(idx) = self.pick_fr_fcfs(cycle) {
+            let req = self.queue.remove(idx).expect("picked index is valid");
+            self.issue(req, cycle);
+        }
+        done
+    }
+
+    /// Request arbitration. FR-FCFS: among requests whose bank can accept
+    /// a command this cycle, prefer the oldest row-buffer hit, then the
+    /// oldest request overall. FCFS: strictly the oldest ready request.
+    fn pick_fr_fcfs(&self, cycle: u64) -> Option<usize> {
+        let row_hit_first = self.cfg.policy == crate::config::SchedulingPolicy::FrFcfs;
+        let mut oldest_ready: Option<usize> = None;
+        for (i, r) in self.queue.iter().enumerate() {
+            let bank = &self.banks[r.bank];
+            if bank.ready_at > cycle {
+                continue;
+            }
+            if row_hit_first && bank.open_row == Some(r.row) {
+                return Some(i); // first (oldest) row hit wins
+            }
+            if oldest_ready.is_none() {
+                oldest_ready = Some(i);
+                if !row_hit_first {
+                    return oldest_ready;
+                }
+            }
+        }
+        oldest_ready
+    }
+
+    /// Commits the command sequence for `req` starting no earlier than
+    /// `cycle`, updating bank, bus and statistics state.
+    fn issue(&mut self, req: DramRequest, cycle: u64) {
+        let t = &self.cfg.timing;
+        let bank = &mut self.banks[req.bank];
+        let outcome = match bank.open_row {
+            Some(r) if r == req.row => RowBufferOutcome::Hit,
+            Some(_) => RowBufferOutcome::Conflict,
+            None => RowBufferOutcome::Empty,
+        };
+
+        // Column-command time, honoring per-outcome command chains.
+        let mut col_at = match outcome {
+            RowBufferOutcome::Hit => cycle.max(bank.ready_at),
+            RowBufferOutcome::Empty => {
+                let act_at = cycle.max(bank.ready_at).max(self.next_act_at);
+                bank.act_at = act_at;
+                self.next_act_at = act_at + t.trrd;
+                self.stats.activates += 1;
+                act_at + t.trcd
+            }
+            RowBufferOutcome::Conflict => {
+                // PRE must respect tRAS from the prior ACT.
+                let pre_at = cycle.max(bank.ready_at).max(bank.act_at + t.tras);
+                let act_at = (pre_at + t.trp).max(self.next_act_at);
+                bank.act_at = act_at;
+                self.next_act_at = act_at + t.trrd;
+                self.stats.precharges += 1;
+                self.stats.activates += 1;
+                act_at + t.trcd
+            }
+        };
+
+        // The data burst must find the shared bus free.
+        if col_at + t.cl < self.bus_free_at {
+            col_at = self.bus_free_at - t.cl;
+        }
+        let data_start = col_at + t.cl;
+        let data_end = data_start + t.tburst;
+        self.bus_free_at = data_end;
+
+        bank.open_row = Some(req.row);
+        bank.ready_at = col_at + t.tccd;
+
+        match outcome {
+            RowBufferOutcome::Hit => self.stats.row_hits += 1,
+            RowBufferOutcome::Empty => self.stats.row_empties += 1,
+            RowBufferOutcome::Conflict => self.stats.row_conflicts += 1,
+        }
+        if req.is_write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+
+        self.inflight.push(Reverse(InFlight {
+            finish: data_end,
+            id: req.id,
+            bank: req.bank,
+            is_write: req.is_write,
+            arrival: req.arrival,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chan() -> DramChannel {
+        DramChannel::new(DramConfig::gddr5())
+    }
+
+    fn run(ch: &mut DramChannel, from: u64, to: u64) -> Vec<DramCompletion> {
+        (from..to).flat_map(|c| ch.tick(c)).collect()
+    }
+
+    fn req(id: u64, bank: usize, row: usize) -> DramRequest {
+        DramRequest {
+            id,
+            bank,
+            row,
+            is_write: false,
+            arrival: 0,
+        }
+    }
+
+    #[test]
+    fn single_read_latency_is_act_rcd_cl_burst() {
+        let mut ch = chan();
+        assert!(ch.try_enqueue(req(1, 0, 5)));
+        let done = run(&mut ch, 0, 100);
+        assert_eq!(done.len(), 1);
+        // Issued at cycle 0: ACT@0, col@12, data 24..28.
+        assert_eq!(done[0].finish, 28);
+        assert_eq!(ch.stats().activates, 1);
+        assert_eq!(ch.stats().row_empties, 1);
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_conflict() {
+        // Same bank, same row twice vs same bank, two rows.
+        let mut hit = chan();
+        hit.try_enqueue(req(1, 0, 5));
+        hit.try_enqueue(req(2, 0, 5));
+        let hit_done = run(&mut hit, 0, 300);
+        let mut conflict = chan();
+        conflict.try_enqueue(req(1, 0, 5));
+        conflict.try_enqueue(req(2, 0, 6));
+        let conf_done = run(&mut conflict, 0, 300);
+        assert!(hit_done[1].finish < conf_done[1].finish);
+        assert_eq!(hit.stats().row_hits, 1);
+        assert_eq!(conflict.stats().row_conflicts, 1);
+        assert_eq!(conflict.stats().precharges, 1);
+    }
+
+    #[test]
+    fn conflict_respects_tras() {
+        let mut ch = chan();
+        ch.try_enqueue(req(1, 0, 1));
+        ch.try_enqueue(req(2, 0, 2));
+        let done = run(&mut ch, 0, 300);
+        // First: ACT@0..data@28. Second: PRE no earlier than ACT+tRAS=28,
+        // ACT@40, col@52, data 64..68.
+        assert_eq!(done[1].finish, 68);
+    }
+
+    #[test]
+    fn banks_overlap_but_bus_serializes() {
+        let mut ch = chan();
+        for b in 0..4 {
+            ch.try_enqueue(req(b as u64, b, 0));
+        }
+        let done = run(&mut ch, 0, 300);
+        assert_eq!(done.len(), 4);
+        // Bank-parallel ACTs (tRRD-spaced) overlap row activation, but each
+        // data burst needs 4 exclusive bus cycles; bursts must not overlap.
+        let mut finishes: Vec<u64> = done.iter().map(|d| d.finish).collect();
+        finishes.sort_unstable();
+        for w in finishes.windows(2) {
+            assert!(w[1] >= w[0] + 4, "bursts overlap: {finishes:?}");
+        }
+        // And the whole batch is much faster than 4 serialized misses.
+        assert!(finishes[3] < 4 * 28);
+    }
+
+    #[test]
+    fn fr_fcfs_prefers_row_hit_over_older_conflict() {
+        let mut ch = chan();
+        // Open row 1 in bank 0.
+        ch.try_enqueue(req(1, 0, 1));
+        let _ = run(&mut ch, 0, 40);
+        // Now queue: old request to a different row, young request hitting
+        // the open row. FR-FCFS must serve the hit first.
+        ch.try_enqueue(DramRequest {
+            id: 2,
+            bank: 0,
+            row: 9,
+            is_write: false,
+            arrival: 40,
+        });
+        ch.try_enqueue(DramRequest {
+            id: 3,
+            bank: 0,
+            row: 1,
+            is_write: false,
+            arrival: 41,
+        });
+        let done = run(&mut ch, 40, 400);
+        let order: Vec<u64> = done.iter().map(|d| d.id).collect();
+        assert_eq!(order, vec![3, 2]);
+    }
+
+    #[test]
+    fn queue_backpressure() {
+        let mut ch = chan();
+        let cap = ch.config().queue_capacity;
+        for i in 0..cap {
+            assert!(ch.try_enqueue(req(i as u64, 0, 0)));
+        }
+        assert!(!ch.try_enqueue(req(999, 0, 0)));
+        assert_eq!(ch.queue_len(), cap);
+    }
+
+    #[test]
+    fn busy_banks_counts_distinct() {
+        let mut ch = chan();
+        ch.try_enqueue(req(1, 3, 0));
+        ch.try_enqueue(req(2, 3, 1));
+        ch.try_enqueue(req(3, 7, 0));
+        assert_eq!(ch.busy_banks(), 2);
+        assert_eq!(ch.outstanding(), 3);
+        assert!(ch.is_busy());
+    }
+
+    #[test]
+    fn writes_counted_separately() {
+        let mut ch = chan();
+        ch.try_enqueue(DramRequest {
+            id: 1,
+            bank: 0,
+            row: 0,
+            is_write: true,
+            arrival: 0,
+        });
+        let done = run(&mut ch, 0, 100);
+        assert!(done[0].is_write);
+        assert_eq!(ch.stats().writes, 1);
+        assert_eq!(ch.stats().reads, 0);
+    }
+
+    #[test]
+    fn latency_accounting_uses_arrival() {
+        let mut ch = chan();
+        ch.try_enqueue(req(1, 0, 0));
+        let _ = run(&mut ch, 0, 100);
+        assert_eq!(ch.stats().total_latency, 28);
+        assert!((ch.stats().mean_latency() - 28.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_channel_reports_not_busy() {
+        let mut ch = chan();
+        let _ = run(&mut ch, 0, 10);
+        assert!(!ch.is_busy());
+        assert_eq!(ch.stats().busy_cycles, 0);
+        assert_eq!(ch.stats().total_cycles, 10);
+    }
+}

@@ -1,0 +1,24 @@
+//! # valley-dram
+//!
+//! A cycle-level DRAM model for the Valley GPU simulator: GDDR5 channels
+//! with FR-FCFS scheduling, open-page row-buffer policy and a detailed
+//! command-timing state machine (Table I: Hynix GDDR5, 924 MHz, 4
+//! channels, 16 banks/channel, 12-12-12 CL-tRCD-tRP), plus the 3D-stacked
+//! (stack/vault) configuration of Section VI-D.
+//!
+//! The model's command counters (activates, reads, writes, busy cycles)
+//! feed the Micron-style power model in `valley-power`, and its row-buffer
+//! and bank-occupancy statistics reproduce Figures 14c and 15.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod channel;
+mod config;
+mod stats;
+mod system;
+
+pub use channel::{DramChannel, DramCompletion, DramRequest, RowBufferOutcome};
+pub use config::{DramConfig, DramTiming, SchedulingPolicy};
+pub use stats::DramStats;
+pub use system::DramSystem;

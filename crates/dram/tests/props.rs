@@ -1,0 +1,118 @@
+//! Property-based tests for the DRAM channel: conservation, bus
+//! exclusivity and timing monotonicity under arbitrary request streams.
+
+use proptest::prelude::*;
+use valley_dram::{DramChannel, DramCompletion, DramConfig, DramRequest};
+
+fn run_to_completion(ch: &mut DramChannel, n: usize) -> Vec<DramCompletion> {
+    let mut done = Vec::new();
+    let mut cycle = 0u64;
+    while done.len() < n {
+        done.extend(ch.tick(cycle));
+        cycle += 1;
+        assert!(cycle < 1_000_000, "DRAM made no progress");
+    }
+    done
+}
+
+proptest! {
+    /// Every enqueued request completes exactly once, with its own id.
+    #[test]
+    fn conservation(reqs in proptest::collection::vec((0usize..16, 0usize..64, any::<bool>()), 1..60)) {
+        let mut ch = DramChannel::new(DramConfig::gddr5());
+        let mut accepted = Vec::new();
+        for (i, &(bank, row, w)) in reqs.iter().enumerate() {
+            if ch.try_enqueue(DramRequest {
+                id: i as u64,
+                bank,
+                row,
+                is_write: w,
+                arrival: 0,
+            }) {
+                accepted.push(i as u64);
+            }
+        }
+        let done = run_to_completion(&mut ch, accepted.len());
+        let mut ids: Vec<u64> = done.iter().map(|d| d.id).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, accepted);
+        // Counters agree.
+        let s = ch.stats();
+        prop_assert_eq!(s.accesses() as usize, done.len());
+        prop_assert_eq!(
+            s.row_hits + s.row_empties + s.row_conflicts,
+            s.accesses()
+        );
+    }
+
+    /// Data bursts never overlap on the shared bus: completions are at
+    /// least tburst cycles apart.
+    #[test]
+    fn bus_exclusivity(reqs in proptest::collection::vec((0usize..16, 0usize..8), 2..40)) {
+        let mut ch = DramChannel::new(DramConfig::gddr5());
+        let mut n = 0;
+        for (i, &(bank, row)) in reqs.iter().enumerate() {
+            if ch.try_enqueue(DramRequest {
+                id: i as u64,
+                bank,
+                row,
+                is_write: false,
+                arrival: 0,
+            }) {
+                n += 1;
+            }
+        }
+        let done = run_to_completion(&mut ch, n);
+        let mut finishes: Vec<u64> = done.iter().map(|d| d.finish).collect();
+        finishes.sort_unstable();
+        for w in finishes.windows(2) {
+            prop_assert!(w[1] - w[0] >= 4, "bursts overlap: {:?}", w);
+        }
+    }
+
+    /// Adding requests never makes previously queued ones finish earlier
+    /// than the uncontended single-request latency.
+    #[test]
+    fn latency_lower_bound(reqs in proptest::collection::vec((0usize..16, 0usize..8), 1..30)) {
+        let mut ch = DramChannel::new(DramConfig::gddr5());
+        let mut n = 0;
+        for (i, &(bank, row)) in reqs.iter().enumerate() {
+            if ch.try_enqueue(DramRequest {
+                id: i as u64,
+                bank,
+                row,
+                is_write: false,
+                arrival: 0,
+            }) {
+                n += 1;
+            }
+        }
+        let done = run_to_completion(&mut ch, n);
+        // ACT(12) + CL(12) + burst(4) = 28 cycles minimum for the first.
+        for d in &done {
+            prop_assert!(d.finish >= 16, "implausibly fast: {}", d.finish);
+        }
+    }
+
+    /// Row-buffer hit rate is a proper fraction and single-row streams
+    /// to one bank approach a perfect hit rate.
+    #[test]
+    fn hit_rate_bounds(n in 2usize..40) {
+        let mut ch = DramChannel::new(DramConfig::gddr5());
+        for i in 0..n {
+            ch.try_enqueue(DramRequest {
+                id: i as u64,
+                bank: 0,
+                row: 3,
+                is_write: false,
+                arrival: 0,
+            });
+        }
+        let _ = run_to_completion(&mut ch, n.min(64));
+        let s = ch.stats();
+        let hr = s.row_buffer_hit_rate();
+        prop_assert!((0.0..=1.0).contains(&hr));
+        prop_assert_eq!(s.activates, 1, "single-row stream needs one ACT");
+        prop_assert!(hr > 0.9 || n < 12);
+    }
+}

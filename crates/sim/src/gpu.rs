@@ -1,0 +1,364 @@
+//! The full simulated GPU: SMs, the TB scheduler, request/reply crossbars,
+//! LLC slices and the DRAM system, advanced cycle by cycle across their
+//! three clock domains (core 1.4 GHz, NoC 700 MHz, DRAM 924 MHz).
+
+use crate::config::GpuConfig;
+use crate::llc::LlcSlice;
+use crate::metrics::{ParallelismIntegrator, SimReport};
+use crate::sm::{Sm, SmOutbound};
+use crate::trace::{KernelSource, WorkloadSource};
+use crate::txn::TxnTable;
+use valley_cache::CacheStats;
+use valley_core::{AddressMapper, DramAddressMap, PhysAddr};
+use valley_dram::DramSystem;
+use valley_noc::{Crossbar, Packet};
+
+/// How often (in core cycles) the parallelism metrics are sampled.
+const METRIC_SAMPLE_INTERVAL: u64 = 4;
+
+/// The complete simulated GPU.
+///
+/// Build one with [`GpuSim::new`], then call [`GpuSim::run`] to execute the
+/// workload to completion and collect a [`SimReport`].
+///
+/// # Examples
+///
+/// See `valley-workloads` and the `quickstart` example; a minimal run:
+///
+/// ```no_run
+/// use valley_core::{AddressMapper, GddrMap, SchemeKind};
+/// use valley_sim::{GpuConfig, GpuSim};
+/// # fn workload() -> Box<dyn valley_sim::WorkloadSource> { unimplemented!() }
+///
+/// let map = GddrMap::baseline();
+/// let mapper = AddressMapper::build(SchemeKind::Pae, &map, 1);
+/// let sim = GpuSim::new(GpuConfig::table1(), mapper, map, workload());
+/// let report = sim.run();
+/// println!("{} cycles", report.cycles);
+/// ```
+pub struct GpuSim {
+    cfg: GpuConfig,
+    mapper: AddressMapper,
+    /// A second copy of the address map for slice routing (the other copy
+    /// lives inside the DRAM system for coordinate decoding).
+    map: Box<dyn DramAddressMap + Send>,
+    dram: DramSystem,
+    req_net: Crossbar,
+    reply_net: Crossbar,
+    sms: Vec<Sm>,
+    slices: Vec<LlcSlice>,
+    txns: TxnTable,
+    workload: Box<dyn WorkloadSource>,
+}
+
+/// Kernel-serial TB scheduler state.
+struct TbScheduler {
+    kernel_idx: usize,
+    num_kernels: usize,
+    kernel: Option<Box<dyn KernelSource>>,
+    next_tb: u64,
+    total_tbs: u64,
+    retired_base: u64,
+    rr_sm: usize,
+    age_counter: u64,
+}
+
+impl TbScheduler {
+    fn new(num_kernels: usize) -> Self {
+        TbScheduler {
+            kernel_idx: 0,
+            num_kernels,
+            kernel: None,
+            next_tb: 0,
+            total_tbs: 0,
+            retired_base: 0,
+            rr_sm: 0,
+            age_counter: 0,
+        }
+    }
+
+    fn finished(&self) -> bool {
+        self.kernel.is_none() && self.kernel_idx >= self.num_kernels
+    }
+}
+
+impl GpuSim {
+    /// Creates a simulator for `workload` under the mapping scheme
+    /// `mapper`, decoding DRAM coordinates through `map`.
+    pub fn new<M>(
+        cfg: GpuConfig,
+        mapper: AddressMapper,
+        map: M,
+        workload: Box<dyn WorkloadSource>,
+    ) -> Self
+    where
+        M: DramAddressMap + Clone + Send + 'static,
+    {
+        let dram = DramSystem::new(Box::new(map.clone()), cfg.dram);
+        let sms = (0..cfg.num_sms).map(|i| Sm::new(i as u32, &cfg)).collect();
+        let slices = (0..cfg.llc_slices)
+            .map(|i| LlcSlice::new(i as u16, &cfg))
+            .collect();
+        GpuSim {
+            req_net: Crossbar::new(cfg.num_sms, cfg.llc_slices, cfg.noc_router_latency),
+            reply_net: Crossbar::new(cfg.llc_slices, cfg.num_sms, cfg.noc_router_latency),
+            sms,
+            slices,
+            txns: TxnTable::new(),
+            workload,
+            mapper,
+            map: Box::new(map),
+            dram,
+            cfg,
+        }
+    }
+
+    /// The LLC slice serving a mapped address: controller-interleaved,
+    /// with the low bank bit distinguishing the two slices per controller.
+    fn slice_of(map: &dyn DramAddressMap, llc_slices: usize, addr: PhysAddr) -> u16 {
+        let nc = map.num_controllers();
+        if nc >= llc_slices {
+            (map.controller_of(addr) % llc_slices) as u16
+        } else {
+            let per = llc_slices / nc;
+            (map.controller_of(addr) * per + (map.bank_of(addr) % per)) as u16
+        }
+    }
+
+    /// Runs the workload to completion (or to the cycle safety limit) and
+    /// returns the collected metrics.
+    pub fn run(mut self) -> SimReport {
+        let mut cycle: u64 = 0;
+        let mut noc_acc = 0.0f64;
+        let mut dram_acc = 0.0f64;
+        let mut noc_cycle: u64 = 0;
+        let mut dram_cycle: u64 = 0;
+        let noc_per_core = self.cfg.noc_per_core();
+        let dram_per_core = self.cfg.dram_per_core();
+
+        let mut sched = TbScheduler::new(self.workload.num_kernels());
+        let mut parallelism = ParallelismIntegrator::new();
+        let mut outbound: Vec<SmOutbound> = Vec::new();
+        let mut replies: Vec<u64> = Vec::new();
+        let mut truncated = false;
+
+        loop {
+            // ---- NoC clock domain ----
+            noc_acc += noc_per_core;
+            while noc_acc >= 1.0 {
+                noc_acc -= 1.0;
+                for d in self.req_net.tick(noc_cycle) {
+                    self.slices[d.dst].deliver(d.payload);
+                }
+                let delivered: Vec<_> = self.reply_net.tick(noc_cycle);
+                for d in delivered {
+                    self.sms[d.dst].on_reply(d.payload, &self.txns, cycle);
+                }
+                noc_cycle += 1;
+            }
+
+            // ---- DRAM clock domain ----
+            dram_acc += dram_per_core;
+            while dram_acc >= 1.0 {
+                dram_acc -= 1.0;
+                let completions = self.dram.tick(dram_cycle);
+                for c in completions {
+                    let t = self.txns.get(c.id);
+                    if !t.is_store {
+                        let slice = t.slice as usize;
+                        self.slices[slice].on_dram_completion(
+                            c.id,
+                            &mut self.txns,
+                            &self.mapper,
+                            &mut replies,
+                        );
+                    }
+                }
+                dram_cycle += 1;
+            }
+
+            // ---- LLC slices ----
+            for s in &mut self.slices {
+                s.tick(
+                    cycle,
+                    dram_cycle,
+                    &self.cfg,
+                    &mut self.dram,
+                    &mut self.txns,
+                    &self.mapper,
+                    &mut replies,
+                );
+            }
+            for txn in replies.drain(..) {
+                let t = self.txns.get(txn);
+                self.reply_net.inject(Packet {
+                    payload: txn,
+                    src: t.slice as usize,
+                    dst: t.sm as usize,
+                    flits: valley_noc::DATA_FLITS,
+                    injected_at: noc_cycle,
+                });
+            }
+
+            // ---- SMs ----
+            {
+                let map = self.map.as_ref();
+                let llc_slices = self.cfg.llc_slices;
+                let slicer = move |addr: PhysAddr| Self::slice_of(map, llc_slices, addr);
+                for sm in &mut self.sms {
+                    sm.tick(cycle, &self.cfg, &self.mapper, &mut self.txns, &slicer, &mut outbound);
+                }
+            }
+            for o in outbound.drain(..) {
+                let t = self.txns.get(o.txn);
+                self.req_net.inject(Packet {
+                    payload: o.txn,
+                    src: t.sm as usize,
+                    dst: t.slice as usize,
+                    flits: o.flits,
+                    injected_at: noc_cycle,
+                });
+            }
+
+            // ---- TB scheduler ----
+            self.schedule_tbs(&mut sched);
+
+            // ---- Metrics ----
+            if cycle % METRIC_SAMPLE_INTERVAL == 0 {
+                let busy_slices = self.slices.iter().filter(|s| !s.is_idle()).count();
+                let busy_channels = self.dram.busy_channels();
+                let banks = self.dram.busy_banks_per_busy_channel();
+                parallelism.sample(busy_slices, busy_channels, &banks);
+            }
+
+            cycle += 1;
+
+            // ---- Termination ----
+            if sched.finished() && self.is_drained() {
+                break;
+            }
+            if cycle >= self.cfg.max_cycles {
+                truncated = true;
+                break;
+            }
+        }
+
+        self.report(cycle, dram_cycle, truncated, &parallelism, &sched)
+    }
+
+    fn is_drained(&self) -> bool {
+        self.sms.iter().all(Sm::is_idle)
+            && self.slices.iter().all(LlcSlice::is_idle)
+            && !self.dram.is_busy()
+            && !self.req_net.is_busy()
+            && !self.reply_net.is_busy()
+    }
+
+    fn schedule_tbs(&mut self, sched: &mut TbScheduler) {
+        // Load the next kernel once the previous one fully retired.
+        if sched.kernel.is_none() {
+            if sched.kernel_idx >= sched.num_kernels {
+                return;
+            }
+            let k = self.workload.kernel(sched.kernel_idx);
+            sched.total_tbs = k.num_thread_blocks();
+            sched.next_tb = 0;
+            sched.retired_base = self.sms.iter().map(Sm::retired_tbs).sum();
+            sched.kernel = Some(k);
+        }
+        let kernel = sched.kernel.as_deref().expect("kernel loaded above");
+        let wpb = kernel.warps_per_block();
+        let tbs_limit = self.cfg.tbs_per_sm(wpb);
+
+        // Assign TBs round-robin while any SM has room.
+        'assign: while sched.next_tb < sched.total_tbs {
+            let n = self.sms.len();
+            for probe in 0..n {
+                let sm = (sched.rr_sm + probe) % n;
+                if self.sms[sm].can_accept_tb(wpb, tbs_limit) {
+                    self.sms[sm].assign_tb(kernel, sched.next_tb, sched.age_counter);
+                    sched.age_counter += 1;
+                    sched.next_tb += 1;
+                    sched.rr_sm = (sm + 1) % n;
+                    continue 'assign;
+                }
+            }
+            break;
+        }
+
+        // Advance to the next kernel when every TB retired.
+        let retired: u64 = self.sms.iter().map(Sm::retired_tbs).sum();
+        if sched.next_tb == sched.total_tbs && retired - sched.retired_base == sched.total_tbs {
+            sched.kernel = None;
+            sched.kernel_idx += 1;
+        }
+    }
+
+    fn report(
+        &self,
+        cycles: u64,
+        dram_cycles: u64,
+        truncated: bool,
+        parallelism: &ParallelismIntegrator,
+        sched: &TbScheduler,
+    ) -> SimReport {
+        let mut l1 = CacheStats::default();
+        let mut warp_instructions = 0;
+        let mut busy = 0u64;
+        for sm in &self.sms {
+            let s = sm.l1_stats();
+            l1.hits += s.hits;
+            l1.misses += s.misses;
+            l1.evictions += s.evictions;
+            warp_instructions += sm.warp_instructions();
+            busy += sm.busy_cycles();
+        }
+        let mut llc = CacheStats::default();
+        for s in &self.slices {
+            let st = s.stats();
+            llc.hits += st.hits;
+            llc.misses += st.misses;
+            llc.evictions += st.evictions;
+        }
+        let req = self.req_net.stats();
+        let rep = self.reply_net.stats();
+        let delivered = req.delivered + rep.delivered;
+        let noc_to_core = self.cfg.core_clock_ghz / self.cfg.noc_clock_ghz;
+        let noc_latency = if delivered == 0 {
+            0.0
+        } else {
+            (req.total_latency + rep.total_latency) as f64 / delivered as f64 * noc_to_core
+        };
+        SimReport {
+            benchmark: self.workload.name(),
+            scheme: self.mapper.kind().label().to_string(),
+            cycles,
+            truncated,
+            warp_instructions,
+            thread_instructions: warp_instructions * self.cfg.warp_size as u64,
+            memory_transactions: self.txns.len(),
+            l1,
+            llc,
+            noc_latency,
+            llc_parallelism: parallelism.llc_parallelism(),
+            channel_parallelism: parallelism.channel_parallelism(),
+            bank_parallelism: parallelism.bank_parallelism(),
+            dram: self.dram.total_stats(),
+            kernels: sched.kernel_idx,
+            dram_cycles,
+            dram_channels: self.dram.num_channels(),
+            core_clock_ghz: self.cfg.core_clock_ghz,
+            dram_clock_ghz: self.dram_clock_ghz(),
+            num_sms: self.cfg.num_sms,
+            sm_busy_fraction: if cycles == 0 {
+                0.0
+            } else {
+                busy as f64 / (cycles * self.sms.len() as u64) as f64
+            },
+        }
+    }
+
+    fn dram_clock_ghz(&self) -> f64 {
+        self.cfg.dram.clock_ghz
+    }
+}

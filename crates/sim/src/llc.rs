@@ -1,0 +1,175 @@
+//! An LLC slice: tag array, MSHRs and the DRAM hand-off.
+//!
+//! The LLC is partitioned into 8 slices across the 4 memory controllers
+//! (Table I); the slice index is derived from the *mapped* address, so
+//! address mapping directly controls LLC-level parallelism (Figure 14a).
+//!
+//! Two write policies are supported (see
+//! [`LlcWritePolicy`](crate::LlcWritePolicy)): write-through/no-allocate
+//! (default) and write-back/write-validate, whose dirty evictions
+//! generate their own DRAM writebacks.
+
+use crate::config::{GpuConfig, LlcWritePolicy};
+use crate::txn::{TxnTable, NO_WARP};
+use std::collections::VecDeque;
+use valley_core::{AddressMapper, PhysAddr};
+use valley_cache::{CacheStats, MshrAllocation, MshrFile, SetAssocCache};
+use valley_dram::DramSystem;
+
+/// One LLC slice (64 KB, 8-way in the baseline; 120-cycle latency).
+pub(crate) struct LlcSlice {
+    /// This slice's index (needed to tag self-generated writeback txns).
+    id: u16,
+    cache: SetAssocCache,
+    mshr: MshrFile,
+    /// Transactions delivered by the NoC awaiting tag access.
+    input: VecDeque<u64>,
+    /// Hits in flight: (ready cycle, txn).
+    hits: VecDeque<(u64, u64)>,
+    /// Transactions waiting for a free DRAM queue slot.
+    dram_retry: VecDeque<u64>,
+}
+
+impl LlcSlice {
+    pub(crate) fn new(id: u16, cfg: &GpuConfig) -> Self {
+        LlcSlice {
+            id,
+            cache: SetAssocCache::new(cfg.llc_slice),
+            mshr: MshrFile::new(cfg.llc_mshrs, cfg.llc_mshr_merges),
+            input: VecDeque::new(),
+            hits: VecDeque::new(),
+            dram_retry: VecDeque::new(),
+        }
+    }
+
+    /// Accepts a transaction delivered by the request NoC.
+    pub(crate) fn deliver(&mut self, txn: u64) {
+        self.input.push_back(txn);
+    }
+
+    /// Outstanding requests in this slice (the Figure 14a busy criterion).
+    pub(crate) fn outstanding(&self) -> usize {
+        self.input.len() + self.hits.len() + self.dram_retry.len() + self.mshr.len()
+    }
+
+    pub(crate) fn is_idle(&self) -> bool {
+        self.outstanding() == 0
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Creates a DRAM writeback transaction for a dirty victim line.
+    fn emit_writeback(&mut self, victim: u64, txns: &mut TxnTable, mapper: &AddressMapper) {
+        let mapped = mapper.map(PhysAddr::new(victim));
+        let wb = txns.alloc(0, NO_WARP, true, victim, mapped, self.id);
+        self.dram_retry.push_back(wb);
+    }
+
+    /// A DRAM read completed: fill the line and emit replies for every
+    /// merged waiter into `replies`. A dirty victim (write-back policy)
+    /// becomes a DRAM writeback.
+    pub(crate) fn on_dram_completion(
+        &mut self,
+        txn: u64,
+        txns: &mut TxnTable,
+        mapper: &AddressMapper,
+        replies: &mut Vec<u64>,
+    ) {
+        let line = txns.get(txn).line;
+        if let Some(ev) = self.cache.fill_with(line, false) {
+            if ev.dirty {
+                self.emit_writeback(ev.line, txns, mapper);
+            }
+        }
+        if let Some(waiters) = self.mshr.complete(line) {
+            replies.extend(waiters);
+        }
+    }
+
+    /// One core cycle: complete hits, retry DRAM hand-offs, process one
+    /// new transaction. Load hits produce replies; misses go to DRAM.
+    pub(crate) fn tick(
+        &mut self,
+        cycle: u64,
+        dram_now: u64,
+        cfg: &GpuConfig,
+        dram: &mut DramSystem,
+        txns: &mut TxnTable,
+        mapper: &AddressMapper,
+        replies: &mut Vec<u64>,
+    ) {
+        // 1. Hits whose latency elapsed.
+        while let Some(&(ready, txn)) = self.hits.front() {
+            if ready > cycle {
+                break;
+            }
+            self.hits.pop_front();
+            replies.push(txn);
+        }
+
+        // 2. Drain the DRAM retry queue while the channel accepts.
+        while let Some(&txn) = self.dram_retry.front() {
+            let t = txns.get(txn);
+            if dram.try_enqueue(t.mapped, txn, t.is_store, dram_now) {
+                self.dram_retry.pop_front();
+            } else {
+                break;
+            }
+        }
+
+        // 3. Tag access: one transaction per cycle.
+        let Some(&txn) = self.input.front() else {
+            return;
+        };
+        let t = *txns.get(txn);
+        if self.cache.probe(t.line) {
+            self.input.pop_front();
+            if t.is_store {
+                match cfg.llc_write_policy {
+                    LlcWritePolicy::WriteThrough => {
+                        // Update the line, forward the write.
+                        self.dram_retry.push_back(txn);
+                    }
+                    LlcWritePolicy::WriteBack => {
+                        self.cache.mark_dirty(t.line);
+                    }
+                }
+            } else {
+                self.hits.push_back((cycle + cfg.llc_latency, txn));
+            }
+            return;
+        }
+        if t.is_store {
+            self.input.pop_front();
+            match cfg.llc_write_policy {
+                LlcWritePolicy::WriteThrough => {
+                    // Write no-allocate: straight to DRAM.
+                    self.dram_retry.push_back(txn);
+                }
+                LlcWritePolicy::WriteBack => {
+                    // Write-validate allocation: install dirty, no fetch.
+                    if let Some(ev) = self.cache.fill_with(t.line, true) {
+                        if ev.dirty {
+                            self.emit_writeback(ev.line, txns, mapper);
+                        }
+                    }
+                }
+            }
+            return;
+        }
+        match self.mshr.allocate(t.line, txn) {
+            MshrAllocation::NewEntry => {
+                self.input.pop_front();
+                self.dram_retry.push_back(txn);
+            }
+            MshrAllocation::Merged => {
+                self.input.pop_front();
+            }
+            MshrAllocation::Stalled => {
+                // Head-of-line stall; retry next cycle.
+            }
+        }
+    }
+}

@@ -1,0 +1,384 @@
+//! A Streaming Multiprocessor: resident thread blocks, warps, the GTO warp
+//! scheduler (2 issue slots), the memory coalescer, and the per-SM L1 data
+//! cache with MSHRs.
+
+use crate::coalesce::coalesce;
+use crate::config::GpuConfig;
+use crate::trace::{Instruction, KernelSource, WarpProgram};
+use crate::txn::{TxnTable, NO_WARP};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use valley_cache::{CacheStats, MshrAllocation, MshrFile, SetAssocCache};
+use valley_core::{AddressMapper, PhysAddr};
+
+/// A NoC request emitted by an SM (to be injected by the GPU top level).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct SmOutbound {
+    /// Transaction token.
+    pub txn: u64,
+    /// Packet size in flits.
+    pub flits: u32,
+}
+
+struct TbState {
+    warps_left: u32,
+}
+
+struct Warp {
+    tb_slot: u32,
+    /// TB assignment time: GTO's "oldest" order (ties broken by slot).
+    age: u64,
+    program: Box<dyn WarpProgram>,
+    outstanding_loads: u32,
+    finished: bool,
+}
+
+/// Per-SM issue and memory-path state.
+pub(crate) struct Sm {
+    id: u32,
+    warps: Vec<Option<Warp>>,
+    free_warp_slots: Vec<u32>,
+    /// Warps able to issue, keyed by (age, slot) — GTO's oldest-first order.
+    ready: BTreeSet<(u64, u32)>,
+    /// Compute-stalled warps and their wake-up cycles.
+    wake: BinaryHeap<Reverse<(u64, u32)>>,
+    last_issued: Option<u32>,
+    /// Coalesced transactions awaiting the L1 (LSU queue; 1/cycle).
+    mem_queue: VecDeque<u64>,
+    l1: SetAssocCache,
+    mshr: MshrFile,
+    /// L1 hits in flight: (ready cycle, txn).
+    hit_queue: VecDeque<(u64, u64)>,
+    tb_slots: Vec<Option<TbState>>,
+    free_tb_slots: Vec<u32>,
+    resident_tbs: usize,
+    resident_warps: usize,
+    // Statistics.
+    warp_instructions: u64,
+    busy_cycles: u64,
+    retired_tbs: u64,
+}
+
+impl Sm {
+    pub(crate) fn new(id: u32, cfg: &GpuConfig) -> Self {
+        Sm {
+            id,
+            warps: (0..cfg.max_warps_per_sm).map(|_| None).collect(),
+            free_warp_slots: (0..cfg.max_warps_per_sm as u32).rev().collect(),
+            ready: BTreeSet::new(),
+            wake: BinaryHeap::new(),
+            last_issued: None,
+            mem_queue: VecDeque::new(),
+            l1: SetAssocCache::new(cfg.l1),
+            mshr: MshrFile::new(cfg.l1_mshrs, cfg.l1_mshr_merges),
+            hit_queue: VecDeque::new(),
+            tb_slots: (0..cfg.max_tbs_per_sm).map(|_| None).collect(),
+            free_tb_slots: (0..cfg.max_tbs_per_sm as u32).rev().collect(),
+            resident_tbs: 0,
+            resident_warps: 0,
+            warp_instructions: 0,
+            busy_cycles: 0,
+            retired_tbs: 0,
+        }
+    }
+
+    /// Whether this SM can accept a TB of `warps_per_block` warps, given
+    /// the per-kernel residency limit.
+    pub(crate) fn can_accept_tb(&self, warps_per_block: usize, tbs_limit: usize) -> bool {
+        self.resident_tbs < tbs_limit
+            && !self.free_tb_slots.is_empty()
+            && self.free_warp_slots.len() >= warps_per_block
+    }
+
+    /// Assigns TB `tb` of `kernel`, creating its warps with age `age`.
+    pub(crate) fn assign_tb(&mut self, kernel: &dyn KernelSource, tb: u64, age: u64) {
+        let wpb = kernel.warps_per_block();
+        let slot = self.free_tb_slots.pop().expect("caller checked capacity");
+        self.tb_slots[slot as usize] = Some(TbState {
+            warps_left: wpb as u32,
+        });
+        self.resident_tbs += 1;
+        for w in 0..wpb {
+            let ws = self.free_warp_slots.pop().expect("caller checked capacity");
+            self.warps[ws as usize] = Some(Warp {
+                tb_slot: slot,
+                age,
+                program: kernel.warp_program(tb, w),
+                outstanding_loads: 0,
+                finished: false,
+            });
+            self.ready.insert((age, ws));
+            self.resident_warps += 1;
+        }
+    }
+
+    /// TBs retired so far (monotone; the scheduler reads the total).
+    pub(crate) fn retired_tbs(&self) -> u64 {
+        self.retired_tbs
+    }
+
+    /// Whether the SM holds no warps and has no memory work in flight.
+    pub(crate) fn is_idle(&self) -> bool {
+        self.resident_warps == 0
+            && self.mem_queue.is_empty()
+            && self.hit_queue.is_empty()
+            && self.mshr.is_empty()
+    }
+
+    pub(crate) fn l1_stats(&self) -> CacheStats {
+        self.l1.stats()
+    }
+
+    pub(crate) fn warp_instructions(&self) -> u64 {
+        self.warp_instructions
+    }
+
+    pub(crate) fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Handles an LLC reply for `txn`: fills the L1 line and wakes every
+    /// merged waiter.
+    pub(crate) fn on_reply(&mut self, txn: u64, txns: &TxnTable, cycle: u64) {
+        let line = txns.get(txn).line;
+        self.l1.fill(line);
+        if let Some(waiters) = self.mshr.complete(line) {
+            for w in waiters {
+                self.complete_load(w, txns, cycle);
+            }
+        }
+    }
+
+    fn complete_load(&mut self, txn: u64, txns: &TxnTable, _cycle: u64) {
+        let warp_idx = txns.get(txn).warp;
+        debug_assert_ne!(warp_idx, NO_WARP, "stores never complete loads");
+        let Some(warp) = self.warps[warp_idx as usize].as_mut() else {
+            return;
+        };
+        debug_assert!(warp.outstanding_loads > 0);
+        warp.outstanding_loads -= 1;
+        if warp.outstanding_loads == 0 {
+            if warp.finished {
+                self.retire_warp(warp_idx);
+            } else {
+                let age = warp.age;
+                self.ready.insert((age, warp_idx));
+            }
+        }
+    }
+
+    fn retire_warp(&mut self, warp_idx: u32) {
+        let warp = self.warps[warp_idx as usize]
+            .take()
+            .expect("retiring a live warp");
+        self.free_warp_slots.push(warp_idx);
+        self.resident_warps -= 1;
+        let tb = warp.tb_slot;
+        let state = self.tb_slots[tb as usize]
+            .as_mut()
+            .expect("warp's TB is resident");
+        state.warps_left -= 1;
+        if state.warps_left == 0 {
+            self.tb_slots[tb as usize] = None;
+            self.free_tb_slots.push(tb);
+            self.resident_tbs -= 1;
+            self.retired_tbs += 1;
+        }
+    }
+
+    /// One core cycle: wake compute-stalled warps, finish L1 hits, run the
+    /// LSU, and issue up to `issue_width` instructions via GTO.
+    pub(crate) fn tick(
+        &mut self,
+        cycle: u64,
+        cfg: &GpuConfig,
+        mapper: &AddressMapper,
+        txns: &mut TxnTable,
+        slice_of: &dyn Fn(PhysAddr) -> u16,
+        outbound: &mut Vec<SmOutbound>,
+    ) {
+        if self.resident_warps > 0 {
+            self.busy_cycles += 1;
+        }
+
+        // Wake compute-stalled warps.
+        while let Some(&Reverse((when, w))) = self.wake.peek() {
+            if when > cycle {
+                break;
+            }
+            self.wake.pop();
+            if let Some(warp) = self.warps[w as usize].as_ref() {
+                debug_assert!(!warp.finished);
+                self.ready.insert((warp.age, w));
+            }
+        }
+
+        // L1 hit completions (FIFO: fixed latency).
+        while let Some(&(ready, txn)) = self.hit_queue.front() {
+            if ready > cycle {
+                break;
+            }
+            self.hit_queue.pop_front();
+            self.complete_load(txn, txns, cycle);
+        }
+
+        self.lsu_tick(cycle, cfg, mapper, txns, outbound);
+        self.issue_tick(cycle, cfg, mapper, txns, slice_of);
+    }
+
+    /// The load-store unit: one coalesced transaction per cycle through
+    /// the L1.
+    fn lsu_tick(
+        &mut self,
+        cycle: u64,
+        cfg: &GpuConfig,
+        mapper: &AddressMapper,
+        txns: &mut TxnTable,
+        outbound: &mut Vec<SmOutbound>,
+    ) {
+        let Some(&txn) = self.mem_queue.front() else {
+            return;
+        };
+        let info = txns.get(txn);
+        if info.is_store {
+            // Write-through, no-allocate: straight to the LLC, carrying data.
+            self.mem_queue.pop_front();
+            outbound.push(SmOutbound {
+                txn,
+                flits: valley_noc::DATA_FLITS,
+            });
+            return;
+        }
+        let line = info.line;
+        if self.l1.probe(line) {
+            self.mem_queue.pop_front();
+            let lat = cfg.l1_hit_latency + mapper.latency_cycles() as u64;
+            self.hit_queue.push_back((cycle + lat, txn));
+            return;
+        }
+        match self.mshr.allocate(line, txn) {
+            MshrAllocation::NewEntry => {
+                self.mem_queue.pop_front();
+                outbound.push(SmOutbound {
+                    txn,
+                    flits: valley_noc::REQUEST_FLITS,
+                });
+            }
+            MshrAllocation::Merged => {
+                self.mem_queue.pop_front();
+            }
+            MshrAllocation::Stalled => {
+                // Head-of-line: resource stall, retry next cycle.
+            }
+        }
+    }
+
+    /// Warp issue: pick by the configured policy (GTO or LRR), up to
+    /// `issue_width` distinct warps per cycle.
+    fn issue_tick(
+        &mut self,
+        cycle: u64,
+        cfg: &GpuConfig,
+        mapper: &AddressMapper,
+        txns: &mut TxnTable,
+        slice_of: &dyn Fn(PhysAddr) -> u16,
+    ) {
+        let mut issued: Vec<u32> = Vec::with_capacity(cfg.issue_width);
+        for _ in 0..cfg.issue_width {
+            let pick = match cfg.scheduler {
+                crate::config::WarpScheduler::Gto => self.pick_gto(&issued),
+                crate::config::WarpScheduler::Lrr => self.pick_lrr(&issued),
+            };
+            let Some(w) = pick else { break };
+            issued.push(w);
+            self.issue_one(w, cycle, cfg, mapper, txns, slice_of);
+        }
+    }
+
+    /// GTO: greedily stick with the last-issued warp, otherwise the
+    /// oldest ready warp.
+    fn pick_gto(&self, already: &[u32]) -> Option<u32> {
+        if let Some(last) = self.last_issued {
+            if !already.contains(&last) {
+                if let Some(warp) = self.warps[last as usize].as_ref() {
+                    if self.ready.contains(&(warp.age, last)) {
+                        return Some(last);
+                    }
+                }
+            }
+        }
+        self.ready
+            .iter()
+            .map(|&(_, w)| w)
+            .find(|w| !already.contains(w))
+    }
+
+    /// Loose round-robin: the ready warp with the smallest slot index
+    /// strictly greater than the last-issued slot, wrapping around.
+    fn pick_lrr(&self, already: &[u32]) -> Option<u32> {
+        let start = self.last_issued.map_or(0, |w| w + 1);
+        let mut slots: Vec<u32> = self.ready.iter().map(|&(_, w)| w).collect();
+        slots.sort_unstable();
+        slots
+            .iter()
+            .copied()
+            .find(|&w| w >= start && !already.contains(&w))
+            .or_else(|| slots.into_iter().find(|w| !already.contains(w)))
+    }
+
+    fn issue_one(
+        &mut self,
+        w: u32,
+        cycle: u64,
+        cfg: &GpuConfig,
+        mapper: &AddressMapper,
+        txns: &mut TxnTable,
+        slice_of: &dyn Fn(PhysAddr) -> u16,
+    ) {
+        let warp = self.warps[w as usize]
+            .as_mut()
+            .expect("ready warps are live");
+        let age = warp.age;
+        self.last_issued = Some(w);
+        match warp.program.next_instruction() {
+            None => {
+                warp.finished = true;
+                self.ready.remove(&(age, w));
+                if warp.outstanding_loads == 0 {
+                    self.retire_warp(w);
+                }
+            }
+            Some(Instruction::Compute { cycles }) => {
+                self.warp_instructions += 1;
+                self.ready.remove(&(age, w));
+                self.wake.push(Reverse((cycle + cycles.max(1) as u64, w)));
+            }
+            Some(Instruction::Load(lanes)) => {
+                self.warp_instructions += 1;
+                let lines = coalesce(&lanes, cfg.line_bytes);
+                if lines.is_empty() {
+                    // Degenerate empty access behaves like a 1-cycle op.
+                    self.ready.remove(&(age, w));
+                    self.wake.push(Reverse((cycle + 1, w)));
+                    return;
+                }
+                warp.outstanding_loads = lines.len() as u32;
+                self.ready.remove(&(age, w));
+                for line in lines {
+                    let mapped = mapper.map(PhysAddr::new(line));
+                    let txn = txns.alloc(self.id, w, false, line, mapped, slice_of(mapped));
+                    self.mem_queue.push_back(txn);
+                }
+            }
+            Some(Instruction::Store(lanes)) => {
+                self.warp_instructions += 1;
+                // Fire-and-forget: the warp stays ready.
+                for line in coalesce(&lanes, cfg.line_bytes) {
+                    let mapped = mapper.map(PhysAddr::new(line));
+                    let txn = txns.alloc(self.id, NO_WARP, true, line, mapped, slice_of(mapped));
+                    self.mem_queue.push_back(txn);
+                }
+            }
+        }
+    }
+}

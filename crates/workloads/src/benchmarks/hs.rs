@@ -1,0 +1,92 @@
+//! HS — Hotspot thermal simulation (Rodinia).
+//!
+//! A tiled 5-point stencil over temperature and power grids (512×512,
+//! 2 KiB pitch). Tiles are 16 rows × 32 columns with row-block-minor
+//! enumeration, and the benchmark is compute-heavy (Table II: APKI 0.71,
+//! MPKI 0.08 — the least memory-intensive of the valley group), so the
+//! valley exists but address mapping moves performance only slightly.
+
+use crate::gen::{compute, load_contig, region, store_contig, Scale, F32};
+use crate::workload::{KernelSpec, Workload};
+use std::sync::Arc;
+use valley_sim::Instruction;
+
+/// Grid dimension.
+const N: u64 = 512;
+/// Row pitch in bytes.
+const PITCH: u64 = 2 * 1024;
+/// Tile height in rows.
+const TILE_ROWS: u64 = 16;
+
+/// Builds the HS workload: a single fused stencil kernel.
+pub fn workload(scale: Scale) -> Workload {
+    let rblocks = scale.pick(4, N / TILE_ROWS);
+    let cblocks = scale.pick(2, 16u64);
+    let temp = region(0);
+    let power = region(1);
+    let out = region(2);
+
+    let gen = Arc::new(move |tb: u64, warp: usize| -> Vec<Instruction> {
+        let rblk = tb % rblocks;
+        let cblk = tb / rblocks;
+        let x = cblk * 32;
+        let mut insts = Vec::new();
+        for i in 0..2u64 {
+            let r = rblk * TILE_ROWS + warp as u64 * 2 + i;
+            let rn = r.saturating_sub(1);
+            let rs = (r + 1).min(N - 1);
+            insts.extend([
+                load_contig(temp + r * PITCH + x * F32, F32),
+                load_contig(temp + rn * PITCH + x * F32, F32),
+                load_contig(temp + rs * PITCH + x * F32, F32),
+                load_contig(power + r * PITCH + x * F32, F32),
+                compute(16), // hotspot's long per-cell arithmetic chain
+                store_contig(out + r * PITCH + x * F32, F32),
+                compute(8),
+            ]);
+        }
+        insts
+    });
+    let kernel = KernelSpec::new("hotspot", rblocks * cblocks, 8, gen);
+    Workload::new("HS", vec![kernel])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valley_sim::WorkloadSource;
+
+    #[test]
+    fn single_kernel() {
+        let w = workload(Scale::Ref);
+        assert_eq!(w.num_kernels(), 1);
+        assert_eq!(w.kernel(0).num_thread_blocks(), 32 * 16);
+    }
+
+    #[test]
+    fn compute_dominates_instruction_mix() {
+        let w = workload(Scale::Ref);
+        let k = w.kernel(0);
+        let mut p = k.warp_program(0, 0);
+        let mut compute_cycles = 0u64;
+        let mut mem = 0u64;
+        while let Some(i) = p.next_instruction() {
+            match i {
+                Instruction::Compute { cycles } => compute_cycles += cycles as u64,
+                _ => mem += 1,
+            }
+        }
+        assert!(compute_cycles > 4 * mem, "HS must be compute-heavy");
+    }
+
+    #[test]
+    fn tile_column_extent_is_narrow() {
+        // 32 floats = 128 B: the tile never spans the channel bits.
+        let w = workload(Scale::Ref);
+        let k = w.kernel(0);
+        let addrs = valley_sim::tb_request_addresses(k.as_ref(), 0, 64);
+        for &a in &addrs {
+            assert!(a % PITCH < 256, "tile x-extent too wide: {a:#x}");
+        }
+    }
+}

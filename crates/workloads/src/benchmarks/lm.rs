@@ -1,0 +1,89 @@
+//! LM — LavaMD molecular dynamics (Rodinia).
+//!
+//! Each TB owns one particle box and repeatedly reads neighbor boxes from
+//! a 512 KiB LLC-resident domain while doing heavy pairwise arithmetic:
+//! very high LLC access rate with almost no DRAM traffic (Table II:
+//! APKI 18.23, MPKI 0.01). The box-id randomness spreads entropy through
+//! the low/middle bits — no valley (Figure 20).
+
+use crate::gen::{compute, load_contig, region, store_contig, warp_rng, Scale, F32};
+use crate::workload::{KernelSpec, Workload};
+use rand::RngExt;
+use std::sync::Arc;
+use valley_sim::Instruction;
+
+/// Number of particle boxes.
+const BOXES: u64 = 256;
+/// Bytes per box (256 boxes × 2 KiB = 512 KiB, LLC-resident).
+const BOX_BYTES: u64 = 2 * 1024;
+/// Neighbor boxes visited per warp.
+const NEIGHBORS: usize = 8;
+
+/// Builds the LM workload: a single force-computation kernel.
+pub fn workload(scale: Scale) -> Workload {
+    let tbs = scale.pick(16, BOXES);
+    let boxes = region(0);
+    let forces = region(1);
+
+    let gen = Arc::new(move |tb: u64, warp: usize| -> Vec<Instruction> {
+        let mut rng = warp_rng(0x1a7a, tb, warp);
+        let own = boxes + tb * BOX_BYTES + warp as u64 * 256;
+        let mut insts = vec![load_contig(own, F32), load_contig(own + 128, F32)];
+        for _ in 0..NEIGHBORS {
+            let nb: u64 = rng.random_range(0..BOXES);
+            let seg = boxes + nb * BOX_BYTES + warp as u64 * 256;
+            insts.extend([
+                load_contig(seg, F32),
+                load_contig(seg + 128, F32),
+                compute(12), // pairwise force arithmetic
+            ]);
+        }
+        insts.push(store_contig(forces + tb * BOX_BYTES + warp as u64 * 256, F32));
+        insts
+    });
+    let kernel = KernelSpec::new("lavamd_forces", tbs, 8, gen);
+    Workload::new("LM", vec![kernel])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valley_sim::WorkloadSource;
+
+    #[test]
+    fn single_kernel_one_tb_per_box() {
+        let w = workload(Scale::Ref);
+        assert_eq!(w.num_kernels(), 1);
+        assert_eq!(w.kernel(0).num_thread_blocks(), BOXES);
+    }
+
+    #[test]
+    fn domain_is_llc_resident() {
+        assert_eq!(BOXES * BOX_BYTES, 512 * 1024);
+    }
+
+    #[test]
+    fn neighbor_reads_stay_in_domain() {
+        let w = workload(Scale::Ref);
+        let k = w.kernel(0);
+        for &a in &valley_sim::tb_request_addresses(k.as_ref(), 3, 64) {
+            assert!(a < region(2), "address escaped the LM regions: {a:#x}");
+        }
+    }
+
+    #[test]
+    fn many_more_loads_than_stores() {
+        let w = workload(Scale::Ref);
+        let k = w.kernel(0);
+        let mut p = k.warp_program(0, 0);
+        let (mut loads, mut stores) = (0, 0);
+        while let Some(i) = p.next_instruction() {
+            match i {
+                Instruction::Load(_) => loads += 1,
+                Instruction::Store(_) => stores += 1,
+                _ => {}
+            }
+        }
+        assert!(loads > 10 * stores);
+    }
+}

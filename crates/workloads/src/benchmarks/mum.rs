@@ -1,0 +1,85 @@
+//! MUM — MUMmerGPU sequence alignment (Rodinia).
+//!
+//! Pointer-chasing walks over a 16 MiB suffix tree: every step is an
+//! uncorrelated gather, so entropy saturates every bit of the footprint
+//! and misses dominate (Table II: MPKI 22.53, the most memory-intensive
+//! benchmark). No valley — randomization cannot help what is already
+//! random (Figure 20).
+
+use crate::gen::{compute, load_contig, load_gather, region, store_contig, warp_rng, Scale, F32, WARP};
+use crate::workload::{KernelSpec, Workload};
+use rand::RngExt;
+use std::sync::Arc;
+use valley_sim::Instruction;
+
+/// Suffix-tree footprint in bytes.
+const TREE_BYTES: u64 = 16 * 1024 * 1024;
+/// Tree-walk depth per query.
+const DEPTH: usize = 4;
+
+/// Builds the MUM workload: match + print kernels.
+pub fn workload(scale: Scale) -> Workload {
+    let tbs = scale.pick(8, 48u64);
+    let tree = region(0);
+    let queries = region(1);
+    let results = region(2);
+
+    let kernels = (0..2)
+        .map(|phase| {
+            let gen = Arc::new(move |tb: u64, warp: usize| -> Vec<Instruction> {
+                let mut rng = warp_rng(0x3d3 + phase as u64, tb, warp);
+                let q = queries + (tb * 8 + warp as u64) * 512;
+                let mut insts = vec![load_contig(q, F32), compute(4)];
+                for _ in 0..DEPTH {
+                    // Each lane follows its own child pointer: a fully
+                    // random 64 B-aligned node address.
+                    let lanes: Vec<u64> = (0..WARP)
+                        .map(|_| tree + rng.random_range(0..TREE_BYTES / 64) * 64)
+                        .collect();
+                    insts.push(load_gather(lanes));
+                    insts.push(compute(3));
+                }
+                insts.push(store_contig(results + (tb * 8 + warp as u64) * 128, F32));
+                insts
+            });
+            let name = if phase == 0 { "mummergpu_match" } else { "mummergpu_print" };
+            KernelSpec::new(name, tbs, 8, gen)
+        })
+        .collect();
+    Workload::new("MUM", kernels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valley_sim::WorkloadSource;
+
+    #[test]
+    fn two_kernels() {
+        assert_eq!(workload(Scale::Ref).num_kernels(), 2);
+    }
+
+    #[test]
+    fn walks_are_random_and_wide() {
+        let w = workload(Scale::Ref);
+        let k = w.kernel(0);
+        let addrs = valley_sim::tb_request_addresses(k.as_ref(), 0, 64);
+        let tree_addrs: Vec<u64> = addrs
+            .iter()
+            .copied()
+            .filter(|&a| a < region(1))
+            .collect();
+        assert!(tree_addrs.len() >= DEPTH * WARP / 2);
+        let min = tree_addrs.iter().min().unwrap();
+        let max = tree_addrs.iter().max().unwrap();
+        assert!(max - min > TREE_BYTES / 4, "gathers should span the tree");
+    }
+
+    #[test]
+    fn phases_use_different_seeds() {
+        let w = workload(Scale::Ref);
+        let a = valley_sim::tb_request_addresses(w.kernel(0).as_ref(), 0, 64);
+        let b = valley_sim::tb_request_addresses(w.kernel(1).as_ref(), 0, 64);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,86 @@
+//! NN — Neural Network inference (Wong et al. microbenchmark suite).
+//!
+//! Small hot weight matrices plus a streaming input layer: the footprint
+//! is tiny, so the entropy lives in the lower-order bits and the LLC
+//! absorbs almost everything (Table II: MPKI 0.2). Mapping should leave
+//! NN's performance untouched (Figure 20).
+
+use crate::gen::{compute, load_contig, region, store_contig, Scale, F32};
+use crate::workload::{KernelSpec, Workload};
+use std::sync::Arc;
+use valley_sim::Instruction;
+
+/// Hot weight region size in bytes (fits comfortably in the LLC).
+const WEIGHTS: u64 = 256 * 1024;
+
+/// Builds the NN workload: four layer kernels.
+pub fn workload(scale: Scale) -> Workload {
+    let layers = scale.pick(2, 4);
+    let tbs = scale.pick(8, 64u64);
+    let weights = region(0);
+    let acts = region(1);
+
+    let kernels = (0..layers)
+        .map(|layer| {
+            let gen = Arc::new(move |tb: u64, warp: usize| -> Vec<Instruction> {
+                let neuron = tb * 8 + warp as u64;
+                let mut insts = Vec::new();
+                for i in 0..3u64 {
+                    // Weight row: a 64 B-granular scatter over the hot
+                    // region, so every address bit above the block offset
+                    // varies (CPU-like low-bit entropy, no valley).
+                    let wrow = (neuron * 2741 + i * 947) * 64 % WEIGHTS;
+                    insts.extend([
+                        load_contig(weights + wrow, F32),
+                        load_contig(acts + (layer as u64 * 4096 + i) * 128, F32),
+                        compute(20),
+                    ]);
+                }
+                insts.push(store_contig(
+                    acts + ((layer as u64 + 1) * 4096 + neuron) * 128 % (4 * 1024 * 1024),
+                    F32,
+                ));
+                insts
+            });
+            KernelSpec::new(format!("layer{layer}"), tbs, 8, gen)
+        })
+        .collect();
+    Workload::new("NN", kernels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valley_sim::WorkloadSource;
+
+    #[test]
+    fn four_layers() {
+        assert_eq!(workload(Scale::Ref).num_kernels(), 4);
+    }
+
+    #[test]
+    fn footprint_is_small() {
+        let w = workload(Scale::Ref);
+        let k = w.kernel(0);
+        for tb in [0, 31, 63] {
+            for &a in &valley_sim::tb_request_addresses(k.as_ref(), tb, 64) {
+                // Everything inside the first two regions' first few MB.
+                assert!(a < region(1) + 8 * 1024 * 1024);
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_compute_chains() {
+        let w = workload(Scale::Ref);
+        let k = w.kernel(0);
+        let mut p = k.warp_program(0, 0);
+        let mut total_compute = 0u64;
+        while let Some(i) = p.next_instruction() {
+            if let Instruction::Compute { cycles } = i {
+                total_compute += cycles as u64;
+            }
+        }
+        assert!(total_compute >= 60);
+    }
+}

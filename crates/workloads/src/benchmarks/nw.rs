@@ -1,0 +1,99 @@
+//! NW — Needleman-Wunsch (Rodinia).
+//!
+//! Anti-diagonal wavefront over a 2D dynamic-programming table. Lanes walk
+//! *along* a cell diagonal: with the DP table's row pitch padded to
+//! 16 KiB + 4 B, the per-lane stride `pitch − 4` is exactly 16 KiB, so a
+//! warp's 32 requests differ only at bit 14 and above — the deepest valley
+//! in the suite — while the diagonal index `d` contributes only bits
+//! below the coalescing granularity. Table II: 255 kernels, MPKI 5.12.
+
+use crate::gen::{compute, load_strided, region, store_strided, Scale};
+use crate::workload::{KernelSpec, Workload};
+use std::sync::Arc;
+use valley_sim::Instruction;
+
+/// DP-table rows/columns (cells).
+const N: u64 = 1024;
+/// Padded row pitch: pitch − 4 = 8 KiB makes diagonal lane strides a
+/// power of two, and keeps them below bit 18 so the window's entropy
+/// sits outside PM's reach (the TB chunks then land at bits 18–19,
+/// which PM's first two XOR pairs do cover — hence PM's partial,
+/// channel-only repair on NW).
+const PITCH: u64 = 8 * 1024 + 4;
+/// Lane stride along a cell diagonal.
+const DIAG_STRIDE: u64 = PITCH - 4;
+
+/// Address of DP cell `(i, d - i)` on diagonal `d`.
+fn cell(base: u64, i: u64, d: u64) -> u64 {
+    base + i * DIAG_STRIDE + d * 4
+}
+
+/// Builds the NW workload: one kernel per processed block diagonal.
+pub fn workload(scale: Scale) -> Workload {
+    let block_diags = scale.pick(3, 32);
+    let dp = region(0);
+    let reference = region(1);
+
+    let kernels = (0..block_diags)
+        .map(|bd| {
+            // Central diagonals where the wavefront is widest.
+            let d0 = (8 + bd as u64) * 32;
+            let diag_len = (d0 + 1).min(N).min(2 * N - d0);
+            let tbs = (diag_len / 32).clamp(1, 4);
+            let gen = Arc::new(move |tb: u64, warp: usize| -> Vec<Instruction> {
+                // Warp handles cell chunk [i0, i0+32) of sub-diagonal d.
+                let i0 = tb * 32;
+                let d = d0 + warp as u64 * 4;
+                vec![
+                    load_strided(cell(dp, i0, d - 1), DIAG_STRIDE), // north-west inputs
+                    load_strided(cell(dp, i0, d - 2), DIAG_STRIDE),
+                    load_strided(cell(reference, i0, d), DIAG_STRIDE),
+                    compute(6),
+                    store_strided(cell(dp, i0, d), DIAG_STRIDE),
+                ]
+            });
+            KernelSpec::new(format!("nw_diag{d0}"), tbs, 8, gen)
+        })
+        .collect();
+    Workload::new("NW", kernels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valley_sim::WorkloadSource;
+
+    #[test]
+    fn diagonal_lane_stride_is_power_of_two() {
+        assert!(DIAG_STRIDE.is_power_of_two());
+        assert_eq!(DIAG_STRIDE, 1 << 13);
+    }
+
+    #[test]
+    fn tb_requests_agree_in_bits_11_and_12() {
+        // Within a TB, requests vary only at the 8 KiB lane stride
+        // (bit 13+) and the sub-2 KiB `d*4` wobble (bits ≤ 10), so bits
+        // 11-12 are frozen — part of the BASE bank field.
+        let w = workload(Scale::Ref);
+        let k = w.kernel(0);
+        let addrs = valley_sim::tb_request_addresses(k.as_ref(), 0, 64);
+        let mask = 0b11 << 11;
+        let first = addrs[0] & mask;
+        for &a in &addrs {
+            assert_eq!(a & mask, first);
+        }
+    }
+
+    #[test]
+    fn wavefront_width_tracks_diagonal() {
+        let w = workload(Scale::Ref);
+        assert!(w.kernel(0).num_thread_blocks() <= w.kernel(20).num_thread_blocks());
+    }
+
+    #[test]
+    fn addresses_fit_address_space() {
+        // Largest touched cell must stay inside the DP region (64 MiB).
+        let max_addr = cell(0, N - 1, 2 * N - 2);
+        assert!(max_addr < 64 * 1024 * 1024);
+    }
+}

@@ -1,0 +1,92 @@
+//! SC — StreamCluster (Rodinia / PARSEC).
+//!
+//! Distance accumulation against candidate centers over a dimension-major
+//! point matrix `X[d][p]` (8 KiB per dimension row). TBs are enumerated
+//! dimension-minor, so concurrent TBs read different dimension rows
+//! (bit 13 and above) while each TB touches only a 256 B point slice —
+//! the valley pattern. Table II: 50 kernels, MPKI 3.58.
+
+use crate::gen::{compute, load_contig, region, store_contig, Scale, F32};
+use crate::workload::{KernelSpec, Workload};
+use std::sync::Arc;
+use valley_sim::Instruction;
+
+/// Points (columns of the dimension-major matrix).
+const NP: u64 = 2048;
+/// Dimensions processed per TB (one per warp).
+const DIMS_PER_TB: u64 = 8;
+
+/// Builds the SC workload: one kernel per candidate-center evaluation.
+pub fn workload(scale: Scale) -> Workload {
+    let dims = scale.pick(32, 256u64);
+    let pblocks = scale.pick(4, 32u64);
+    let evaluations = scale.pick(2, 2);
+    let x = region(0); // X[d][p], 8 KiB per dimension
+    let centers = region(1); // hot candidate-center vector
+    let partial = region(2);
+
+    let dchunks = dims / DIMS_PER_TB;
+    let kernels = (0..evaluations)
+        .map(|ev| {
+            let gen = Arc::new(move |tb: u64, warp: usize| -> Vec<Instruction> {
+                // Dimension-minor enumeration.
+                let dchunk = tb % dchunks;
+                let pblk = tb / dchunks;
+                let d = dchunk * DIMS_PER_TB + warp as u64;
+                let row = x + d * (NP * F32);
+                let p0 = pblk * 64;
+                vec![
+                    load_contig(row + p0 * F32, F32),
+                    // Candidate-center coordinates, pitched like X so the
+                    // hot reads share the dimension's high-bit structure.
+                    load_contig(centers + ev as u64 * 2048 + d * (NP * F32), F32),
+                    compute(6),
+                    load_contig(row + (p0 + 32) * F32, F32),
+                    compute(6),
+                    // Per-dimension partials, pitched with the dimension.
+                    store_contig(partial + d * (NP * F32) + p0 * F32, F32),
+                ]
+            });
+            KernelSpec::new(
+                format!("pgain_{ev}"),
+                dchunks * pblocks,
+                DIMS_PER_TB as usize,
+                gen,
+            )
+        })
+        .collect();
+    Workload::new("SC", kernels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valley_sim::WorkloadSource;
+
+    #[test]
+    fn dimension_row_is_8kib() {
+        assert_eq!(NP * F32, 8 * 1024);
+    }
+
+    #[test]
+    fn tb_point_slice_is_narrow() {
+        let w = workload(Scale::Ref);
+        let k = w.kernel(0);
+        let addrs = valley_sim::tb_request_addresses(k.as_ref(), 0, 64);
+        // All X-matrix accesses of TB 0 (pblk 0) stay within the first
+        // 256 B of each dimension row.
+        for &a in addrs.iter().filter(|&&a| a < region(1)) {
+            assert!(a % (8 * 1024) < 256, "point slice too wide: {a:#x}");
+        }
+    }
+
+    #[test]
+    fn consecutive_tbs_change_dimension() {
+        let w = workload(Scale::Ref);
+        let k = w.kernel(0);
+        let a0 = valley_sim::tb_request_addresses(k.as_ref(), 0, 64);
+        let a1 = valley_sim::tb_request_addresses(k.as_ref(), 1, 64);
+        // The X reads of TB1 sit exactly DIMS_PER_TB rows above TB0's.
+        assert_eq!(a1[0] - a0[0], DIMS_PER_TB * 8 * 1024);
+    }
+}

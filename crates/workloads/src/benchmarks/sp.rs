@@ -1,0 +1,79 @@
+//! SP — Scalar Product (CUDA SDK).
+//!
+//! Dot products of many vector pairs. Each TB owns one pair whose vectors
+//! sit at 32 KiB-aligned bases, and reads only a 256 B head segment per
+//! vector, so concurrent TBs differ exclusively at bit 15 and above — a
+//! wide valley with all harvestable entropy in the row bits (ideal for
+//! PAE). Table II: 1 kernel, 0.12 B instructions (the smallest run).
+
+use crate::gen::{base_mb, compute, load_contig, store_contig, Scale, F32, MB};
+use crate::workload::{KernelSpec, Workload};
+use std::sync::Arc;
+use valley_sim::Instruction;
+
+/// Per-pair allocation pitch: each pair's `A`/`B` vectors share a 1 MiB
+/// arena (B at +512 KiB), so concurrent TBs differ only at bit 20 and
+/// above — row-bit entropy PM's low-row XOR misses but PAE harvests.
+const VEC_PITCH: u64 = MB;
+/// Offset of the `B` vector inside a pair's arena.
+const B_OFF: u64 = 512 * 1024;
+
+/// Builds the SP workload: one kernel over all vector pairs.
+pub fn workload(scale: Scale) -> Workload {
+    let pairs = scale.pick(64, 512u64);
+    let arena = base_mb(0); // pairs x 1 MiB
+    let c = base_mb(640);
+
+    let gen = Arc::new(move |tb: u64, warp: usize| -> Vec<Instruction> {
+        let pair = arena + tb * VEC_PITCH;
+        let off = warp as u64 * 128;
+        vec![
+            load_contig(pair + off, F32),
+            load_contig(pair + B_OFF + off, F32),
+            compute(6),
+            load_contig(pair + off + 256, F32),
+            load_contig(pair + B_OFF + off + 256, F32),
+            compute(6),
+            store_contig(c + tb * VEC_PITCH / 8 + off, F32),
+        ]
+    });
+    let kernel = KernelSpec::new("scalar_prod", pairs, 2, gen);
+    Workload::new("SP", vec![kernel])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valley_sim::WorkloadSource;
+
+    #[test]
+    fn one_kernel_many_pairs() {
+        let w = workload(Scale::Ref);
+        assert_eq!(w.num_kernels(), 1);
+        assert_eq!(w.kernel(0).num_thread_blocks(), 512);
+        assert_eq!(w.kernel(0).warps_per_block(), 2);
+    }
+
+    #[test]
+    fn pair_loads_differ_only_at_bit20_and_above() {
+        let w = workload(Scale::Ref);
+        let k = w.kernel(0);
+        let a0 = valley_sim::tb_request_addresses(k.as_ref(), 0, 64);
+        let a5 = valley_sim::tb_request_addresses(k.as_ref(), 5, 64);
+        let loads = |v: &[u64]| -> Vec<u64> {
+            v.iter().copied().filter(|&a| a < base_mb(640)).collect()
+        };
+        for (x, y) in loads(&a0).iter().zip(loads(&a5).iter()) {
+            assert_eq!(x & (VEC_PITCH - 1), y & (VEC_PITCH - 1));
+            assert_eq!(y - x, 5 * VEC_PITCH);
+        }
+    }
+
+    #[test]
+    fn footprint_fits_address_space() {
+        // 512 pairs x 1 MiB arena = 512 MiB, plus the 64 MiB result
+        // region at 640 MiB: everything below 1 GiB.
+        assert!(512 * VEC_PITCH <= base_mb(640));
+        assert!(base_mb(640) + 512 * VEC_PITCH / 8 < 1 << 30);
+    }
+}

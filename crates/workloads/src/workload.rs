@@ -1,0 +1,185 @@
+//! The concrete workload framework: declarative kernels built from
+//! per-warp instruction generators.
+
+use std::sync::Arc;
+use valley_sim::{Instruction, KernelSource, WarpProgram, WorkloadSource};
+
+/// A function producing the instruction stream of one warp.
+///
+/// Must be deterministic in `(tb, warp)` — the trace is walked twice (once
+/// by the entropy analyzer, once by the simulator).
+pub type WarpGen = Arc<dyn Fn(u64, usize) -> Vec<Instruction> + Send + Sync>;
+
+/// A declarative kernel: a TB grid plus a warp-instruction generator.
+#[derive(Clone)]
+pub struct KernelSpec {
+    name: String,
+    num_tbs: u64,
+    warps_per_block: usize,
+    gen: WarpGen,
+}
+
+impl KernelSpec {
+    /// Creates a kernel of `num_tbs` thread blocks, each with
+    /// `warps_per_block` warps, whose warps execute `gen(tb, warp)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is empty.
+    pub fn new(
+        name: impl Into<String>,
+        num_tbs: u64,
+        warps_per_block: usize,
+        gen: WarpGen,
+    ) -> Self {
+        assert!(num_tbs > 0, "kernel must have at least one TB");
+        assert!(warps_per_block > 0, "TBs must have at least one warp");
+        KernelSpec {
+            name: name.into(),
+            num_tbs,
+            warps_per_block,
+            gen,
+        }
+    }
+}
+
+impl std::fmt::Debug for KernelSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KernelSpec")
+            .field("name", &self.name)
+            .field("num_tbs", &self.num_tbs)
+            .field("warps_per_block", &self.warps_per_block)
+            .finish_non_exhaustive()
+    }
+}
+
+struct SpecKernel(Arc<KernelSpec>);
+
+impl KernelSource for SpecKernel {
+    fn name(&self) -> String {
+        self.0.name.clone()
+    }
+
+    fn num_thread_blocks(&self) -> u64 {
+        self.0.num_tbs
+    }
+
+    fn warps_per_block(&self) -> usize {
+        self.0.warps_per_block
+    }
+
+    fn warp_program(&self, tb: u64, warp: usize) -> Box<dyn WarpProgram> {
+        Box::new(VecProgram((self.0.gen)(tb, warp).into_iter()))
+    }
+}
+
+struct VecProgram(std::vec::IntoIter<Instruction>);
+
+impl WarpProgram for VecProgram {
+    fn next_instruction(&mut self) -> Option<Instruction> {
+        self.0.next()
+    }
+}
+
+/// A complete benchmark: a named, ordered list of [`KernelSpec`]s.
+///
+/// Implements [`WorkloadSource`], so it plugs straight into
+/// [`valley_sim::GpuSim`].
+#[derive(Clone, Debug)]
+pub struct Workload {
+    name: String,
+    kernels: Vec<Arc<KernelSpec>>,
+}
+
+impl Workload {
+    /// Creates a workload from its kernels (launch order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernels` is empty.
+    pub fn new(name: impl Into<String>, kernels: Vec<KernelSpec>) -> Self {
+        assert!(!kernels.is_empty(), "workload must have at least one kernel");
+        Workload {
+            name: name.into(),
+            kernels: kernels.into_iter().map(Arc::new).collect(),
+        }
+    }
+
+    /// A single-kernel view of kernel `index` (used for the per-kernel
+    /// entropy profiles SRAD2K1 and DWT2DK1 of Figure 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn single_kernel(&self, index: usize) -> Workload {
+        Workload {
+            name: format!("{}K{}", self.name, index + 1),
+            kernels: vec![self.kernels[index].clone()],
+        }
+    }
+}
+
+impl WorkloadSource for Workload {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn num_kernels(&self) -> usize {
+        self.kernels.len()
+    }
+
+    fn kernel(&self, index: usize) -> Box<dyn KernelSource> {
+        Box::new(SpecKernel(self.kernels[index].clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use valley_sim::LaneAddrs;
+
+    fn trivial() -> Workload {
+        let gen: WarpGen = Arc::new(|tb, warp| {
+            vec![Instruction::Load(LaneAddrs::contiguous(
+                tb * 4096 + warp as u64 * 128,
+                32,
+                4,
+            ))]
+        });
+        Workload::new("T", vec![KernelSpec::new("k0", 4, 2, gen)])
+    }
+
+    #[test]
+    fn workload_shape() {
+        let w = trivial();
+        assert_eq!(w.name(), "T");
+        assert_eq!(w.num_kernels(), 1);
+        let k = w.kernel(0);
+        assert_eq!(k.num_thread_blocks(), 4);
+        assert_eq!(k.warps_per_block(), 2);
+    }
+
+    #[test]
+    fn warp_programs_are_deterministic() {
+        let w = trivial();
+        let k = w.kernel(0);
+        let mut a = k.warp_program(2, 1);
+        let mut b = k.warp_program(2, 1);
+        assert_eq!(a.next_instruction(), b.next_instruction());
+        assert_eq!(a.next_instruction(), None);
+    }
+
+    #[test]
+    fn single_kernel_view() {
+        let w = trivial();
+        let k1 = w.single_kernel(0);
+        assert_eq!(k1.name(), "TK1");
+        assert_eq!(k1.num_kernels(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one kernel")]
+    fn empty_workload_rejected() {
+        let _ = Workload::new("E", vec![]);
+    }
+}

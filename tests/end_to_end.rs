@@ -1,0 +1,182 @@
+//! End-to-end integration tests: the full pipeline (workload → coalescer
+//! → mapper → L1 → NoC → LLC → DRAM) at test scale.
+
+use valley::core::{AddressMapper, GddrMap, SchemeKind, StackedMap};
+use valley::sim::{GpuConfig, GpuSim, SimReport};
+use valley::workloads::{Benchmark, Scale};
+
+fn run(bench: Benchmark, scheme: SchemeKind, seed: u64) -> SimReport {
+    let map = GddrMap::baseline();
+    let mapper = AddressMapper::build(scheme, &map, seed);
+    let sim = GpuSim::new(
+        GpuConfig::table1(),
+        mapper,
+        map,
+        Box::new(bench.workload(Scale::Test)),
+    );
+    sim.run()
+}
+
+#[test]
+fn every_benchmark_terminates_under_every_scheme() {
+    for bench in Benchmark::ALL {
+        for scheme in SchemeKind::ALL_SCHEMES {
+            let r = run(bench, scheme, 1);
+            assert!(!r.truncated, "{bench}/{scheme} hit the cycle limit");
+            assert!(r.cycles > 0);
+            assert!(r.warp_instructions > 0, "{bench}: no instructions issued");
+            assert!(r.memory_transactions > 0, "{bench}: no memory traffic");
+        }
+    }
+}
+
+#[test]
+fn metrics_are_sane() {
+    for bench in [Benchmark::Mt, Benchmark::Mum, Benchmark::Gs] {
+        let r = run(bench, SchemeKind::Pae, 1);
+        assert!((0.0..=1.0).contains(&r.llc_miss_rate()), "{bench} miss rate");
+        assert!(
+            (0.0..=1.0).contains(&r.row_buffer_hit_rate()),
+            "{bench} row hit rate"
+        );
+        assert!((0.0..=1.0).contains(&r.sm_busy_fraction));
+        assert!(r.noc_latency >= 0.0);
+        assert!(r.llc_parallelism >= 0.0 && r.llc_parallelism <= 8.0);
+        assert!(r.channel_parallelism >= 0.0 && r.channel_parallelism <= 4.0);
+        assert!(r.bank_parallelism >= 0.0 && r.bank_parallelism <= 16.0);
+        // Conservation: every DRAM access stems from an LLC access.
+        assert!(r.dram.accesses() <= r.llc.accesses() + r.llc.misses);
+        // L1 sees at least as many accesses as LLC load traffic.
+        assert!(r.l1.accesses() > 0);
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = run(Benchmark::Sc, SchemeKind::Fae, 7);
+    let b = run(Benchmark::Sc, SchemeKind::Fae, 7);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.memory_transactions, b.memory_transactions);
+    assert_eq!(a.dram.activates, b.dram.activates);
+    assert_eq!(a.llc.misses, b.llc.misses);
+}
+
+#[test]
+fn pae_beats_base_on_valley_benchmarks() {
+    // The headline result, at test scale, for the two motivating
+    // benchmarks of the paper's Figure 12 left panel.
+    for bench in [Benchmark::Mt, Benchmark::Nw] {
+        let base = run(bench, SchemeKind::Base, 0);
+        let pae = run(bench, SchemeKind::Pae, 1);
+        let speedup = pae.speedup_over(&base);
+        assert!(
+            speedup > 1.5,
+            "{bench}: PAE speedup {speedup:.2} too small at test scale"
+        );
+    }
+}
+
+#[test]
+fn mapping_barely_moves_non_valley_benchmarks() {
+    let base = run(Benchmark::Lm, SchemeKind::Base, 0);
+    let pae = run(Benchmark::Lm, SchemeKind::Pae, 1);
+    let speedup = pae.speedup_over(&base);
+    assert!(
+        (0.7..=1.4).contains(&speedup),
+        "LM should be mapping-insensitive, got {speedup:.2}"
+    );
+}
+
+#[test]
+fn pae_raises_channel_parallelism_on_mt() {
+    let base = run(Benchmark::Mt, SchemeKind::Base, 0);
+    let pae = run(Benchmark::Mt, SchemeKind::Pae, 1);
+    assert!(
+        pae.channel_parallelism > base.channel_parallelism + 0.5,
+        "PAE {:.2} vs BASE {:.2}",
+        pae.channel_parallelism,
+        base.channel_parallelism
+    );
+    assert!(pae.noc_latency < base.noc_latency);
+}
+
+#[test]
+fn stacked_memory_configuration_runs() {
+    let map = StackedMap::baseline();
+    let mapper = AddressMapper::build(SchemeKind::Pae, &map, 1);
+    let sim = GpuSim::new(
+        GpuConfig::stacked(),
+        mapper,
+        map,
+        Box::new(Benchmark::Sp.workload(Scale::Test)),
+    );
+    let r = sim.run();
+    assert!(!r.truncated);
+    assert_eq!(r.dram_channels, 64);
+    assert!(r.cycles > 0);
+}
+
+#[test]
+fn alternative_substrate_policies_run() {
+    use valley::dram::SchedulingPolicy;
+    use valley::sim::WarpScheduler;
+    let map = GddrMap::baseline();
+    let mut cfg = GpuConfig::table1().with_scheduler(WarpScheduler::Lrr);
+    cfg.dram.policy = SchedulingPolicy::Fcfs;
+    let mapper = AddressMapper::build(SchemeKind::Pae, &map, 1);
+    let sim = GpuSim::new(
+        cfg,
+        mapper,
+        map,
+        Box::new(Benchmark::Mt.workload(Scale::Test)),
+    );
+    let r = sim.run();
+    assert!(!r.truncated);
+    assert!(r.cycles > 0);
+    // LRR + FCFS must still retire every transaction.
+    assert!(r.dram.accesses() > 0);
+}
+
+#[test]
+fn fcfs_degrades_row_locality_vs_frfcfs() {
+    use valley::dram::SchedulingPolicy;
+    let map = GddrMap::baseline();
+    let run_policy = |policy: SchedulingPolicy| {
+        let mut cfg = GpuConfig::table1();
+        cfg.dram.policy = policy;
+        let mapper = AddressMapper::build(SchemeKind::Base, &map, 0);
+        GpuSim::new(
+            cfg,
+            mapper,
+            map,
+            Box::new(Benchmark::Srad2.workload(Scale::Test)),
+        )
+        .run()
+    };
+    let fr = run_policy(SchedulingPolicy::FrFcfs);
+    let fcfs = run_policy(SchedulingPolicy::Fcfs);
+    // Row-hit-first reordering can only help (or tie on) row locality.
+    assert!(
+        fr.row_buffer_hit_rate() >= fcfs.row_buffer_hit_rate() - 0.02,
+        "FR-FCFS {:.3} vs FCFS {:.3}",
+        fr.row_buffer_hit_rate(),
+        fcfs.row_buffer_hit_rate()
+    );
+}
+
+#[test]
+fn sm_count_sweep_runs() {
+    for sms in [12usize, 24, 48] {
+        let map = GddrMap::baseline();
+        let mapper = AddressMapper::build(SchemeKind::Fae, &map, 1);
+        let sim = GpuSim::new(
+            GpuConfig::table1().with_sms(sms),
+            mapper,
+            map,
+            Box::new(Benchmark::Hs.workload(Scale::Test)),
+        );
+        let r = sim.run();
+        assert!(!r.truncated, "{sms} SMs truncated");
+        assert_eq!(r.num_sms, sms);
+    }
+}
