@@ -11,6 +11,7 @@ fn drive(pattern: impl Fn(u64) -> (usize, usize)) -> u64 {
     let mut next = 0u64;
     let mut done = 0u64;
     let mut cycle = 0u64;
+    let mut buf = Vec::new();
     while done < 512 {
         if next < 512 {
             let (bank, row) = pattern(next);
@@ -18,13 +19,15 @@ fn drive(pattern: impl Fn(u64) -> (usize, usize)) -> u64 {
                 id: next,
                 bank,
                 row,
-                is_write: next % 4 == 0,
+                is_write: next.is_multiple_of(4),
                 arrival: cycle,
             }) {
                 next += 1;
             }
         }
-        done += ch.tick(cycle).len() as u64;
+        buf.clear();
+        ch.tick(cycle, &mut buf);
+        done += buf.len() as u64;
         cycle += 1;
     }
     cycle

@@ -22,6 +22,22 @@ fn entropy_metric(c: &mut Criterion) {
         })
     });
 
+    // A wide window (the 3D-stacked configuration runs 64+ SMs, and the
+    // window-size ablation sweeps to 128): the regime where the rolling
+    // O(n) implementation's asymptotic win over O(n·w) shows fully.
+    c.bench_function("window_entropy_1024tbs_w128_mixture", |b| {
+        b.iter(|| black_box(window_entropy(black_box(&bvrs), 128)))
+    });
+    c.bench_function("window_entropy_1024tbs_w128_distinct", |b| {
+        b.iter(|| {
+            black_box(window_entropy_method(
+                black_box(&bvrs),
+                128,
+                EntropyMethod::DistinctBvr,
+            ))
+        })
+    });
+
     // Recording cost: one 30-bit address into a TB's bit statistics.
     c.bench_function("tb_bitstats_record", |b| {
         let mut stats = TbBitStats::new(0, 30);

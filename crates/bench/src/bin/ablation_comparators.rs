@@ -13,7 +13,12 @@ use valley_core::{AddressMapper, DramAddressMap, GddrMap, SchemeKind};
 use valley_sim::GpuConfig;
 use valley_workloads::{analysis, Benchmark, Scale};
 
-const SUBSET: [Benchmark; 4] = [Benchmark::Mt, Benchmark::Nw, Benchmark::Srad2, Benchmark::Sp];
+const SUBSET: [Benchmark; 4] = [
+    Benchmark::Mt,
+    Benchmark::Nw,
+    Benchmark::Srad2,
+    Benchmark::Sp,
+];
 
 fn main() {
     let map = GddrMap::baseline();
@@ -46,7 +51,10 @@ fn main() {
     eval("RMP-paper", AddressMapper::build(SchemeKind::Rmp, &map, 0));
     eval("RMP-profile", AddressMapper::rmp_from_hot_bits(&map, &hot));
     eval("PM", AddressMapper::build(SchemeKind::Pm, &map, 0));
-    eval("PAE", AddressMapper::build(SchemeKind::Pae, &map, DEFAULT_SEED));
+    eval(
+        "PAE",
+        AddressMapper::build(SchemeKind::Pae, &map, DEFAULT_SEED),
+    );
     println!("\nexpected: all static remaps trail PAE; a better profile helps RMP");
     println!("but cannot adapt to per-application valleys (the paper's argument).");
 }

@@ -41,7 +41,12 @@ fn main() {
             );
             base_cycles.insert(b, r.cycles);
         }
-        for scheme in [SchemeKind::Base, SchemeKind::Pm, SchemeKind::Pae, SchemeKind::Fae] {
+        for scheme in [
+            SchemeKind::Base,
+            SchemeKind::Pm,
+            SchemeKind::Pae,
+            SchemeKind::Fae,
+        ] {
             let mut speedups = Vec::new();
             let mut writes = 0u64;
             let mut power = Vec::new();

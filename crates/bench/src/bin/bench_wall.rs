@@ -1,0 +1,49 @@
+//! Wall-time benchmark of a small simulation suite, for the repository's
+//! perf trajectory: writes `BENCH_suite.json` (machine-readable) and a
+//! human summary to stdout.
+//!
+//! Run with: `cargo run --release -p valley-bench --bin bench_wall`
+
+use std::time::Instant;
+use valley_bench::run_suite;
+use valley_core::SchemeKind;
+use valley_workloads::{Benchmark, Scale};
+
+fn main() {
+    // A representative slice of the full sweep: a valley benchmark (MT),
+    // a streaming one (SP) and a random one (MUM), under the baseline and
+    // the paper's headline scheme.
+    let benches = [Benchmark::Mt, Benchmark::Sp, Benchmark::Mum];
+    let schemes = [SchemeKind::Base, SchemeKind::Pae];
+
+    let start = Instant::now();
+    let suite = run_suite(&benches, &schemes, Scale::Test);
+    let wall = start.elapsed();
+
+    let jobs = suite.len();
+    let total_cycles: u64 = suite.values().map(|r| r.cycles).sum();
+    let sim_mcps = total_cycles as f64 / 1e6 / wall.as_secs_f64();
+    println!(
+        "bench_wall: {jobs} jobs, {total_cycles} simulated cycles in {wall:.2?} \
+         ({sim_mcps:.2} Mcycles/s)"
+    );
+
+    // Hand-rolled JSON (the workspace is dependency-free offline).
+    let mut per_job = String::new();
+    for ((b, s), r) in &suite {
+        if !per_job.is_empty() {
+            per_job.push_str(", ");
+        }
+        per_job.push_str(&format!("\"{b}/{s}\": {}", r.cycles));
+    }
+    let json = format!(
+        "{{\n  \"suite\": \"mt+sp+mum x base+pae @ test scale\",\n  \
+         \"jobs\": {jobs},\n  \"wall_seconds\": {:.6},\n  \
+         \"simulated_cycles\": {total_cycles},\n  \
+         \"mcycles_per_second\": {sim_mcps:.3},\n  \
+         \"cycles_per_job\": {{ {per_job} }}\n}}\n",
+        wall.as_secs_f64()
+    );
+    std::fs::write("BENCH_suite.json", &json).expect("writing BENCH_suite.json");
+    println!("wrote BENCH_suite.json");
+}

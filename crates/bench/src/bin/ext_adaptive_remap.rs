@@ -55,13 +55,7 @@ fn main() {
             eprintln!("  {b}: adaptive kernel {k}/{kernels} ...");
             let r = {
                 let map2 = valley_core::GddrMap::baseline();
-                valley_sim::GpuSim::new(
-                    GpuConfig::table1(),
-                    mapper,
-                    map2,
-                    Box::new(single),
-                )
-                .run()
+                valley_sim::GpuSim::new(GpuConfig::table1(), mapper, map2, Box::new(single)).run()
             };
             total += r.cycles;
         }
@@ -87,5 +81,4 @@ fn main() {
          expected: adaptivity rarely beats the static Broad BIM — the paper's\n\
          robustness argument — and pays the migration cost on many-kernel apps."
     );
-
 }

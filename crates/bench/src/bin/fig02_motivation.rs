@@ -52,10 +52,7 @@ fn main() {
     let broad = Bim::checked_invertible(vec![
         0b111001, // out0 = b5 ^ b4 ^ b3 ^ b0
         0b101010, // out1 = b5 ^ b3 ^ b1
-        0b000100,
-        0b001000,
-        0b010000,
-        0b100000,
+        0b000100, 0b001000, 0b010000, 0b100000,
     ])
     .expect("the example BIM is invertible");
     distribution("TB-CM0, Broad BIM", &tb_cm0, &broad);

@@ -13,7 +13,12 @@ use valley_core::SchemeKind;
 use valley_sim::GpuConfig;
 use valley_workloads::{Benchmark, Scale};
 
-const SUBSET: [Benchmark; 4] = [Benchmark::Mt, Benchmark::Nw, Benchmark::Srad2, Benchmark::Sp];
+const SUBSET: [Benchmark; 4] = [
+    Benchmark::Mt,
+    Benchmark::Nw,
+    Benchmark::Srad2,
+    Benchmark::Sp,
+];
 
 fn main() {
     let schemes = all_schemes();
@@ -59,7 +64,10 @@ fn main() {
     let mut base_cycles = std::collections::BTreeMap::new();
     for b in SUBSET {
         eprintln!("  stacked / BASE / {b} ...");
-        base_cycles.insert(b, run_one_stacked(b, SchemeKind::Base, DEFAULT_SEED, Scale::Ref).cycles);
+        base_cycles.insert(
+            b,
+            run_one_stacked(b, SchemeKind::Base, DEFAULT_SEED, Scale::Ref).cycles,
+        );
     }
     print!("{:<24}", "64 SMs 3D DRAM");
     for &s in &schemes {

@@ -11,7 +11,12 @@ use valley_bench::{hmean, run_one, DEFAULT_SEED};
 use valley_core::SchemeKind;
 use valley_workloads::{Benchmark, Scale};
 
-const SUBSET: [Benchmark; 4] = [Benchmark::Mt, Benchmark::Nw, Benchmark::Srad2, Benchmark::Sp];
+const SUBSET: [Benchmark; 4] = [
+    Benchmark::Mt,
+    Benchmark::Nw,
+    Benchmark::Srad2,
+    Benchmark::Sp,
+];
 
 fn main() {
     let schemes = [SchemeKind::Pae, SchemeKind::Fae, SchemeKind::All];
@@ -20,7 +25,10 @@ fn main() {
     let mut base_cycles = std::collections::BTreeMap::new();
     for b in SUBSET {
         eprintln!("  BASE / {b} ...");
-        base_cycles.insert(b, run_one(b, SchemeKind::Base, DEFAULT_SEED, Scale::Ref).cycles);
+        base_cycles.insert(
+            b,
+            run_one(b, SchemeKind::Base, DEFAULT_SEED, Scale::Ref).cycles,
+        );
     }
 
     println!("Figure 19: HMEAN speedup for three random BIMs per scheme");

@@ -23,7 +23,10 @@ fn benches_of(suite: &Suite) -> Vec<Benchmark> {
     let mut b: Vec<Benchmark> = suite.keys().map(|&(b, _)| b).collect();
     b.sort();
     b.dedup();
-    Benchmark::ALL.into_iter().filter(|x| b.contains(x)).collect()
+    Benchmark::ALL
+        .into_iter()
+        .filter(|x| b.contains(x))
+        .collect()
 }
 
 /// Generic per-benchmark × per-scheme metric table with a final
@@ -59,7 +62,10 @@ pub fn fig11(suite: &Suite) {
     let benches = benches_of(suite);
     let model = DramPowerModel::gddr5();
     println!("\nFigure 11: normalized execution time vs normalized DRAM power");
-    println!("{:<8}{:>16}{:>18}", "scheme", "norm exec time", "norm DRAM power");
+    println!(
+        "{:<8}{:>16}{:>18}",
+        "scheme", "norm exec time", "norm DRAM power"
+    );
     for &s in &schemes {
         let mut times = Vec::new();
         let mut powers = Vec::new();
@@ -69,7 +75,12 @@ pub fn fig11(suite: &Suite) {
             times.push(r.cycles as f64 / base.cycles as f64);
             powers.push(model.evaluate(r).total() / model.evaluate(base).total());
         }
-        println!("{:<8}{:>16.3}{:>18.3}", s.label(), amean(&times), amean(&powers));
+        println!(
+            "{:<8}{:>16.3}{:>18.3}",
+            s.label(),
+            amean(&times),
+            amean(&powers)
+        );
     }
 }
 

@@ -55,7 +55,12 @@ pub fn run_custom(
 pub fn run_one_stacked(bench: Benchmark, scheme: SchemeKind, seed: u64, scale: Scale) -> SimReport {
     let map = StackedMap::baseline();
     let mapper = AddressMapper::build(scheme, &map, seed);
-    let sim = GpuSim::new(GpuConfig::stacked(), mapper, map, Box::new(bench.workload(scale)));
+    let sim = GpuSim::new(
+        GpuConfig::stacked(),
+        mapper,
+        map,
+        Box::new(bench.workload(scale)),
+    );
     sim.run()
 }
 
@@ -63,7 +68,18 @@ pub fn run_one_stacked(bench: Benchmark, scheme: SchemeKind, seed: u64, scale: S
 pub type Suite = BTreeMap<(Benchmark, SchemeKind), SimReport>;
 
 /// Runs the cross product of `benches × schemes` on a thread pool (each
-/// simulation is independent), printing progress to stderr.
+/// simulation is independent), printing progress and per-job wall time to
+/// stderr.
+///
+/// A panicking simulation does not take the suite down or silently drop
+/// its job: every worker catches panics, the survivors keep draining the
+/// queue, and the collected failures are reported together at the end.
+///
+/// # Panics
+///
+/// Panics after all jobs have been attempted if any simulation panicked,
+/// with a summary naming every failed (benchmark, scheme) pair — a suite
+/// with holes would silently skew every downstream figure.
 pub fn run_suite(benches: &[Benchmark], schemes: &[SchemeKind], scale: Scale) -> Suite {
     let jobs: Vec<(Benchmark, SchemeKind)> = benches
         .iter()
@@ -71,6 +87,7 @@ pub fn run_suite(benches: &[Benchmark], schemes: &[SchemeKind], scale: Scale) ->
         .collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     let results = std::sync::Mutex::new(Suite::new());
+    let failures = std::sync::Mutex::new(Vec::<String>::new());
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -82,17 +99,45 @@ pub fn run_suite(benches: &[Benchmark], schemes: &[SchemeKind], scale: Scale) ->
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(&(b, s)) = jobs.get(i) else { break };
                 eprintln!("  running {b} / {s} ...");
-                let r = run_one(b, s, DEFAULT_SEED, scale);
-                if r.truncated {
-                    eprintln!("    WARNING: {b}/{s} hit the cycle limit");
+                let start = std::time::Instant::now();
+                match std::panic::catch_unwind(|| run_one(b, s, DEFAULT_SEED, scale)) {
+                    Ok(r) => {
+                        eprintln!("    {b}/{s} finished in {:.2?}", start.elapsed());
+                        if r.truncated {
+                            eprintln!("    WARNING: {b}/{s} hit the cycle limit");
+                        }
+                        results
+                            .lock()
+                            .expect("no panics while holding the lock")
+                            .insert((b, s), r);
+                    }
+                    Err(panic) => {
+                        let msg = panic
+                            .downcast_ref::<&str>()
+                            .map(|m| (*m).to_string())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string());
+                        eprintln!(
+                            "    ERROR: {b}/{s} panicked after {:.2?}: {msg}",
+                            start.elapsed()
+                        );
+                        failures
+                            .lock()
+                            .expect("no panics while holding the lock")
+                            .push(format!("{b}/{s}: {msg}"));
+                    }
                 }
-                results
-                    .lock()
-                    .expect("no panics while holding the lock")
-                    .insert((b, s), r);
             });
         }
     });
+    let failures = failures.into_inner().expect("all workers joined");
+    assert!(
+        failures.is_empty(),
+        "{} of {} suite jobs panicked:\n  {}",
+        failures.len(),
+        jobs.len(),
+        failures.join("\n  ")
+    );
     results.into_inner().expect("all workers joined")
 }
 

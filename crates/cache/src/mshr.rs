@@ -7,6 +7,7 @@
 //! L1 configuration provides 32 MSHR entries per SM (Table I).
 
 use std::collections::HashMap;
+use valley_core::hash::FastBuildHasher;
 
 /// Outcome of asking the MSHR file to track a miss.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,7 +39,11 @@ pub enum MshrAllocation {
 pub struct MshrFile {
     capacity: usize,
     max_merges: usize,
-    entries: HashMap<u64, Vec<u64>>,
+    entries: HashMap<u64, Vec<u64>, FastBuildHasher>,
+    /// Recycled waiter lists: completing an entry via
+    /// [`MshrFile::complete_into`] parks its `Vec` here so a later
+    /// allocation reuses it instead of hitting the allocator.
+    pool: Vec<Vec<u64>>,
 }
 
 impl MshrFile {
@@ -54,7 +59,8 @@ impl MshrFile {
         MshrFile {
             capacity,
             max_merges,
-            entries: HashMap::with_capacity(capacity),
+            entries: HashMap::with_capacity_and_hasher(capacity, Default::default()),
+            pool: Vec::new(),
         }
     }
 
@@ -96,7 +102,9 @@ impl MshrFile {
         if self.entries.len() >= self.capacity {
             return MshrAllocation::Stalled;
         }
-        self.entries.insert(line, vec![waiter]);
+        let mut waiters = self.pool.pop().unwrap_or_default();
+        waiters.push(waiter);
+        self.entries.insert(line, waiters);
         MshrAllocation::NewEntry
     }
 
@@ -105,6 +113,21 @@ impl MshrFile {
     /// outstanding.
     pub fn complete(&mut self, line: u64) -> Option<Vec<u64>> {
         self.entries.remove(&line)
+    }
+
+    /// Allocation-free [`MshrFile::complete`]: appends the waiters of
+    /// `line` to `out` (in allocation order) and recycles the entry's
+    /// storage. Returns whether the line was outstanding.
+    pub fn complete_into(&mut self, line: u64, out: &mut Vec<u64>) -> bool {
+        match self.entries.remove(&line) {
+            Some(mut waiters) => {
+                out.extend_from_slice(&waiters);
+                waiters.clear();
+                self.pool.push(waiters);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Iterates over the outstanding line addresses (arbitrary order).

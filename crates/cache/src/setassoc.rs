@@ -27,10 +27,13 @@ impl CacheConfig {
     /// Panics unless `line_bytes` is a power of two and the capacity is an
     /// exact multiple of `assoc * line_bytes`.
     pub fn new(size_bytes: u64, assoc: usize, line_bytes: u64) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(assoc >= 1, "associativity must be at least 1");
         assert!(
-            size_bytes % (assoc as u64 * line_bytes) == 0 && size_bytes > 0,
+            size_bytes.is_multiple_of(assoc as u64 * line_bytes) && size_bytes > 0,
             "capacity must be a positive multiple of assoc * line size"
         );
         let cfg = CacheConfig {
@@ -180,6 +183,24 @@ impl SetAssocCache {
             self.stats.misses += 1;
             false
         }
+    }
+
+    /// Replays the statistics side effect of a missing [`probe`] without
+    /// performing the lookup — for retry paths that can prove the outcome
+    /// is unchanged since the last real probe (a miss mutates no LRU
+    /// state, so the counter is the probe's only effect).
+    ///
+    /// [`probe`]: SetAssocCache::probe
+    #[inline]
+    pub fn record_retry_miss(&mut self) {
+        self.stats.misses += 1;
+    }
+
+    /// Bulk form of [`SetAssocCache::record_retry_miss`] for deferred
+    /// accounting of `n` elided retry cycles.
+    #[inline]
+    pub fn record_retry_misses(&mut self, n: u64) {
+        self.stats.misses += n;
     }
 
     /// Checks residency without touching LRU state or statistics.
@@ -371,7 +392,7 @@ mod tests {
         c.fill(0x000); // clean fill
         assert!(c.mark_dirty(0x000));
         assert!(!c.mark_dirty(0x999_940)); // not resident
-        // Evicting the dirty line reports it dirty.
+                                           // Evicting the dirty line reports it dirty.
         c.fill(0x100); // same set
         let ev = c.fill_with(0x200, false).expect("set is full");
         assert_eq!(ev.line, 0x000);

@@ -34,7 +34,7 @@ proptest! {
         let mut c = SetAssocCache::new(cfg);
         // Two lines in the same set (fits the associativity).
         let a = set_bits * 64;
-        let b = a + 8 * 64 * 1; // same set, different tag
+        let b = a + (8 * 64); // same set, different tag
         c.fill(a);
         c.fill(b);
         for _ in 0..rounds {

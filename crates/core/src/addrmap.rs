@@ -364,7 +364,7 @@ mod tests {
         assert_eq!(m.rows_per_bank(), 4096);
         assert_eq!(m.columns_per_row(), 64);
         assert_eq!(m.capacity_bytes(), 1 << 30); // 1 GB
-        // Fields tile the 30-bit address exactly.
+                                                 // Fields tile the 30-bit address exactly.
         let total: u32 = [
             m.block_field().width(),
             m.column_fields().0.width(),

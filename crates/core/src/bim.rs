@@ -37,7 +37,10 @@ impl fmt::Display for BimError {
         match self {
             BimError::Dimension(n) => write!(f, "invalid BIM dimension {n} (must be 1..=64)"),
             BimError::RowOutOfRange { row, mask } => {
-                write!(f, "row {row} mask {mask:#x} selects bits outside the matrix")
+                write!(
+                    f,
+                    "row {row} mask {mask:#x} selects bits outside the matrix"
+                )
             }
             BimError::Singular => write!(f, "matrix is singular over GF(2)"),
         }
@@ -66,10 +69,32 @@ impl std::error::Error for BimError {}
 /// let addr = 0b10110;
 /// assert_eq!(inv.apply(m.apply(addr)), addr);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash)]
+#[derive(Clone)]
 pub struct Bim {
     n: u8,
     rows: Vec<u64>,
+    /// Cached: bits whose row is the identity row (`row(i) == 1 << i`).
+    /// `apply` copies them with one AND instead of a parity reduction.
+    identity_mask: u64,
+    /// Cached: the non-identity rows as `(output bit, mask)` pairs — the
+    /// only rows that need XOR-tree evaluation in `apply`. Mapping schemes
+    /// modify a handful of target bits, so this is short (empty for BASE).
+    special: Vec<(u8, u64)>,
+}
+
+impl PartialEq for Bim {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.rows == other.rows
+    }
+}
+
+impl Eq for Bim {}
+
+impl std::hash::Hash for Bim {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.n.hash(state);
+        self.rows.hash(state);
+    }
 }
 
 impl Bim {
@@ -79,10 +104,31 @@ impl Bim {
     ///
     /// Panics if `n` is zero or greater than 64.
     pub fn identity(n: u8) -> Self {
-        assert!(n >= 1 && n <= 64, "BIM dimension must be 1..=64");
-        Bim {
+        assert!((1..=64).contains(&n), "BIM dimension must be 1..=64");
+        Bim::from_parts(n, (0..n).map(|i| 1u64 << i).collect())
+    }
+
+    /// Internal constructor: builds the `apply` fast-path cache.
+    fn from_parts(n: u8, rows: Vec<u64>) -> Self {
+        let mut bim = Bim {
             n,
-            rows: (0..n).map(|i| 1u64 << i).collect(),
+            rows,
+            identity_mask: 0,
+            special: Vec::new(),
+        };
+        bim.rebuild_cache();
+        bim
+    }
+
+    fn rebuild_cache(&mut self) {
+        self.identity_mask = 0;
+        self.special.clear();
+        for (i, &mask) in self.rows.iter().enumerate() {
+            if mask == 1u64 << i {
+                self.identity_mask |= 1u64 << i;
+            } else {
+                self.special.push((i as u8, mask));
+            }
         }
     }
 
@@ -105,7 +151,7 @@ impl Bim {
                 return Err(BimError::RowOutOfRange { row: i, mask });
             }
         }
-        Ok(Bim { n: n as u8, rows })
+        Ok(Bim::from_parts(n as u8, rows))
     }
 
     /// Like [`Bim::from_rows`] but additionally requires invertibility.
@@ -153,6 +199,7 @@ impl Bim {
         };
         assert!(mask & !limit == 0, "row mask selects bits outside matrix");
         self.rows[i as usize] = mask;
+        self.rebuild_cache();
     }
 
     /// Applies the matrix to an address: output bit `i` is the parity of
@@ -161,8 +208,8 @@ impl Bim {
     /// This mirrors the single-cycle XOR-tree hardware of Figure 7.
     #[inline]
     pub fn apply(&self, addr: u64) -> u64 {
-        let mut out = 0u64;
-        for (i, &mask) in self.rows.iter().enumerate() {
+        let mut out = addr & self.identity_mask;
+        for &(i, mask) in &self.special {
             out |= (((mask & addr).count_ones() as u64) & 1) << i;
         }
         out
@@ -195,10 +242,7 @@ impl Bim {
 
     /// Whether this is the identity matrix.
     pub fn is_identity(&self) -> bool {
-        self.rows
-            .iter()
-            .enumerate()
-            .all(|(i, &m)| m == 1u64 << i)
+        self.rows.iter().enumerate().all(|(i, &m)| m == 1u64 << i)
     }
 
     /// Computes the inverse matrix, or `None` if singular.
@@ -223,10 +267,7 @@ impl Bim {
                 }
             }
         }
-        Some(Bim {
-            n: self.n,
-            rows: inv,
-        })
+        Some(Bim::from_parts(self.n, inv))
     }
 
     /// Matrix product `self × other` (apply `other` first, then `self`).
@@ -251,7 +292,7 @@ impl Bim {
                 acc
             })
             .collect();
-        Bim { n: self.n, rows }
+        Bim::from_parts(self.n, rows)
     }
 
     /// The number of ones in the matrix — a proxy for the XOR-gate count of

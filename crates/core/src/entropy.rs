@@ -17,7 +17,10 @@
 //! 5. combines kernels into an application profile by weighting each
 //!    kernel's per-bit `H*` with its request count.
 
+use crate::hash::FastBuildHasher;
 use std::collections::HashMap;
+
+type BvrCounts = HashMap<Bvr, u32, FastBuildHasher>;
 
 /// A Bit Value Ratio: the fraction of requests in a TB for which a given
 /// address bit is 1, kept as an exact reduced fraction so that equality
@@ -207,7 +210,97 @@ pub fn window_entropy(bvrs: &[Bvr], window: usize) -> f64 {
 }
 
 /// [`window_entropy`] with an explicit per-window entropy method.
+///
+/// Runs in O(n) for both methods (the naive per-window recomputation is
+/// O(n·w)): [`EntropyMethod::MixtureBvr`] evaluates window means from a
+/// prefix-sum array, and [`EntropyMethod::DistinctBvr`] slides a value
+/// count-map while rolling the `Σ c·ln c` term of the window entropy.
+/// Results match [`window_entropy_naive_method`] to floating-point
+/// round-off (the property tests in `tests/props.rs` pin this).
 pub fn window_entropy_method(bvrs: &[Bvr], window: usize, method: EntropyMethod) -> f64 {
+    if bvrs.is_empty() {
+        return 0.0;
+    }
+    let w = window.max(1).min(bvrs.len());
+    let num_windows = bvrs.len() - w + 1;
+    let sum = match method {
+        EntropyMethod::MixtureBvr => {
+            // Prefix sums: window sums are two lookups, and the bounded
+            // cancellation error keeps results within round-off of the
+            // naive per-window summation.
+            let mut prefix = Vec::with_capacity(bvrs.len() + 1);
+            let mut acc = 0.0f64;
+            prefix.push(0.0);
+            for v in bvrs {
+                acc += v.value();
+                prefix.push(acc);
+            }
+            let mut sum = 0.0;
+            for start in 0..num_windows {
+                let p = (prefix[start + w] - prefix[start]) / w as f64;
+                sum += binary_entropy(p);
+            }
+            sum
+        }
+        EntropyMethod::DistinctBvr => {
+            // For a window with distinct-value counts c_i (Σ c_i = w) the
+            // base-v Shannon entropy is (ln w − S/w) / ln v with
+            // S = Σ c_i·ln c_i and v the number of distinct values. Both
+            // S and v update in O(1) amortized as the window slides.
+            let c_lnc = |c: u32| -> f64 {
+                if c <= 1 {
+                    0.0
+                } else {
+                    f64::from(c) * f64::from(c).ln()
+                }
+            };
+            let mut counts: BvrCounts =
+                HashMap::with_capacity_and_hasher(w.min(64), Default::default());
+            let mut s = 0.0f64; // Σ c·ln c over the current window
+            for &v in &bvrs[..w] {
+                let c = counts.entry(v).or_insert(0);
+                s += -c_lnc(*c);
+                *c += 1;
+                s += c_lnc(*c);
+            }
+            let ln_w = (w as f64).ln();
+            let window_h = |s: f64, v: usize| -> f64 {
+                if v <= 1 {
+                    0.0
+                } else {
+                    (ln_w - s / w as f64) / (v as f64).ln()
+                }
+            };
+            let mut sum = window_h(s, counts.len());
+            for start in 1..num_windows {
+                let out = bvrs[start - 1];
+                let c = counts
+                    .get_mut(&out)
+                    .expect("outgoing value is in the window");
+                s -= c_lnc(*c);
+                *c -= 1;
+                s += c_lnc(*c);
+                if *c == 0 {
+                    counts.remove(&out);
+                }
+                let inc = bvrs[start + w - 1];
+                let c = counts.entry(inc).or_insert(0);
+                s -= c_lnc(*c);
+                *c += 1;
+                s += c_lnc(*c);
+                sum += window_h(s, counts.len());
+            }
+            sum
+        }
+    };
+    sum / num_windows as f64
+}
+
+/// The reference O(n·w) implementation of [`window_entropy_method`]:
+/// recomputes every window from scratch. Kept as the oracle for the
+/// rolling implementation's property tests and as an unambiguous
+/// statement of the metric's definition.
+pub fn window_entropy_naive_method(bvrs: &[Bvr], window: usize, method: EntropyMethod) -> f64 {
     if bvrs.is_empty() {
         return 0.0;
     }
@@ -369,11 +462,7 @@ pub fn application_entropy(kernels: &[EntropyProfile]) -> EntropyProfile {
     if total == 0 {
         return EntropyProfile::from_per_bit(Vec::new(), 0);
     }
-    let bits = kernels
-        .iter()
-        .map(|k| k.per_bit().len())
-        .max()
-        .unwrap_or(0);
+    let bits = kernels.iter().map(|k| k.per_bit().len()).max().unwrap_or(0);
     let mut per_bit = vec![0.0; bits];
     for k in kernels {
         let w = k.requests() as f64 / total as f64;
@@ -565,12 +654,8 @@ mod tests {
     fn valley_detection() {
         // Bits 8-13 starved, bits 18-29 rich: a textbook valley.
         let mut per_bit = vec![0.0; 30];
-        for b in 18..30 {
-            per_bit[b] = 0.9;
-        }
-        for b in 6..8 {
-            per_bit[b] = 0.8;
-        }
+        per_bit[18..30].fill(0.9);
+        per_bit[6..8].fill(0.8);
         let p = EntropyProfile::from_per_bit(per_bit, 1000);
         let targets: Vec<u8> = (8..14).collect();
         let candidates: Vec<u8> = (6..30).collect();

@@ -1,0 +1,53 @@
+//! A fast multiplicative hasher for simulator-internal integer keys.
+//!
+//! Hot paths (the MSHR files, the rolling entropy count-map) hash small
+//! fixed-size keys millions of times per run. The keys are simulator
+//! data, not attacker-controlled, so SipHash's DoS hardening is wasted
+//! cost there; this SplitMix64-style mix is a few instructions per word.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A non-cryptographic hasher for small integer-structured keys.
+#[derive(Default)]
+pub struct FastHasher(u64);
+
+/// `BuildHasher` for [`FastHasher`], for `HashMap::with_hasher` use.
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        let mut h = (self.0 ^ x).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= h >> 29;
+        self.0 = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn distributes_and_roundtrips() {
+        let mut m: HashMap<u64, u64, FastBuildHasher> = HashMap::default();
+        for i in 0..10_000u64 {
+            m.insert(i * 64, i);
+        }
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(&(i * 64)), Some(&i));
+        }
+    }
+}

@@ -48,6 +48,7 @@ mod addr;
 mod addrmap;
 mod bim;
 pub mod entropy;
+pub mod hash;
 mod schemes;
 
 pub use addr::{BitField, PhysAddr};

@@ -122,9 +122,12 @@ impl AddressMapper {
             SchemeKind::Base => Bim::identity(map.addr_bits()),
             SchemeKind::Pm => build_pm(map),
             SchemeKind::Rmp => build_rmp(map, &default_rmp_sources(map)),
-            SchemeKind::Pae => {
-                build_broad(map, &map.page_address_bits(), &map.target_field_bits(), seed)
-            }
+            SchemeKind::Pae => build_broad(
+                map,
+                &map.page_address_bits(),
+                &map.target_field_bits(),
+                seed,
+            ),
             SchemeKind::Fae => {
                 build_broad(map, &map.non_block_bits(), &map.target_field_bits(), seed)
             }
@@ -168,8 +171,7 @@ impl AddressMapper {
     /// entropy valleys.
     pub fn minimalist_open_page(map: &dyn DramAddressMap) -> Self {
         let targets = map.target_field_bits();
-        let sources: Vec<u8> =
-            (map.block_bits()..map.block_bits() + targets.len() as u8).collect();
+        let sources: Vec<u8> = (map.block_bits()..map.block_bits() + targets.len() as u8).collect();
         let bim = build_rmp(map, &sources);
         let inverse = bim.inverse().expect("permutation matrices are invertible");
         AddressMapper {
@@ -223,12 +225,7 @@ impl AddressMapper {
     ///
     /// Panics if `kind` is not PAE or FAE, or `weights` is shorter than
     /// the address width.
-    pub fn guided(
-        kind: SchemeKind,
-        map: &dyn DramAddressMap,
-        weights: &[f64],
-        seed: u64,
-    ) -> Self {
+    pub fn guided(kind: SchemeKind, map: &dyn DramAddressMap, weights: &[f64], seed: u64) -> Self {
         let inputs = match kind {
             SchemeKind::Pae => map.page_address_bits(),
             SchemeKind::Fae => map.non_block_bits(),
@@ -595,9 +592,7 @@ mod tests {
             assert_eq!(m.bim().row(bit), 1u64 << bit);
         }
         // At least some row/column output bits are non-identity.
-        let non_identity = (6..30u8)
-            .filter(|&b| m.bim().row(b) != 1u64 << b)
-            .count();
+        let non_identity = (6..30u8).filter(|&b| m.bim().row(b) != 1u64 << b).count();
         assert!(non_identity > 12, "ALL should rewrite most non-block bits");
     }
 
@@ -607,7 +602,11 @@ mod tests {
             let m = AddressMapper::build(kind, &map(), 3);
             for raw in [0x3fu64, 0x15, 0x2a] {
                 let a = PhysAddr::new(raw | (0x1234 << 14));
-                assert_eq!(m.map(a).raw() & 0x3f, raw & 0x3f, "{kind} altered block bits");
+                assert_eq!(
+                    m.map(a).raw() & 0x3f,
+                    raw & 0x3f,
+                    "{kind} altered block bits"
+                );
             }
         }
     }
@@ -694,9 +693,7 @@ mod tests {
         // Give all the weight to bits 24..=29: across seeds, guided rows
         // must select those bits far more often than the near-zero ones.
         let mut weights = vec![0.01f64; 30];
-        for b in 24..30 {
-            weights[b] = 1.0;
-        }
+        weights[24..30].fill(1.0);
         let mut hot = 0u32;
         let mut cold = 0u32;
         for seed in 0..20 {

@@ -2,7 +2,9 @@
 //! window-based entropy metric.
 
 use proptest::prelude::*;
-use valley_core::entropy::{window_entropy, window_entropy_method, Bvr, EntropyMethod};
+use valley_core::entropy::{
+    window_entropy, window_entropy_method, window_entropy_naive_method, Bvr, EntropyMethod,
+};
 use valley_core::{AddressMapper, Bim, DramAddressMap, GddrMap, PhysAddr, SchemeKind, StackedMap};
 
 const ADDR_MASK: u64 = (1 << 30) - 1;
@@ -97,6 +99,28 @@ proptest! {
         for method in [EntropyMethod::MixtureBvr, EntropyMethod::DistinctBvr] {
             let h = window_entropy_method(&bvrs, window, method);
             prop_assert!((0.0..=1.0 + 1e-9).contains(&h), "{method:?}: {h}");
+        }
+    }
+
+    /// The O(n) rolling window entropy matches the naive O(n·w)
+    /// reference on arbitrary BVR slices, for both methods and window
+    /// sizes (including windows larger than the slice).
+    #[test]
+    fn rolling_entropy_matches_naive(
+        pairs in proptest::collection::vec((0u64..=12, 1u64..=12), 1..120),
+        window in 1usize..40,
+    ) {
+        let bvrs: Vec<Bvr> = pairs
+            .iter()
+            .map(|&(ones, total)| Bvr::new(ones.min(total), total))
+            .collect();
+        for method in [EntropyMethod::MixtureBvr, EntropyMethod::DistinctBvr] {
+            let rolling = window_entropy_method(&bvrs, window, method);
+            let naive = window_entropy_naive_method(&bvrs, window, method);
+            prop_assert!(
+                (rolling - naive).abs() < 1e-9,
+                "{method:?} w={window}: rolling {rolling} vs naive {naive}"
+            );
         }
     }
 

@@ -1,5 +1,10 @@
 //! A single DRAM channel: banks, open-page row buffers and an FR-FCFS
 //! scheduler (Rixner et al.), as configured in Table I.
+//!
+//! The scheduler keeps **per-bank request queues** so arbitration only
+//! examines banks that can accept a command this cycle, instead of
+//! scanning one global queue; a global sequence number preserves the exact
+//! FR-FCFS/FCFS ordering semantics of a single arrival-ordered queue.
 
 use crate::config::DramConfig;
 use crate::stats::DramStats;
@@ -51,6 +56,18 @@ struct Bank {
     ready_at: u64,
     /// Time of the last ACT (for the tRAS constraint before PRE).
     act_at: u64,
+    /// Transactions issued from this bank and not yet completed.
+    inflight: u32,
+    /// Queued requests whose row matches `open_row` — lets the scheduler
+    /// skip the row-hit scan entirely for conflict-bound banks.
+    open_row_hits: u32,
+}
+
+/// A queued request plus its global arrival order.
+#[derive(Clone, Copy, Debug)]
+struct Queued {
+    seq: u64,
+    req: DramRequest,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -83,7 +100,8 @@ impl Ord for InFlight {
 ///
 /// Drive it with [`DramChannel::try_enqueue`] and advance time with
 /// [`DramChannel::tick`] once per DRAM cycle; completions come back with
-/// the caller's request tokens.
+/// the caller's request tokens in a caller-provided buffer (the hot loop
+/// is allocation-free).
 ///
 /// # Examples
 ///
@@ -94,7 +112,7 @@ impl Ord for InFlight {
 /// ch.try_enqueue(DramRequest { id: 1, bank: 0, row: 7, is_write: false, arrival: 0 });
 /// let mut done = Vec::new();
 /// for cycle in 0..200 {
-///     done.extend(ch.tick(cycle));
+///     ch.tick(cycle, &mut done);
 /// }
 /// assert_eq!(done.len(), 1);
 /// assert_eq!(done[0].id, 1);
@@ -103,7 +121,25 @@ impl Ord for InFlight {
 pub struct DramChannel {
     cfg: DramConfig,
     banks: Vec<Bank>,
-    queue: VecDeque<DramRequest>,
+    /// Per-bank scheduling queues, each in arrival order.
+    queues: Vec<VecDeque<Queued>>,
+    /// Total requests across all per-bank queues.
+    queued: usize,
+    /// Banks with at least one outstanding (queued or in-flight) request,
+    /// maintained incrementally for the Figure 14c sampling hot path.
+    busy_bank_count: u32,
+    /// Next global arrival sequence number.
+    next_seq: u64,
+    /// Cached earliest cycle at which [`DramChannel::tick`] does real
+    /// work (`u64::MAX` = empty channel); maintained by the evented tick
+    /// path and invalidated by [`DramChannel::try_enqueue`].
+    cached_next: u64,
+    /// First cycle whose counter updates are still deferred.
+    acct_from: u64,
+    /// Conservative (never late) next-event hint left behind by `tick`,
+    /// folded into the arbitration scan so the evented path needs no
+    /// second pass over the banks.
+    next_hint: u64,
     inflight: BinaryHeap<Reverse<InFlight>>,
     /// Earliest cycle the next ACT may issue (tRRD).
     next_act_at: u64,
@@ -117,7 +153,13 @@ impl DramChannel {
     pub fn new(cfg: DramConfig) -> Self {
         DramChannel {
             banks: vec![Bank::default(); cfg.banks],
-            queue: VecDeque::with_capacity(cfg.queue_capacity),
+            queues: vec![VecDeque::new(); cfg.banks],
+            queued: 0,
+            busy_bank_count: 0,
+            next_seq: 0,
+            cached_next: 0,
+            acct_from: 0,
+            next_hint: 0,
             inflight: BinaryHeap::new(),
             next_act_at: 0,
             bus_free_at: 0,
@@ -139,39 +181,46 @@ impl DramChannel {
     /// Panics if the request's bank index is out of range.
     pub fn try_enqueue(&mut self, req: DramRequest) -> bool {
         assert!(req.bank < self.cfg.banks, "bank index out of range");
-        if self.queue.len() >= self.cfg.queue_capacity {
+        if self.queued >= self.cfg.queue_capacity {
             return false;
         }
-        self.queue.push_back(req);
+        // Counter deferral (evented path): the cycles before this arrival
+        // must be accounted with the channel's *pre-enqueue* busy state.
+        self.flush_deferred(req.arrival);
+        self.cached_next = 0;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let bank = &mut self.banks[req.bank];
+        if self.queues[req.bank].is_empty() && bank.inflight == 0 {
+            self.busy_bank_count += 1;
+        }
+        if bank.open_row == Some(req.row) {
+            bank.open_row_hits += 1;
+        }
+        self.queues[req.bank].push_back(Queued { seq, req });
+        self.queued += 1;
         true
     }
 
     /// Number of queued (not yet scheduled) requests.
     pub fn queue_len(&self) -> usize {
-        self.queue.len()
+        self.queued
     }
 
     /// Whether any request is queued or in flight.
     pub fn is_busy(&self) -> bool {
-        !self.queue.is_empty() || !self.inflight.is_empty()
+        self.queued > 0 || !self.inflight.is_empty()
     }
 
     /// Total outstanding requests (queued + in flight).
     pub fn outstanding(&self) -> usize {
-        self.queue.len() + self.inflight.len()
+        self.queued + self.inflight.len()
     }
 
     /// Number of distinct banks with at least one outstanding request —
     /// the paper's per-channel bank-level parallelism sample (Figure 14c).
     pub fn busy_banks(&self) -> usize {
-        let mut mask = 0u64;
-        for r in &self.queue {
-            mask |= 1 << r.bank;
-        }
-        for f in &self.inflight {
-            mask |= 1 << f.0.bank;
-        }
-        mask.count_ones() as usize
+        self.busy_bank_count as usize
     }
 
     /// Accumulated statistics.
@@ -179,24 +228,110 @@ impl DramChannel {
         self.stats
     }
 
-    /// Advances the channel to DRAM cycle `cycle`: retires finished
-    /// transactions and schedules at most one new column access (FR-FCFS:
-    /// oldest row-hit first, otherwise oldest).
-    pub fn tick(&mut self, cycle: u64) -> Vec<DramCompletion> {
-        self.stats.total_cycles += 1;
-        if self.is_busy() {
-            self.stats.busy_cycles += 1;
+    /// The cached next-event cycle maintained by
+    /// [`DramChannel::tick_evented`] (`u64::MAX` = empty channel).
+    #[inline]
+    pub fn cached_next_event(&self) -> u64 {
+        self.cached_next
+    }
+
+    /// The earliest DRAM cycle at or after `now` at which [`tick`] would
+    /// do real work (retire a completion or issue a command), or `None`
+    /// when the channel is empty. Between `now` and that cycle, every
+    /// `tick` is a pure counter update — callers may replace the calls
+    /// with one [`DramChannel::skip_idle`].
+    ///
+    /// [`tick`]: DramChannel::tick
+    pub fn next_event_at(&self, now: u64) -> Option<u64> {
+        let mut next = self.inflight.peek().map(|Reverse(f)| f.finish.max(now));
+        for (bank, queue) in self.banks.iter().zip(&self.queues) {
+            if queue.is_empty() {
+                continue;
+            }
+            let ready = bank.ready_at.max(now);
+            next = Some(next.map_or(ready, |n| n.min(ready)));
+            if ready == now {
+                break; // cannot get earlier than `now`
+            }
         }
-        if self.bus_free_at > cycle {
-            self.stats.data_bus_cycles += 1;
+        next
+    }
+
+    /// Accounts `n` DRAM cycles starting at `from` during which the
+    /// channel provably does nothing (see [`DramChannel::next_event_at`]),
+    /// updating the same counters `n` dense [`tick`] calls would have.
+    ///
+    /// [`tick`]: DramChannel::tick
+    pub fn skip_idle(&mut self, from: u64, n: u64) {
+        self.stats.total_cycles += n;
+        if self.is_busy() {
+            self.stats.busy_cycles += n;
+        }
+        self.stats.data_bus_cycles += self.bus_free_at.saturating_sub(from).min(n);
+        // These cycles are now accounted; keep the deferral cursor in
+        // sync so a later flush cannot double-count them.
+        self.acct_from = self.acct_from.max(from + n);
+    }
+
+    /// Brings the per-cycle counters up to date with `up_to` (exclusive),
+    /// accounting every not-yet-ticked cycle exactly as the dense loop
+    /// would have. Call before reading [`DramChannel::stats`] when
+    /// driving the channel through [`DramChannel::tick_evented`].
+    pub fn flush_deferred(&mut self, up_to: u64) {
+        if up_to > self.acct_from {
+            self.skip_idle(self.acct_from, up_to - self.acct_from);
+        }
+    }
+
+    /// Event-gated [`DramChannel::tick`]: a no-op (with counters
+    /// deferred) while the cached next-event cycle is in the future.
+    /// Bit-identical to ticking densely every cycle.
+    #[inline]
+    pub fn tick_evented(&mut self, cycle: u64, done: &mut Vec<DramCompletion>) {
+        if cycle < self.cached_next {
+            return;
+        }
+        self.flush_deferred(cycle);
+        self.tick(cycle, done);
+        // `tick` leaves a conservative (never late) next-event hint, so no
+        // second bank scan is needed here.
+        self.cached_next = self.next_hint.max(cycle + 1);
+    }
+
+    /// Advances the channel to DRAM cycle `cycle`: retires finished
+    /// transactions into `done` (which is *not* cleared) and schedules at
+    /// most one new column access (FR-FCFS: oldest row-hit first,
+    /// otherwise oldest).
+    pub fn tick(&mut self, cycle: u64, done: &mut Vec<DramCompletion>) {
+        // Count this cycle unless an out-of-band flush (an enqueue whose
+        // arrival stamp ran ahead of the tick cursor) already settled it.
+        if cycle >= self.acct_from {
+            self.stats.total_cycles += 1;
+            self.acct_from = cycle + 1;
+            if self.is_busy() {
+                self.stats.busy_cycles += 1;
+                if self.bus_free_at > cycle {
+                    self.stats.data_bus_cycles += 1;
+                }
+            }
+        }
+        if self.queued == 0 && self.inflight.is_empty() {
+            // Idle: nothing to retire or schedule (and the bus went free
+            // no later than the last retired burst).
+            debug_assert!(self.bus_free_at <= cycle);
+            self.next_hint = u64::MAX;
+            return;
         }
 
-        let mut done = Vec::new();
         while let Some(Reverse(f)) = self.inflight.peek() {
             if f.finish > cycle {
                 break;
             }
             let Reverse(f) = self.inflight.pop().expect("peeked entry exists");
+            self.banks[f.bank].inflight -= 1;
+            if self.banks[f.bank].inflight == 0 && self.queues[f.bank].is_empty() {
+                self.busy_bank_count -= 1;
+            }
             self.stats.total_latency += f.finish.saturating_sub(f.arrival);
             done.push(DramCompletion {
                 id: f.id,
@@ -205,35 +340,63 @@ impl DramChannel {
             });
         }
 
-        if let Some(idx) = self.pick_fr_fcfs(cycle) {
-            let req = self.queue.remove(idx).expect("picked index is valid");
-            self.issue(req, cycle);
+        let (picked, min_ready) = self.pick(cycle);
+        let mut hint = min_ready;
+        if let Some((bank, idx)) = picked {
+            let q = self.queues[bank]
+                .remove(idx)
+                .expect("picked index is valid");
+            self.queued -= 1;
+            self.issue(q.req, cycle);
+            // The issued bank's readiness changed; its pre-issue ready_at
+            // in `min_ready` can only be early (conservative).
+            hint = hint.min(self.banks[q.req.bank].ready_at);
         }
-        done
+        if let Some(Reverse(f)) = self.inflight.peek() {
+            hint = hint.min(f.finish);
+        }
+        self.next_hint = hint;
     }
 
-    /// Request arbitration. FR-FCFS: among requests whose bank can accept
-    /// a command this cycle, prefer the oldest row-buffer hit, then the
-    /// oldest request overall. FCFS: strictly the oldest ready request.
-    fn pick_fr_fcfs(&self, cycle: u64) -> Option<usize> {
+    /// Request arbitration over the per-bank queues. FR-FCFS: among
+    /// requests whose bank can accept a command this cycle, the oldest
+    /// row-buffer hit (global arrival order), then the oldest request
+    /// overall. FCFS: strictly the oldest ready request. Returns the bank
+    /// and position within that bank's queue, plus the minimum `ready_at`
+    /// over all banks with queued work (the scheduler's next-event hint).
+    fn pick(&self, cycle: u64) -> (Option<(usize, usize)>, u64) {
         let row_hit_first = self.cfg.policy == crate::config::SchedulingPolicy::FrFcfs;
-        let mut oldest_ready: Option<usize> = None;
-        for (i, r) in self.queue.iter().enumerate() {
-            let bank = &self.banks[r.bank];
+        let mut best_hit: Option<(u64, usize, usize)> = None;
+        let mut oldest_ready: Option<(u64, usize)> = None;
+        let mut min_ready = u64::MAX;
+        for (b, (bank, queue)) in self.banks.iter().zip(&self.queues).enumerate() {
+            let Some(front) = queue.front() else { continue };
+            min_ready = min_ready.min(bank.ready_at);
             if bank.ready_at > cycle {
                 continue;
             }
-            if row_hit_first && bank.open_row == Some(r.row) {
-                return Some(i); // first (oldest) row hit wins
+            if oldest_ready.is_none_or(|(seq, _)| front.seq < seq) {
+                oldest_ready = Some((front.seq, b));
             }
-            if oldest_ready.is_none() {
-                oldest_ready = Some(i);
-                if !row_hit_first {
-                    return oldest_ready;
+            // Only scan banks that provably hold a row hit (the counter is
+            // maintained on enqueue and issue); the oldest hit within a
+            // bank is the first match from the front (arrival order).
+            if row_hit_first && bank.open_row_hits > 0 {
+                let open = bank.open_row.expect("hits imply an open row");
+                for (i, q) in queue.iter().enumerate() {
+                    if q.req.row == open {
+                        if best_hit.is_none_or(|(seq, _, _)| q.seq < seq) {
+                            best_hit = Some((q.seq, b, i));
+                        }
+                        break;
+                    }
                 }
             }
         }
-        oldest_ready
+        let choice = best_hit
+            .map(|(_, b, i)| (b, i))
+            .or(oldest_ready.map(|(_, b)| (b, 0)));
+        (choice, min_ready)
     }
 
     /// Commits the command sequence for `req` starting no earlier than
@@ -277,8 +440,24 @@ impl DramChannel {
         let data_end = data_start + t.tburst;
         self.bus_free_at = data_end;
 
+        match outcome {
+            RowBufferOutcome::Hit => {
+                // One queued hit (this request) left the queue.
+                bank.open_row_hits -= 1;
+            }
+            RowBufferOutcome::Empty | RowBufferOutcome::Conflict => {
+                // The open row changed: recount matches against the new
+                // row, once per ACT (amortized — row misses pay
+                // tRCD-scale latencies anyway).
+                bank.open_row_hits = self.queues[req.bank]
+                    .iter()
+                    .filter(|q| q.req.row == req.row)
+                    .count() as u32;
+            }
+        }
         bank.open_row = Some(req.row);
         bank.ready_at = col_at + t.tccd;
+        bank.inflight += 1;
 
         match outcome {
             RowBufferOutcome::Hit => self.stats.row_hits += 1,
@@ -310,7 +489,11 @@ mod tests {
     }
 
     fn run(ch: &mut DramChannel, from: u64, to: u64) -> Vec<DramCompletion> {
-        (from..to).flat_map(|c| ch.tick(c)).collect()
+        let mut done = Vec::new();
+        for c in from..to {
+            ch.tick(c, &mut done);
+        }
+        done
     }
 
     fn req(id: u64, bank: usize, row: usize) -> DramRequest {
@@ -410,6 +593,22 @@ mod tests {
     }
 
     #[test]
+    fn fr_fcfs_oldest_hit_wins_across_banks() {
+        let mut ch = chan();
+        // Open row 1 in bank 0 and row 2 in bank 1.
+        ch.try_enqueue(req(1, 0, 1));
+        ch.try_enqueue(req(2, 1, 2));
+        let _ = run(&mut ch, 0, 60);
+        // Hits for both banks; the bank-1 hit arrived first and must win
+        // the shared data bus.
+        ch.try_enqueue(req(10, 1, 2));
+        ch.try_enqueue(req(11, 0, 1));
+        let done = run(&mut ch, 60, 400);
+        let order: Vec<u64> = done.iter().map(|d| d.id).collect();
+        assert_eq!(order, vec![10, 11]);
+    }
+
+    #[test]
     fn queue_backpressure() {
         let mut ch = chan();
         let cap = ch.config().queue_capacity;
@@ -463,5 +662,46 @@ mod tests {
         assert!(!ch.is_busy());
         assert_eq!(ch.stats().busy_cycles, 0);
         assert_eq!(ch.stats().total_cycles, 10);
+    }
+
+    #[test]
+    fn next_event_tracks_inflight_and_bank_readiness() {
+        let mut ch = chan();
+        assert_eq!(ch.next_event_at(0), None);
+        ch.try_enqueue(req(1, 0, 5));
+        // Queued request, bank idle: the event is now.
+        assert_eq!(ch.next_event_at(3), Some(3));
+        let mut done = Vec::new();
+        ch.tick(3, &mut done);
+        // Issued at 3: in flight until 31, bank busy until col+tccd.
+        let next = ch.next_event_at(4).expect("in-flight work");
+        assert!(next > 4);
+        // Skipping to the event and ticking there must complete it.
+        ch.skip_idle(4, next - 4);
+        ch.tick(next, &mut done);
+        assert_eq!(done.len(), 1, "the skipped-to event retires the request");
+    }
+
+    #[test]
+    fn skip_idle_matches_dense_counters() {
+        // Drive one request, then compare dense ticking vs skipping over
+        // the quiet window.
+        let mut dense = chan();
+        let mut skip = chan();
+        dense.try_enqueue(req(1, 0, 5));
+        skip.try_enqueue(req(1, 0, 5));
+        let mut d1 = Vec::new();
+        let mut d2 = Vec::new();
+        for c in 0..60 {
+            dense.tick(c, &mut d1);
+        }
+        // Event-driven: tick cycle 0 (issue), skip to the completion.
+        skip.tick(0, &mut d2);
+        let ev = skip.next_event_at(1).unwrap();
+        skip.skip_idle(1, ev - 1);
+        skip.tick(ev, &mut d2);
+        skip.skip_idle(ev + 1, 60 - ev - 1);
+        assert_eq!(d1, d2);
+        assert_eq!(dense.stats(), skip.stats());
     }
 }

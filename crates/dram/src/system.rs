@@ -24,7 +24,7 @@ use valley_core::{DramAddressMap, PhysAddr};
 /// assert!(sys.try_enqueue(PhysAddr::new(0x1234_5678 & 0x3fff_ffff), 1, false, 0));
 /// let mut done = Vec::new();
 /// for cycle in 0..200 {
-///     done.extend(sys.tick(cycle));
+///     sys.tick(cycle, &mut done);
 /// }
 /// assert_eq!(done.len(), 1);
 /// ```
@@ -68,18 +68,44 @@ impl DramSystem {
         self.map.controller_of(addr)
     }
 
+    /// Decodes a mapped address into `(controller, bank, row)` once, so
+    /// callers that may retry an enqueue for many cycles (the LLC's DRAM
+    /// hand-off) can cache the coordinates instead of paying the address
+    /// map's virtual decode on every attempt.
+    pub fn decode(&self, addr: PhysAddr) -> (u32, u32, u32) {
+        (
+            self.map.controller_of(addr) as u32,
+            self.map.bank_of(addr) as u32,
+            self.map.row_of(addr) as u32,
+        )
+    }
+
     /// Attempts to enqueue a (mapped) transaction. Returns `false` if the
     /// target channel's queue is full.
     pub fn try_enqueue(&mut self, addr: PhysAddr, id: u64, is_write: bool, now: u64) -> bool {
-        let ch = self.map.controller_of(addr);
+        let (ctrl, bank, row) = self.decode(addr);
+        self.try_enqueue_at(ctrl, bank, row, id, is_write, now)
+    }
+
+    /// [`DramSystem::try_enqueue`] with pre-decoded coordinates (see
+    /// [`DramSystem::decode`]).
+    pub fn try_enqueue_at(
+        &mut self,
+        ctrl: u32,
+        bank: u32,
+        row: u32,
+        id: u64,
+        is_write: bool,
+        now: u64,
+    ) -> bool {
         let req = DramRequest {
             id,
-            bank: self.map.bank_of(addr),
-            row: self.map.row_of(addr),
+            bank: bank as usize,
+            row: row as usize,
             is_write,
             arrival: now,
         };
-        self.channels[ch].try_enqueue(req)
+        self.channels[ctrl as usize].try_enqueue(req)
     }
 
     /// Whether the channel serving `addr` can accept a request.
@@ -88,14 +114,66 @@ impl DramSystem {
         self.channels[ch].queue_len() < self.channels[ch].config().queue_capacity
     }
 
-    /// Advances all channels one DRAM cycle; returns the completions of
-    /// every channel (tagged with the enqueue tokens).
-    pub fn tick(&mut self, cycle: u64) -> Vec<DramCompletion> {
-        let mut done = Vec::new();
+    /// Advances all channels one DRAM cycle, pushing the completions of
+    /// every channel (tagged with the enqueue tokens) into `done`, which
+    /// is *not* cleared.
+    pub fn tick(&mut self, cycle: u64, done: &mut Vec<DramCompletion>) {
         for ch in &mut self.channels {
-            done.extend(ch.tick(cycle));
+            ch.tick(cycle, done);
         }
-        done
+    }
+
+    /// The earliest DRAM cycle at or after `now` at which any channel
+    /// would do real work, or `None` when the whole system is empty. See
+    /// [`DramChannel::next_event_at`].
+    pub fn next_event_at(&self, now: u64) -> Option<u64> {
+        let mut next: Option<u64> = None;
+        for ch in &self.channels {
+            if let Some(t) = ch.next_event_at(now) {
+                next = Some(next.map_or(t, |n| n.min(t)));
+                if t == now {
+                    break;
+                }
+            }
+        }
+        next
+    }
+
+    /// Accounts `n` provably event-free DRAM cycles starting at `from`
+    /// on every channel (the bulk equivalent of `n` dense [`tick`]s).
+    ///
+    /// [`tick`]: DramSystem::tick
+    pub fn skip_idle(&mut self, from: u64, n: u64) {
+        for ch in &mut self.channels {
+            ch.skip_idle(from, n);
+        }
+    }
+
+    /// Event-gated [`DramSystem::tick`]: each channel no-ops (deferring
+    /// its counters) until its own cached next-event cycle.
+    #[inline]
+    pub fn tick_evented(&mut self, cycle: u64, done: &mut Vec<DramCompletion>) {
+        for ch in &mut self.channels {
+            ch.tick_evented(cycle, done);
+        }
+    }
+
+    /// The earliest cached next-event cycle over all channels
+    /// (`u64::MAX` when every channel is empty). Exact under the evented
+    /// tick discipline — see [`DramChannel::tick_evented`].
+    pub fn cached_next_event(&self) -> u64 {
+        self.channels
+            .iter()
+            .map(DramChannel::cached_next_event)
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Brings every channel's deferred counters up to date with `up_to`.
+    pub fn flush_deferred(&mut self, up_to: u64) {
+        for ch in &mut self.channels {
+            ch.flush_deferred(up_to);
+        }
     }
 
     /// Whether any channel has queued or in-flight work.
@@ -113,11 +191,22 @@ impl DramSystem {
     /// channel, the number of banks with outstanding requests
     /// (Figure 14c is the time-average of these).
     pub fn busy_banks_per_busy_channel(&self) -> Vec<usize> {
-        self.channels
-            .iter()
-            .filter(|c| c.is_busy())
-            .map(DramChannel::busy_banks)
-            .collect()
+        let mut out = Vec::new();
+        self.busy_banks_per_busy_channel_into(&mut out);
+        out
+    }
+
+    /// Allocation-free variant of
+    /// [`DramSystem::busy_banks_per_busy_channel`] for per-sample use in
+    /// the simulator hot loop; clears and refills `out`.
+    pub fn busy_banks_per_busy_channel_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(
+            self.channels
+                .iter()
+                .filter(|c| c.is_busy())
+                .map(DramChannel::busy_banks),
+        );
     }
 
     /// Per-channel statistics.
@@ -163,7 +252,10 @@ mod tests {
             assert!(s.try_enqueue(addr, ch, false, 0));
         }
         assert_eq!(s.busy_channels(), 4);
-        let done: Vec<_> = (0..100).flat_map(|c| s.tick(c)).collect();
+        let mut done = Vec::new();
+        for c in 0..100 {
+            s.tick(c, &mut done);
+        }
         assert_eq!(done.len(), 4);
         // All four channels saw exactly one read.
         for st in s.channel_stats() {
@@ -177,7 +269,10 @@ mod tests {
         for i in 0..8u64 {
             s.try_enqueue(PhysAddr::new(i << 8), i, i % 2 == 0, 0);
         }
-        let _ = (0..300).flat_map(|c| s.tick(c)).count();
+        let mut done = Vec::new();
+        for c in 0..300 {
+            s.tick(c, &mut done);
+        }
         let total = s.total_stats();
         assert_eq!(total.accesses(), 8);
         assert_eq!(total.reads, 4);

@@ -8,7 +8,7 @@ fn run_to_completion(ch: &mut DramChannel, n: usize) -> Vec<DramCompletion> {
     let mut done = Vec::new();
     let mut cycle = 0u64;
     while done.len() < n {
-        done.extend(ch.tick(cycle));
+        ch.tick(cycle, &mut done);
         cycle += 1;
         assert!(cycle < 1_000_000, "DRAM made no progress");
     }

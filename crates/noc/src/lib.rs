@@ -90,7 +90,7 @@ impl NocStats {
 /// xbar.inject(Packet { payload: 42, src: 0, dst: 3, flits: REQUEST_FLITS, injected_at: 0 });
 /// let mut out = Vec::new();
 /// for cycle in 0..10 {
-///     out.extend(xbar.tick(cycle));
+///     xbar.tick(cycle, &mut out);
 /// }
 /// assert_eq!(out.len(), 1);
 /// assert_eq!(out[0].payload, 42);
@@ -103,6 +103,18 @@ pub struct Crossbar {
     outputs: Vec<VecDeque<Packet>>,
     /// Flits remaining for the packet in service at each output.
     in_service: Vec<u32>,
+    /// Total packets across all output queues (hot-loop early-out).
+    queued: usize,
+    /// Bitmask of output ports with at least one queued packet (only
+    /// maintained for crossbars of ≤ 64 ports — all supported
+    /// configurations). `tick` visits set bits instead of every port.
+    active: u64,
+    /// Cached earliest cycle at which [`Crossbar::tick`] does real work
+    /// (`u64::MAX` = empty). Maintained by the evented tick path and
+    /// invalidated by [`Crossbar::inject`].
+    cached_next: u64,
+    /// First cycle whose counter update is still deferred (evented path).
+    acct_from: u64,
     stats: NocStats,
 }
 
@@ -117,6 +129,10 @@ impl Crossbar {
             router_latency,
             outputs: vec![VecDeque::new(); num_dst],
             in_service: vec![0; num_dst],
+            queued: 0,
+            active: 0,
+            cached_next: 0,
+            acct_from: 0,
             stats: NocStats::default(),
         }
     }
@@ -141,57 +157,150 @@ impl Crossbar {
     /// packet has zero flits.
     pub fn inject(&mut self, pkt: Packet) {
         assert!(pkt.src < self.num_src, "source port out of range");
-        assert!(pkt.dst < self.outputs.len(), "destination port out of range");
+        assert!(
+            pkt.dst < self.outputs.len(),
+            "destination port out of range"
+        );
         assert!(pkt.flits > 0, "packets must have at least one flit");
         self.outputs[pkt.dst].push_back(pkt);
+        self.queued += 1;
+        if pkt.dst < 64 {
+            self.active |= 1 << pkt.dst;
+        }
+        self.cached_next = 0;
+    }
+
+    /// The earliest NoC cycle at or after `now` at which [`tick`] would
+    /// move a flit, or `None` when every output queue is empty. Between
+    /// `now` and that cycle, `tick` only counts cycles — callers may
+    /// replace the calls with one [`Crossbar::skip_cycles`].
+    ///
+    /// [`tick`]: Crossbar::tick
+    pub fn next_event_at(&self, now: u64) -> Option<u64> {
+        if self.queued == 0 {
+            return None;
+        }
+        // Any port mid-packet moves a flit every cycle: event now. This
+        // scans a small contiguous counter array, much cheaper than
+        // touching the queues.
+        if self.in_service.iter().any(|&s| s > 0) {
+            return Some(now);
+        }
+        let mut next: Option<u64> = None;
+        for queue in &self.outputs {
+            let Some(head) = queue.front() else { continue };
+            let at = (head.injected_at + self.router_latency).max(now);
+            next = Some(next.map_or(at, |n| n.min(at)));
+            if at == now {
+                break;
+            }
+        }
+        next
+    }
+
+    /// Brings the cycle counter up to date with `up_to` (exclusive):
+    /// accounts every not-yet-ticked cycle the dense loop would have
+    /// counted. Call before reading [`Crossbar::stats`] when driving the
+    /// crossbar through [`Crossbar::tick_evented`].
+    pub fn flush_deferred(&mut self, up_to: u64) {
+        if up_to > self.acct_from {
+            self.stats.cycles += up_to - self.acct_from;
+            self.acct_from = up_to;
+        }
+    }
+
+    /// Event-gated [`Crossbar::tick`]: returns immediately (deferring the
+    /// cycle counter) while the cached next-event cycle is in the future,
+    /// otherwise flushes deferred counters and ticks densely. Produces
+    /// bit-identical behavior to calling `tick` every cycle.
+    #[inline]
+    pub fn tick_evented(&mut self, cycle: u64, done: &mut Vec<Delivery>) {
+        if cycle < self.cached_next {
+            return;
+        }
+        self.flush_deferred(cycle);
+        self.tick(cycle, done);
+        self.cached_next = self.next_event_at(cycle + 1).unwrap_or(u64::MAX);
     }
 
     /// Advances one NoC cycle: every output port moves one flit of its
-    /// head packet (once the router latency has elapsed). Returns the
-    /// packets whose last flit arrived this cycle.
-    pub fn tick(&mut self, cycle: u64) -> Vec<Delivery> {
+    /// head packet (once the router latency has elapsed). Packets whose
+    /// last flit arrived this cycle are pushed into `done`, which is
+    /// *not* cleared.
+    pub fn tick(&mut self, cycle: u64, done: &mut Vec<Delivery>) {
+        debug_assert!(cycle >= self.acct_from, "ticking an already-counted cycle");
         self.stats.cycles += 1;
-        let mut done = Vec::new();
-        for (dst, queue) in self.outputs.iter_mut().enumerate() {
-            let Some(head) = queue.front() else { continue };
-            // Router pipeline: a packet only starts moving flits after
-            // router_latency cycles from injection.
-            if cycle < head.injected_at + self.router_latency {
-                continue;
+        self.acct_from = cycle + 1;
+        if self.queued == 0 {
+            return;
+        }
+        if self.outputs.len() <= 64 {
+            // Visit only occupied ports, in ascending order (identical
+            // delivery order to the full scan).
+            let mut mask = self.active;
+            while mask != 0 {
+                let dst = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                self.tick_port(dst, cycle, done);
             }
-            if self.in_service[dst] == 0 {
-                self.in_service[dst] = head.flits;
-            }
-            self.in_service[dst] -= 1;
-            self.stats.flits += 1;
-            if self.in_service[dst] == 0 {
-                let pkt = queue.pop_front().expect("head packet exists");
-                let latency = cycle + 1 - pkt.injected_at;
-                self.stats.delivered += 1;
-                self.stats.total_latency += latency;
-                done.push(Delivery {
-                    payload: pkt.payload,
-                    dst,
-                    latency,
-                });
+        } else {
+            for dst in 0..self.outputs.len() {
+                self.tick_port(dst, cycle, done);
             }
         }
-        done
+    }
+
+    #[inline]
+    fn tick_port(&mut self, dst: usize, cycle: u64, done: &mut Vec<Delivery>) {
+        let queue = &mut self.outputs[dst];
+        let Some(head) = queue.front() else { return };
+        // Router pipeline: a packet only starts moving flits after
+        // router_latency cycles from injection.
+        if cycle < head.injected_at + self.router_latency {
+            return;
+        }
+        if self.in_service[dst] == 0 {
+            self.in_service[dst] = head.flits;
+        }
+        self.in_service[dst] -= 1;
+        self.stats.flits += 1;
+        if self.in_service[dst] == 0 {
+            let pkt = queue.pop_front().expect("head packet exists");
+            self.queued -= 1;
+            if queue.is_empty() && dst < 64 {
+                self.active &= !(1 << dst);
+            }
+            let latency = cycle + 1 - pkt.injected_at;
+            self.stats.delivered += 1;
+            self.stats.total_latency += latency;
+            done.push(Delivery {
+                payload: pkt.payload,
+                dst,
+                latency,
+            });
+        }
     }
 
     /// Total queued packets across all output ports.
     pub fn queued_packets(&self) -> usize {
-        self.outputs.iter().map(VecDeque::len).sum()
+        self.queued
     }
 
     /// Whether any packet is queued.
     pub fn is_busy(&self) -> bool {
-        self.outputs.iter().any(|q| !q.is_empty())
+        self.queued > 0
     }
 
     /// Accumulated statistics.
     pub fn stats(&self) -> NocStats {
         self.stats
+    }
+
+    /// The cached next-event cycle maintained by
+    /// [`Crossbar::tick_evented`] (`u64::MAX` = empty crossbar).
+    #[inline]
+    pub fn cached_next_event(&self) -> u64 {
+        self.cached_next
     }
 }
 
@@ -201,6 +310,14 @@ mod tests {
 
     fn xbar() -> Crossbar {
         Crossbar::new(12, 8, 4)
+    }
+
+    fn drain(x: &mut Crossbar, n: u64) -> Vec<Delivery> {
+        let mut out = Vec::new();
+        for c in 0..n {
+            x.tick(c, &mut out);
+        }
+        out
     }
 
     #[test]
@@ -213,7 +330,7 @@ mod tests {
             flits: REQUEST_FLITS,
             injected_at: 0,
         });
-        let out: Vec<_> = (0..20).flat_map(|c| x.tick(c)).collect();
+        let out = drain(&mut x, 20);
         assert_eq!(out.len(), 1);
         // 4 router cycles + 1 flit cycle.
         assert_eq!(out[0].latency, 5);
@@ -229,7 +346,7 @@ mod tests {
             flits: DATA_FLITS,
             injected_at: 0,
         });
-        let out: Vec<_> = (0..20).flat_map(|c| x.tick(c)).collect();
+        let out = drain(&mut x, 20);
         assert_eq!(out[0].latency, 4 + 5);
     }
 
@@ -245,7 +362,7 @@ mod tests {
                 injected_at: 0,
             });
         }
-        let out: Vec<_> = (0..60).flat_map(|c| x.tick(c)).collect();
+        let out = drain(&mut x, 60);
         assert_eq!(out.len(), 4);
         let latencies: Vec<u64> = out.iter().map(|d| d.latency).collect();
         // Head-of-line: each successive packet waits 5 more flit cycles.
@@ -264,7 +381,7 @@ mod tests {
                 injected_at: 0,
             });
         }
-        let out: Vec<_> = (0..60).flat_map(|c| x.tick(c)).collect();
+        let out = drain(&mut x, 60);
         // No contention: all four have the uncontended latency.
         assert!(out.iter().all(|d| d.latency == 9));
     }
@@ -290,8 +407,8 @@ mod tests {
                 injected_at: 0,
             });
         }
-        let _: Vec<_> = (0..200).flat_map(|c| hot.tick(c)).collect();
-        let _: Vec<_> = (0..200).flat_map(|c| balanced.tick(c)).collect();
+        let _ = drain(&mut hot, 200);
+        let _ = drain(&mut balanced, 200);
         assert!(hot.stats().mean_latency() > 2.0 * balanced.stats().mean_latency());
     }
 
@@ -305,7 +422,7 @@ mod tests {
             flits: 1,
             injected_at: 10,
         });
-        let out: Vec<_> = (0..40).flat_map(|c| x.tick(c)).collect();
+        let out = drain(&mut x, 40);
         assert_eq!(out[0].latency, 5);
     }
 
@@ -319,7 +436,7 @@ mod tests {
             flits: 5,
             injected_at: 0,
         });
-        let _: Vec<_> = (0..20).flat_map(|c| x.tick(c)).collect();
+        let _ = drain(&mut x, 20);
         assert_eq!(x.stats().delivered, 1);
         assert_eq!(x.stats().flits, 5);
         assert!(!x.is_busy());

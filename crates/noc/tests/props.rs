@@ -6,9 +6,12 @@ use valley_noc::{Crossbar, Packet};
 
 fn drain(xbar: &mut Crossbar, expected: usize) -> Vec<(u64, usize, u64)> {
     let mut out = Vec::new();
+    let mut buf = Vec::new();
     let mut cycle = 0u64;
     while out.len() < expected {
-        for d in xbar.tick(cycle) {
+        buf.clear();
+        xbar.tick(cycle, &mut buf);
+        for d in &buf {
             out.push((d.payload, d.dst, d.latency));
         }
         cycle += 1;

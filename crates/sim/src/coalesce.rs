@@ -32,19 +32,30 @@ use crate::trace::LaneAddrs;
 /// assert_eq!(coalesce(&b, 128).len(), 32);
 /// ```
 pub fn coalesce(addrs: &LaneAddrs, line_bytes: u64) -> Vec<u64> {
+    let mut out = Vec::with_capacity(4);
+    coalesce_into(addrs, line_bytes, &mut out);
+    out
+}
+
+/// [`coalesce`] into a caller-provided buffer (cleared first) — the
+/// allocation-free form the simulator's issue path uses.
+///
+/// # Panics
+///
+/// Panics if `line_bytes` is not a power of two.
+pub fn coalesce_into(addrs: &LaneAddrs, line_bytes: u64, out: &mut Vec<u64>) {
     assert!(
         line_bytes.is_power_of_two(),
         "transaction size must be a power of two"
     );
     let mask = !(line_bytes - 1);
-    let mut out: Vec<u64> = Vec::with_capacity(4);
+    out.clear();
     for &a in &addrs.0 {
         let line = a & mask;
         if !out.contains(&line) {
             out.push(line);
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -154,7 +154,10 @@ impl GpuConfig {
 
     /// Resident TBs per SM for a kernel with `warps_per_block` warps.
     pub fn tbs_per_sm(&self, warps_per_block: usize) -> usize {
-        assert!(warps_per_block > 0, "kernel must have at least one warp per TB");
+        assert!(
+            warps_per_block > 0,
+            "kernel must have at least one warp per TB"
+        );
         let by_warps = self.max_warps_per_sm / warps_per_block;
         let by_threads = self.max_threads_per_sm / (warps_per_block * self.warp_size);
         by_warps.min(by_threads).min(self.max_tbs_per_sm).max(1)

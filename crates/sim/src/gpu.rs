@@ -61,6 +61,18 @@ struct TbScheduler {
     retired_base: u64,
     rr_sm: usize,
     age_counter: u64,
+    /// Total retired TBs observed at the last `schedule_tbs` run. While a
+    /// kernel is loaded and this is unchanged, no SM capacity was freed,
+    /// so `schedule_tbs` would provably be a no-op and is skipped.
+    retired_seen: u64,
+}
+
+/// Outcome of one fast-forward attempt.
+enum FastForward {
+    /// Simulation resumes densely at the current cycle.
+    Resumed,
+    /// The cycle safety limit was reached while skipping.
+    Truncated,
 }
 
 impl TbScheduler {
@@ -74,6 +86,7 @@ impl TbScheduler {
             retired_base: 0,
             rr_sm: 0,
             age_counter: 0,
+            retired_seen: 0,
         }
     }
 
@@ -126,8 +139,29 @@ impl GpuSim {
     }
 
     /// Runs the workload to completion (or to the cycle safety limit) and
-    /// returns the collected metrics.
-    pub fn run(mut self) -> SimReport {
+    /// returns the collected metrics, fast-forwarding over provably
+    /// event-free cycle spans. The results — cycle count, DRAM statistics
+    /// and cache statistics — are bit-identical to [`GpuSim::run_dense`];
+    /// see `tests/event_driven_equivalence.rs`.
+    pub fn run(self) -> SimReport {
+        self.run_with_mode(true)
+    }
+
+    /// Runs the workload with the dense reference loop that advances every
+    /// component one cycle at a time — the oracle the event-driven fast
+    /// path is validated against (and the perf baseline it is measured
+    /// against).
+    pub fn run_dense(self) -> SimReport {
+        self.run_with_mode(false)
+    }
+
+    fn run_with_mode(mut self, event_driven: bool) -> SimReport {
+        // The event-driven gates translate DRAM-domain event times into
+        // core cycles assuming the DRAM clock is no faster than the core
+        // clock (true for every shipped config). A custom config that
+        // violates it gets the dense loop, keeping run() == run_dense()
+        // by construction instead of silently diverging.
+        let event_driven = event_driven && self.cfg.dram_per_core() <= 1.0;
         let mut cycle: u64 = 0;
         let mut noc_acc = 0.0f64;
         let mut dram_acc = 0.0f64;
@@ -140,18 +174,53 @@ impl GpuSim {
         let mut parallelism = ParallelismIntegrator::new();
         let mut outbound: Vec<SmOutbound> = Vec::new();
         let mut replies: Vec<u64> = Vec::new();
+        // Reusable hot-loop buffers: the per-tick component APIs append to
+        // caller-provided Vecs, so steady state allocates nothing.
+        let mut deliveries: Vec<valley_noc::Delivery> = Vec::with_capacity(64);
+        let mut completions: Vec<valley_dram::DramCompletion> = Vec::with_capacity(64);
+        let mut banks_buf: Vec<usize> = Vec::with_capacity(self.dram.num_channels());
         let mut truncated = false;
 
-        loop {
+        'outer: loop {
+            // ---- Fast-forward over globally event-free cycles ----
+            if event_driven {
+                if let FastForward::Truncated = self.fast_forward(
+                    &mut cycle,
+                    &mut noc_acc,
+                    &mut noc_cycle,
+                    &mut dram_acc,
+                    &mut dram_cycle,
+                    noc_per_core,
+                    dram_per_core,
+                    &sched,
+                    &mut parallelism,
+                    &mut banks_buf,
+                ) {
+                    truncated = true;
+                    break 'outer;
+                }
+            }
+
             // ---- NoC clock domain ----
             noc_acc += noc_per_core;
             while noc_acc >= 1.0 {
                 noc_acc -= 1.0;
-                for d in self.req_net.tick(noc_cycle) {
+                deliveries.clear();
+                if event_driven {
+                    self.req_net.tick_evented(noc_cycle, &mut deliveries);
+                } else {
+                    self.req_net.tick(noc_cycle, &mut deliveries);
+                }
+                for d in &deliveries {
                     self.slices[d.dst].deliver(d.payload);
                 }
-                let delivered: Vec<_> = self.reply_net.tick(noc_cycle);
-                for d in delivered {
+                deliveries.clear();
+                if event_driven {
+                    self.reply_net.tick_evented(noc_cycle, &mut deliveries);
+                } else {
+                    self.reply_net.tick(noc_cycle, &mut deliveries);
+                }
+                for d in &deliveries {
                     self.sms[d.dst].on_reply(d.payload, &self.txns, cycle);
                 }
                 noc_cycle += 1;
@@ -161,13 +230,19 @@ impl GpuSim {
             dram_acc += dram_per_core;
             while dram_acc >= 1.0 {
                 dram_acc -= 1.0;
-                let completions = self.dram.tick(dram_cycle);
-                for c in completions {
+                completions.clear();
+                if event_driven {
+                    self.dram.tick_evented(dram_cycle, &mut completions);
+                } else {
+                    self.dram.tick(dram_cycle, &mut completions);
+                }
+                for c in &completions {
                     let t = self.txns.get(c.id);
                     if !t.is_store {
                         let slice = t.slice as usize;
                         self.slices[slice].on_dram_completion(
                             c.id,
+                            cycle,
                             &mut self.txns,
                             &self.mapper,
                             &mut replies,
@@ -179,15 +254,27 @@ impl GpuSim {
 
             // ---- LLC slices ----
             for s in &mut self.slices {
-                s.tick(
-                    cycle,
-                    dram_cycle,
-                    &self.cfg,
-                    &mut self.dram,
-                    &mut self.txns,
-                    &self.mapper,
-                    &mut replies,
-                );
+                if event_driven {
+                    s.tick_evented(
+                        cycle,
+                        dram_cycle,
+                        &self.cfg,
+                        &mut self.dram,
+                        &mut self.txns,
+                        &self.mapper,
+                        &mut replies,
+                    );
+                } else {
+                    s.tick(
+                        cycle,
+                        dram_cycle,
+                        &self.cfg,
+                        &mut self.dram,
+                        &mut self.txns,
+                        &self.mapper,
+                        &mut replies,
+                    );
+                }
             }
             for txn in replies.drain(..) {
                 let t = self.txns.get(txn);
@@ -206,7 +293,25 @@ impl GpuSim {
                 let llc_slices = self.cfg.llc_slices;
                 let slicer = move |addr: PhysAddr| Self::slice_of(map, llc_slices, addr);
                 for sm in &mut self.sms {
-                    sm.tick(cycle, &self.cfg, &self.mapper, &mut self.txns, &slicer, &mut outbound);
+                    if event_driven {
+                        sm.tick_evented(
+                            cycle,
+                            &self.cfg,
+                            &self.mapper,
+                            &mut self.txns,
+                            &slicer,
+                            &mut outbound,
+                        );
+                    } else {
+                        sm.tick(
+                            cycle,
+                            &self.cfg,
+                            &self.mapper,
+                            &mut self.txns,
+                            &slicer,
+                            &mut outbound,
+                        );
+                    }
                 }
             }
             for o in outbound.drain(..) {
@@ -221,14 +326,14 @@ impl GpuSim {
             }
 
             // ---- TB scheduler ----
-            self.schedule_tbs(&mut sched);
+            self.schedule_tbs(&mut sched, cycle);
 
             // ---- Metrics ----
-            if cycle % METRIC_SAMPLE_INTERVAL == 0 {
+            if cycle.is_multiple_of(METRIC_SAMPLE_INTERVAL) {
                 let busy_slices = self.slices.iter().filter(|s| !s.is_idle()).count();
                 let busy_channels = self.dram.busy_channels();
-                let banks = self.dram.busy_banks_per_busy_channel();
-                parallelism.sample(busy_slices, busy_channels, &banks);
+                self.dram.busy_banks_per_busy_channel_into(&mut banks_buf);
+                parallelism.sample(busy_slices, busy_channels, &banks_buf);
             }
 
             cycle += 1;
@@ -243,7 +348,138 @@ impl GpuSim {
             }
         }
 
+        // Settle all deferred counters (no-ops after a dense run).
+        self.req_net.flush_deferred(noc_cycle);
+        self.reply_net.flush_deferred(noc_cycle);
+        self.dram.flush_deferred(dram_cycle);
+        for sm in &mut self.sms {
+            sm.flush_idle(cycle);
+        }
+        for s in &mut self.slices {
+            s.flush_stall(cycle);
+        }
         self.report(cycle, dram_cycle, truncated, &parallelism, &sched)
+    }
+
+    /// Whether the TB scheduler could make progress this cycle: load the
+    /// next kernel, place a pending TB on an SM with room, or advance past
+    /// a fully-retired kernel. When `false`, `schedule_tbs` is a no-op
+    /// until some SM state changes (which requires an SM or NoC event).
+    fn sched_can_progress(&self, sched: &TbScheduler) -> bool {
+        let Some(kernel) = sched.kernel.as_deref() else {
+            return sched.kernel_idx < sched.num_kernels;
+        };
+        if sched.next_tb < sched.total_tbs {
+            let wpb = kernel.warps_per_block();
+            let limit = self.cfg.tbs_per_sm(wpb);
+            if self.sms.iter().any(|sm| sm.can_accept_tb(wpb, limit)) {
+                return true;
+            }
+        }
+        if sched.next_tb == sched.total_tbs {
+            let retired: u64 = self.sms.iter().map(Sm::retired_tbs).sum();
+            if retired - sched.retired_base == sched.total_tbs {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Advances the simulation over cycles in which *no* component does
+    /// any work, replaying exactly the clock-accumulator arithmetic of the
+    /// dense loop (so all results stay bit-identical) without touching any
+    /// component. Component counters need no attention here: the evented
+    /// tick paths defer and settle them lazily. Stops at the earliest
+    /// cycle at which any clock domain has a due event, the TB scheduler
+    /// can progress, or the cycle safety limit is reached.
+    #[allow(clippy::too_many_arguments)]
+    fn fast_forward(
+        &mut self,
+        cycle: &mut u64,
+        noc_acc: &mut f64,
+        noc_cycle: &mut u64,
+        dram_acc: &mut f64,
+        dram_cycle: &mut u64,
+        noc_per_core: f64,
+        dram_per_core: f64,
+        sched: &TbScheduler,
+        parallelism: &mut ParallelismIntegrator,
+        banks_buf: &mut Vec<usize>,
+    ) -> FastForward {
+        // Earliest core-domain event, from the caches the evented tick
+        // paths maintain (exact: every mutation invalidates its cache).
+        let mut core_next = u64::MAX;
+        for sm in &self.sms {
+            core_next = core_next.min(sm.cached_next_event());
+        }
+        for s in &self.slices {
+            core_next = core_next.min(s.cached_next_event());
+        }
+        if core_next <= *cycle {
+            return FastForward::Resumed;
+        }
+        if self.sched_can_progress(sched) {
+            return FastForward::Resumed;
+        }
+        let noc_next = self
+            .req_net
+            .cached_next_event()
+            .min(self.reply_net.cached_next_event());
+        let dram_next = self.dram.cached_next_event();
+
+        let skip_start = *cycle;
+        loop {
+            if core_next <= *cycle {
+                break;
+            }
+            // Replicate the dense loop's accumulator arithmetic on copies
+            // so a rejected cycle leaves no trace.
+            let mut na = *noc_acc + noc_per_core;
+            let mut nt = 0u64;
+            while na >= 1.0 {
+                na -= 1.0;
+                nt += 1;
+            }
+            if *noc_cycle + nt > noc_next {
+                break;
+            }
+            let mut da = *dram_acc + dram_per_core;
+            let mut dt = 0u64;
+            while da >= 1.0 {
+                da -= 1.0;
+                dt += 1;
+            }
+            if *dram_cycle + dt > dram_next {
+                break;
+            }
+            *noc_acc = na;
+            *noc_cycle += nt;
+            *dram_acc = da;
+            *dram_cycle += dt;
+            *cycle += 1;
+            if *cycle >= self.cfg.max_cycles {
+                break;
+            }
+        }
+
+        let skipped = *cycle - skip_start;
+        if skipped > 0 {
+            // Sampling points that elapsed in [skip_start, cycle) all see
+            // the same frozen state.
+            let samples = (skip_start + skipped).div_ceil(METRIC_SAMPLE_INTERVAL)
+                - skip_start.div_ceil(METRIC_SAMPLE_INTERVAL);
+            if samples > 0 {
+                let busy_slices = self.slices.iter().filter(|s| !s.is_idle()).count();
+                let busy_channels = self.dram.busy_channels();
+                self.dram.busy_banks_per_busy_channel_into(banks_buf);
+                parallelism.sample_n(busy_slices, busy_channels, banks_buf, samples);
+            }
+        }
+        if *cycle >= self.cfg.max_cycles {
+            FastForward::Truncated
+        } else {
+            FastForward::Resumed
+        }
     }
 
     fn is_drained(&self) -> bool {
@@ -254,8 +490,10 @@ impl GpuSim {
             && !self.reply_net.is_busy()
     }
 
-    fn schedule_tbs(&mut self, sched: &mut TbScheduler) {
+    fn schedule_tbs(&mut self, sched: &mut TbScheduler, cycle: u64) {
+        let retired: u64 = self.sms.iter().map(Sm::retired_tbs).sum();
         // Load the next kernel once the previous one fully retired.
+        let mut just_loaded = false;
         if sched.kernel.is_none() {
             if sched.kernel_idx >= sched.num_kernels {
                 return;
@@ -263,9 +501,17 @@ impl GpuSim {
             let k = self.workload.kernel(sched.kernel_idx);
             sched.total_tbs = k.num_thread_blocks();
             sched.next_tb = 0;
-            sched.retired_base = self.sms.iter().map(Sm::retired_tbs).sum();
+            sched.retired_base = retired;
             sched.kernel = Some(k);
+            just_loaded = true;
         }
+        // SM capacity only changes when a TB retires; with the kernel
+        // already loaded and no retire since the last run, assignment and
+        // the kernel-advance check below are provably no-ops.
+        if !just_loaded && retired == sched.retired_seen {
+            return;
+        }
+        sched.retired_seen = retired;
         let kernel = sched.kernel.as_deref().expect("kernel loaded above");
         let wpb = kernel.warps_per_block();
         let tbs_limit = self.cfg.tbs_per_sm(wpb);
@@ -276,7 +522,7 @@ impl GpuSim {
             for probe in 0..n {
                 let sm = (sched.rr_sm + probe) % n;
                 if self.sms[sm].can_accept_tb(wpb, tbs_limit) {
-                    self.sms[sm].assign_tb(kernel, sched.next_tb, sched.age_counter);
+                    self.sms[sm].assign_tb(kernel, sched.next_tb, sched.age_counter, cycle);
                     sched.age_counter += 1;
                     sched.next_tb += 1;
                     sched.rr_sm = (sm + 1) % n;
@@ -287,7 +533,6 @@ impl GpuSim {
         }
 
         // Advance to the next kernel when every TB retired.
-        let retired: u64 = self.sms.iter().map(Sm::retired_tbs).sum();
         if sched.next_tb == sched.total_tbs && retired - sched.retired_base == sched.total_tbs {
             sched.kernel = None;
             sched.kernel_idx += 1;

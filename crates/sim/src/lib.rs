@@ -28,7 +28,7 @@ mod sm;
 mod trace;
 mod txn;
 
-pub use coalesce::coalesce;
+pub use coalesce::{coalesce, coalesce_into};
 pub use config::{GpuConfig, LlcWritePolicy, WarpScheduler};
 pub use gpu::GpuSim;
 pub use metrics::{ParallelismIntegrator, SimReport};

@@ -12,8 +12,8 @@
 use crate::config::{GpuConfig, LlcWritePolicy};
 use crate::txn::{TxnTable, NO_WARP};
 use std::collections::VecDeque;
-use valley_core::{AddressMapper, PhysAddr};
 use valley_cache::{CacheStats, MshrAllocation, MshrFile, SetAssocCache};
+use valley_core::{AddressMapper, PhysAddr};
 use valley_dram::DramSystem;
 
 /// One LLC slice (64 KB, 8-way in the baseline; 120-cycle latency).
@@ -28,6 +28,19 @@ pub(crate) struct LlcSlice {
     hits: VecDeque<(u64, u64)>,
     /// Transactions waiting for a free DRAM queue slot.
     dram_retry: VecDeque<u64>,
+    /// First core cycle whose stall-retry miss counter is still deferred.
+    acct_from: u64,
+    /// When `Some(v)`: the input head is MSHR-stalled and nothing that
+    /// could unblock it has happened since version `v` (DRAM completions
+    /// are the only events that free this slice's MSHRs or fill lines).
+    input_stall: Option<u64>,
+    /// Version counter for `input_stall`, incremented per completion.
+    fill_version: u64,
+    /// Cached earliest core cycle at which [`LlcSlice::tick`] does real
+    /// work (`u64::MAX` = nothing locally schedulable); maintained by
+    /// [`LlcSlice::tick_evented`] and invalidated by deliveries and DRAM
+    /// completions.
+    cached_next: u64,
 }
 
 impl LlcSlice {
@@ -39,12 +52,17 @@ impl LlcSlice {
             input: VecDeque::new(),
             hits: VecDeque::new(),
             dram_retry: VecDeque::new(),
+            acct_from: 0,
+            input_stall: None,
+            fill_version: 0,
+            cached_next: 0,
         }
     }
 
     /// Accepts a transaction delivered by the request NoC.
     pub(crate) fn deliver(&mut self, txn: u64) {
         self.input.push_back(txn);
+        self.cached_next = 0;
     }
 
     /// Outstanding requests in this slice (the Figure 14a busy criterion).
@@ -60,6 +78,79 @@ impl LlcSlice {
         self.cache.stats()
     }
 
+    /// The earliest core cycle at or after `now` at which
+    /// [`LlcSlice::tick`] would do real work, or `None` when the slice can
+    /// only progress through off-slice events (DRAM completions filling
+    /// MSHRs). Ticks before that cycle are no-ops.
+    /// `next_event_at` with visibility into the DRAM system: a slice
+    /// whose only pending work is a back-pressured DRAM hand-off cannot
+    /// progress before the target channel's next event (channel queues
+    /// drain only on channel ticks), so the gate extends to a
+    /// conservative core-cycle translation of that event.
+    pub(crate) fn next_event_at_with_dram(
+        &self,
+        now: u64,
+        txns: &TxnTable,
+        dram: &DramSystem,
+        dram_now: u64,
+    ) -> Option<u64> {
+        if !self.input.is_empty() && !self.input_stalled_now() {
+            return Some(now);
+        }
+        let mut next: Option<u64> = None;
+        if let Some(&txn) = self.dram_retry.front() {
+            let at = match txns.get(txn).coords {
+                // The head was already decoded, so at least one enqueue
+                // attempt failed; the channel queue must drain first.
+                Some((ctrl, _, _)) => {
+                    let ch = dram.channel(ctrl as usize);
+                    if ch.queue_len() < ch.config().queue_capacity {
+                        now
+                    } else {
+                        let cn = ch.cached_next_event();
+                        if cn == u64::MAX || cn <= dram_now {
+                            now
+                        } else {
+                            // `d` DRAM cycles take at least `d` core
+                            // cycles (the DRAM clock is never faster than
+                            // the core clock in any supported config) —
+                            // an early, never-late estimate.
+                            now + (cn - dram_now)
+                        }
+                    }
+                }
+                None => now,
+            };
+            if at == now {
+                return Some(now);
+            }
+            next = Some(at);
+        }
+        if let Some(&(ready, _)) = self.hits.front() {
+            let at = ready.max(now);
+            next = Some(next.map_or(at, |n| n.min(at)));
+        }
+        next
+    }
+
+    /// Whether the input head is known to be MSHR-stalled with nothing
+    /// having happened that could unblock it.
+    #[inline]
+    fn input_stalled_now(&self) -> bool {
+        self.input_stall == Some(self.fill_version)
+    }
+
+    /// Replays the deferred one-retry-miss-per-cycle accounting for
+    /// elided stalled cycles up to `up_to` (exclusive).
+    pub(crate) fn flush_stall(&mut self, up_to: u64) {
+        if up_to > self.acct_from {
+            if self.input_stalled_now() {
+                self.cache.record_retry_misses(up_to - self.acct_from);
+            }
+            self.acct_from = up_to;
+        }
+    }
+
     /// Creates a DRAM writeback transaction for a dirty victim line.
     fn emit_writeback(&mut self, victim: u64, txns: &mut TxnTable, mapper: &AddressMapper) {
         let mapped = mapper.map(PhysAddr::new(victim));
@@ -73,23 +164,61 @@ impl LlcSlice {
     pub(crate) fn on_dram_completion(
         &mut self,
         txn: u64,
+        cycle: u64,
         txns: &mut TxnTable,
         mapper: &AddressMapper,
         replies: &mut Vec<u64>,
     ) {
+        // Settle the deferred stall accounting before the fill makes the
+        // stall verdict stale (the elided cycles were stalled ones).
+        self.flush_stall(cycle);
+        self.cached_next = 0;
+        self.fill_version += 1;
         let line = txns.get(txn).line;
         if let Some(ev) = self.cache.fill_with(line, false) {
             if ev.dirty {
                 self.emit_writeback(ev.line, txns, mapper);
             }
         }
-        if let Some(waiters) = self.mshr.complete(line) {
-            replies.extend(waiters);
+        self.mshr.complete_into(line, replies);
+    }
+
+    /// The cached next-event cycle maintained by
+    /// [`LlcSlice::tick_evented`].
+    #[inline]
+    pub(crate) fn cached_next_event(&self) -> u64 {
+        self.cached_next
+    }
+
+    /// Event-gated [`LlcSlice::tick`]: a no-op while the cached
+    /// next-event cycle is in the future (the slice has no per-cycle
+    /// counters, so there is nothing to defer). Bit-identical to ticking
+    /// densely every cycle.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn tick_evented(
+        &mut self,
+        cycle: u64,
+        dram_now: u64,
+        cfg: &GpuConfig,
+        dram: &mut DramSystem,
+        txns: &mut TxnTable,
+        mapper: &AddressMapper,
+        replies: &mut Vec<u64>,
+    ) {
+        if cycle < self.cached_next {
+            return;
         }
+        self.flush_stall(cycle);
+        self.tick(cycle, dram_now, cfg, dram, txns, mapper, replies);
+        self.cached_next = self
+            .next_event_at_with_dram(cycle + 1, txns, dram, dram_now)
+            .unwrap_or(u64::MAX);
     }
 
     /// One core cycle: complete hits, retry DRAM hand-offs, process one
     /// new transaction. Load hits produce replies; misses go to DRAM.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn tick(
         &mut self,
         cycle: u64,
@@ -100,6 +229,8 @@ impl LlcSlice {
         mapper: &AddressMapper,
         replies: &mut Vec<u64>,
     ) {
+        debug_assert!(cycle >= self.acct_from, "ticking an already-counted cycle");
+        self.acct_from = cycle + 1;
         // 1. Hits whose latency elapsed.
         while let Some(&(ready, txn)) = self.hits.front() {
             if ready > cycle {
@@ -111,8 +242,16 @@ impl LlcSlice {
 
         // 2. Drain the DRAM retry queue while the channel accepts.
         while let Some(&txn) = self.dram_retry.front() {
-            let t = txns.get(txn);
-            if dram.try_enqueue(t.mapped, txn, t.is_store, dram_now) {
+            let t = txns.get_mut(txn);
+            let (ctrl, bank, row) = match t.coords {
+                Some(c) => c,
+                None => {
+                    let c = dram.decode(t.mapped);
+                    t.coords = Some(c);
+                    c
+                }
+            };
+            if dram.try_enqueue_at(ctrl, bank, row, txn, t.is_store, dram_now) {
                 self.dram_retry.pop_front();
             } else {
                 break;
@@ -123,6 +262,15 @@ impl LlcSlice {
         let Some(&txn) = self.input.front() else {
             return;
         };
+        if let Some(v) = self.input_stall {
+            if v == self.fill_version {
+                // Still MSHR-stalled: replay the probe's miss counter
+                // (the dense retry would probe, miss and stall again).
+                self.cache.record_retry_miss();
+                return;
+            }
+            self.input_stall = None;
+        }
         let t = *txns.get(txn);
         if self.cache.probe(t.line) {
             self.input.pop_front();
@@ -168,7 +316,9 @@ impl LlcSlice {
                 self.input.pop_front();
             }
             MshrAllocation::Stalled => {
-                // Head-of-line stall; retry next cycle.
+                // Head-of-line stall: cache the verdict until the next
+                // DRAM completion, so retries cost one counter update.
+                self.input_stall = Some(self.fill_version);
             }
         }
     }

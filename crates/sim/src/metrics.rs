@@ -44,6 +44,33 @@ impl ParallelismIntegrator {
         }
     }
 
+    /// Records the same sample `n` times — used by the event-driven fast
+    /// path, where the sampled state is provably constant over a skipped
+    /// window and each elapsed sampling point contributes one sample.
+    pub fn sample_n(
+        &mut self,
+        busy_slices: usize,
+        busy_channels: usize,
+        banks_per_busy: &[usize],
+        n: u64,
+    ) {
+        if n == 0 {
+            return;
+        }
+        if busy_slices > 0 {
+            self.llc_busy_sum += busy_slices as u64 * n;
+            self.llc_samples += n;
+        }
+        if busy_channels > 0 {
+            self.chan_busy_sum += busy_channels as u64 * n;
+            self.chan_samples += n;
+        }
+        for &b in banks_per_busy {
+            self.bank_busy_sum += b as u64 * n;
+            self.bank_samples += n;
+        }
+    }
+
     /// Mean number of busy LLC slices over busy samples (Figure 14a).
     pub fn llc_parallelism(&self) -> f64 {
         mean(self.llc_busy_sum, self.llc_samples)

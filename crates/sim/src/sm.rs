@@ -2,12 +2,12 @@
 //! scheduler (2 issue slots), the memory coalescer, and the per-SM L1 data
 //! cache with MSHRs.
 
-use crate::coalesce::coalesce;
+use crate::coalesce::coalesce_into;
 use crate::config::GpuConfig;
 use crate::trace::{Instruction, KernelSource, WarpProgram};
 use crate::txn::{TxnTable, NO_WARP};
 use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use valley_cache::{CacheStats, MshrAllocation, MshrFile, SetAssocCache};
 use valley_core::{AddressMapper, PhysAddr};
 
@@ -22,6 +22,45 @@ pub(crate) struct SmOutbound {
 
 struct TbState {
     warps_left: u32,
+}
+
+/// The GTO ready set: (age, warp slot) pairs kept sorted ascending. At
+/// most `max_warps_per_sm` (48) entries, where a sorted `Vec` beats a
+/// `BTreeSet` soundly (contiguous memory, no node allocation) — these
+/// operations run per issue slot per SM per cycle.
+#[derive(Default)]
+struct ReadySet(Vec<(u64, u32)>);
+
+impl ReadySet {
+    #[inline]
+    fn insert(&mut self, key: (u64, u32)) {
+        if let Err(pos) = self.0.binary_search(&key) {
+            self.0.insert(pos, key);
+        }
+    }
+
+    #[inline]
+    fn remove(&mut self, key: &(u64, u32)) {
+        if let Ok(pos) = self.0.binary_search(key) {
+            self.0.remove(pos);
+        }
+    }
+
+    #[inline]
+    fn contains(&self, key: &(u64, u32)) -> bool {
+        self.0.binary_search(key).is_ok()
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Ascending (age, slot) iteration — GTO's oldest-first order.
+    #[inline]
+    fn iter(&self) -> std::slice::Iter<'_, (u64, u32)> {
+        self.0.iter()
+    }
 }
 
 struct Warp {
@@ -39,12 +78,16 @@ pub(crate) struct Sm {
     warps: Vec<Option<Warp>>,
     free_warp_slots: Vec<u32>,
     /// Warps able to issue, keyed by (age, slot) — GTO's oldest-first order.
-    ready: BTreeSet<(u64, u32)>,
+    ready: ReadySet,
     /// Compute-stalled warps and their wake-up cycles.
     wake: BinaryHeap<Reverse<(u64, u32)>>,
     last_issued: Option<u32>,
     /// Coalesced transactions awaiting the L1 (LSU queue; 1/cycle).
     mem_queue: VecDeque<u64>,
+    /// Reusable coalescing output (issue path, allocation-free).
+    lines_buf: Vec<u64>,
+    /// Reusable MSHR-waiter drain buffer (reply path, allocation-free).
+    waiter_buf: Vec<u64>,
     l1: SetAssocCache,
     mshr: MshrFile,
     /// L1 hits in flight: (ready cycle, txn).
@@ -53,6 +96,20 @@ pub(crate) struct Sm {
     free_tb_slots: Vec<u32>,
     resident_tbs: usize,
     resident_warps: usize,
+    /// When `Some(v)`: the LSU head is MSHR-stalled and nothing that
+    /// could unblock it has happened since version `v` — the retry is
+    /// answered with a counter update alone. Bumping [`Sm::on_reply`]
+    /// invalidates the cache (replies are the only events that free
+    /// MSHRs or fill lines).
+    lsu_stall: Option<u64>,
+    /// Version counter for `lsu_stall`, incremented per reply.
+    lsu_version: u64,
+    /// Cached earliest core cycle at which [`Sm::tick`] does real work
+    /// (`u64::MAX` = nothing locally schedulable); maintained by
+    /// [`Sm::tick_evented`] and invalidated by replies and TB assignment.
+    cached_next: u64,
+    /// First core cycle whose busy-counter update is still deferred.
+    acct_from: u64,
     // Statistics.
     warp_instructions: u64,
     busy_cycles: u64,
@@ -65,10 +122,12 @@ impl Sm {
             id,
             warps: (0..cfg.max_warps_per_sm).map(|_| None).collect(),
             free_warp_slots: (0..cfg.max_warps_per_sm as u32).rev().collect(),
-            ready: BTreeSet::new(),
+            ready: ReadySet::default(),
             wake: BinaryHeap::new(),
             last_issued: None,
             mem_queue: VecDeque::new(),
+            lines_buf: Vec::with_capacity(32),
+            waiter_buf: Vec::with_capacity(8),
             l1: SetAssocCache::new(cfg.l1),
             mshr: MshrFile::new(cfg.l1_mshrs, cfg.l1_mshr_merges),
             hit_queue: VecDeque::new(),
@@ -76,6 +135,10 @@ impl Sm {
             free_tb_slots: (0..cfg.max_tbs_per_sm as u32).rev().collect(),
             resident_tbs: 0,
             resident_warps: 0,
+            lsu_stall: None,
+            lsu_version: 0,
+            cached_next: 0,
+            acct_from: 0,
             warp_instructions: 0,
             busy_cycles: 0,
             retired_tbs: 0,
@@ -91,7 +154,13 @@ impl Sm {
     }
 
     /// Assigns TB `tb` of `kernel`, creating its warps with age `age`.
-    pub(crate) fn assign_tb(&mut self, kernel: &dyn KernelSource, tb: u64, age: u64) {
+    /// `cycle` is the current core cycle: TB assignment happens after the
+    /// SM phase, so deferred busy accounting is settled through the end
+    /// of this cycle (with the pre-assignment warp population) before the
+    /// new warps land.
+    pub(crate) fn assign_tb(&mut self, kernel: &dyn KernelSource, tb: u64, age: u64, cycle: u64) {
+        self.flush_idle(cycle + 1);
+        self.cached_next = 0;
         let wpb = kernel.warps_per_block();
         let slot = self.free_tb_slots.pop().expect("caller checked capacity");
         self.tb_slots[slot as usize] = Some(TbState {
@@ -137,16 +206,83 @@ impl Sm {
         self.busy_cycles
     }
 
+    /// The earliest core cycle at or after `now` at which [`Sm::tick`]
+    /// would do real work (wake a warp, finish a hit, run the LSU or issue
+    /// an instruction), or `None` when only off-SM events (NoC replies)
+    /// can make progress. Between `now` and the returned cycle every tick
+    /// is a pure busy-counter update — see [`Sm::skip_idle`].
+    pub(crate) fn next_event_at(&self, now: u64) -> Option<u64> {
+        // A non-empty LSU queue is only an every-cycle event while it can
+        // make progress; a stall-cached head just counts a retry miss per
+        // cycle, which flush_idle replays in bulk.
+        if (!self.mem_queue.is_empty() && !self.lsu_stalled_now()) || !self.ready.is_empty() {
+            return Some(now);
+        }
+        let mut next: Option<u64> = None;
+        if let Some(&Reverse((when, _))) = self.wake.peek() {
+            next = Some(when.max(now));
+        }
+        if let Some(&(ready, _)) = self.hit_queue.front() {
+            let at = ready.max(now);
+            next = Some(next.map_or(at, |n| n.min(at)));
+        }
+        next
+    }
+
+    /// Accounts `n` provably event-free core cycles (the bulk equivalent
+    /// of `n` dense no-op [`Sm::tick`]s).
+    pub(crate) fn skip_idle(&mut self, n: u64) {
+        if self.resident_warps > 0 {
+            self.busy_cycles += n;
+        }
+    }
+
+    /// The cached next-event cycle maintained by [`Sm::tick_evented`].
+    #[inline]
+    pub(crate) fn cached_next_event(&self) -> u64 {
+        self.cached_next
+    }
+
+    /// Whether the LSU head is known to be MSHR-stalled with nothing
+    /// having happened that could unblock it.
+    #[inline]
+    fn lsu_stalled_now(&self) -> bool {
+        self.lsu_stall == Some(self.lsu_version)
+    }
+
+    /// Brings the deferred counters up to date with `up_to` (exclusive):
+    /// the busy counter (current warp population) and, while the LSU is
+    /// stall-cached, the one retry miss per elided cycle the dense loop
+    /// would have recorded.
+    pub(crate) fn flush_idle(&mut self, up_to: u64) {
+        if up_to > self.acct_from {
+            self.skip_idle(up_to - self.acct_from);
+            if self.lsu_stalled_now() {
+                self.l1.record_retry_misses(up_to - self.acct_from);
+            }
+            self.acct_from = up_to;
+        }
+    }
+
     /// Handles an LLC reply for `txn`: fills the L1 line and wakes every
     /// merged waiter.
     pub(crate) fn on_reply(&mut self, txn: u64, txns: &TxnTable, cycle: u64) {
+        // Settle deferred accounting with the pre-reply warp population,
+        // then force a tick this cycle (the reply may wake warps).
+        self.flush_idle(cycle);
+        self.cached_next = cycle;
+        self.lsu_version += 1;
         let line = txns.get(txn).line;
         self.l1.fill(line);
-        if let Some(waiters) = self.mshr.complete(line) {
-            for w in waiters {
+        let mut waiters = std::mem::take(&mut self.waiter_buf);
+        waiters.clear();
+        if self.mshr.complete_into(line, &mut waiters) {
+            for &w in &waiters {
                 self.complete_load(w, txns, cycle);
             }
         }
+        waiters.clear();
+        self.waiter_buf = waiters;
     }
 
     fn complete_load(&mut self, txn: u64, txns: &TxnTable, _cycle: u64) {
@@ -186,6 +322,27 @@ impl Sm {
         }
     }
 
+    /// Event-gated [`Sm::tick`]: a no-op (with the busy counter deferred)
+    /// while the cached next-event cycle is in the future. Bit-identical
+    /// to ticking densely every cycle.
+    #[inline]
+    pub(crate) fn tick_evented(
+        &mut self,
+        cycle: u64,
+        cfg: &GpuConfig,
+        mapper: &AddressMapper,
+        txns: &mut TxnTable,
+        slice_of: &dyn Fn(PhysAddr) -> u16,
+        outbound: &mut Vec<SmOutbound>,
+    ) {
+        if cycle < self.cached_next {
+            return;
+        }
+        self.flush_idle(cycle);
+        self.tick(cycle, cfg, mapper, txns, slice_of, outbound);
+        self.cached_next = self.next_event_at(cycle + 1).unwrap_or(u64::MAX);
+    }
+
     /// One core cycle: wake compute-stalled warps, finish L1 hits, run the
     /// LSU, and issue up to `issue_width` instructions via GTO.
     pub(crate) fn tick(
@@ -197,9 +354,11 @@ impl Sm {
         slice_of: &dyn Fn(PhysAddr) -> u16,
         outbound: &mut Vec<SmOutbound>,
     ) {
+        debug_assert!(cycle >= self.acct_from, "ticking an already-counted cycle");
         if self.resident_warps > 0 {
             self.busy_cycles += 1;
         }
+        self.acct_from = cycle + 1;
 
         // Wake compute-stalled warps.
         while let Some(&Reverse((when, w))) = self.wake.peek() {
@@ -239,6 +398,15 @@ impl Sm {
         let Some(&txn) = self.mem_queue.front() else {
             return;
         };
+        if let Some(v) = self.lsu_stall {
+            if v == self.lsu_version {
+                // Still stalled: replay the probe's miss counter (the
+                // dense retry would probe, miss and stall again).
+                self.l1.record_retry_miss();
+                return;
+            }
+            self.lsu_stall = None;
+        }
         let info = txns.get(txn);
         if info.is_store {
             // Write-through, no-allocate: straight to the LLC, carrying data.
@@ -268,7 +436,10 @@ impl Sm {
                 self.mem_queue.pop_front();
             }
             MshrAllocation::Stalled => {
-                // Head-of-line: resource stall, retry next cycle.
+                // Head-of-line: resource stall. Cache the verdict — it
+                // cannot change until a reply frees an MSHR or fills the
+                // line — so retries cost one counter update.
+                self.lsu_stall = Some(self.lsu_version);
             }
         }
     }
@@ -283,14 +454,23 @@ impl Sm {
         txns: &mut TxnTable,
         slice_of: &dyn Fn(PhysAddr) -> u16,
     ) {
-        let mut issued: Vec<u32> = Vec::with_capacity(cfg.issue_width);
-        for _ in 0..cfg.issue_width {
+        // Stack buffer: issue_width is tiny (2 in Table I) and this runs
+        // for every SM every cycle — no heap traffic allowed here.
+        const MAX_ISSUE: usize = 8;
+        assert!(
+            cfg.issue_width <= MAX_ISSUE,
+            "issue_width {} exceeds the supported maximum of {MAX_ISSUE}",
+            cfg.issue_width
+        );
+        let mut issued = [u32::MAX; MAX_ISSUE];
+        for slot in 0..cfg.issue_width {
+            let already = &issued[..slot];
             let pick = match cfg.scheduler {
-                crate::config::WarpScheduler::Gto => self.pick_gto(&issued),
-                crate::config::WarpScheduler::Lrr => self.pick_lrr(&issued),
+                crate::config::WarpScheduler::Gto => self.pick_gto(already),
+                crate::config::WarpScheduler::Lrr => self.pick_lrr(already),
             };
             let Some(w) = pick else { break };
-            issued.push(w);
+            issued[slot] = w;
             self.issue_one(w, cycle, cfg, mapper, txns, slice_of);
         }
     }
@@ -355,29 +535,35 @@ impl Sm {
             }
             Some(Instruction::Load(lanes)) => {
                 self.warp_instructions += 1;
-                let lines = coalesce(&lanes, cfg.line_bytes);
+                let mut lines = std::mem::take(&mut self.lines_buf);
+                coalesce_into(&lanes, cfg.line_bytes, &mut lines);
                 if lines.is_empty() {
                     // Degenerate empty access behaves like a 1-cycle op.
+                    self.lines_buf = lines;
                     self.ready.remove(&(age, w));
                     self.wake.push(Reverse((cycle + 1, w)));
                     return;
                 }
                 warp.outstanding_loads = lines.len() as u32;
                 self.ready.remove(&(age, w));
-                for line in lines {
+                for &line in &lines {
                     let mapped = mapper.map(PhysAddr::new(line));
                     let txn = txns.alloc(self.id, w, false, line, mapped, slice_of(mapped));
                     self.mem_queue.push_back(txn);
                 }
+                self.lines_buf = lines;
             }
             Some(Instruction::Store(lanes)) => {
                 self.warp_instructions += 1;
                 // Fire-and-forget: the warp stays ready.
-                for line in coalesce(&lanes, cfg.line_bytes) {
+                let mut lines = std::mem::take(&mut self.lines_buf);
+                coalesce_into(&lanes, cfg.line_bytes, &mut lines);
+                for &line in &lines {
                     let mapped = mapper.map(PhysAddr::new(line));
                     let txn = txns.alloc(self.id, NO_WARP, true, line, mapped, slice_of(mapped));
                     self.mem_queue.push_back(txn);
                 }
+                self.lines_buf = lines;
             }
         }
     }

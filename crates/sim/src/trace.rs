@@ -97,11 +97,7 @@ pub trait WorkloadSource {
 /// applying `line_bytes` coalescing exactly like the simulator's LSU.
 /// This is what the window-based entropy metric consumes (it analyzes the
 /// memory requests that reach the memory system, i.e. post-coalescing).
-pub fn tb_request_addresses(
-    kernel: &dyn KernelSource,
-    tb: u64,
-    line_bytes: u64,
-) -> Vec<u64> {
+pub fn tb_request_addresses(kernel: &dyn KernelSource, tb: u64, line_bytes: u64) -> Vec<u64> {
     let mut out = Vec::new();
     for w in 0..kernel.warps_per_block() {
         let mut prog = kernel.warp_program(tb, w);

@@ -21,6 +21,10 @@ pub(crate) struct Txn {
     pub mapped: PhysAddr,
     /// LLC slice serving this transaction (derived from `mapped`).
     pub slice: u16,
+    /// Lazily-cached DRAM coordinates of `mapped` (controller, bank,
+    /// row), decoded once at the LLC's DRAM hand-off so back-pressure
+    /// retries don't re-decode every cycle.
+    pub coords: Option<(u32, u32, u32)>,
 }
 
 /// Append-only transaction table; ids are indices.
@@ -53,6 +57,7 @@ impl TxnTable {
             line,
             mapped,
             slice,
+            coords: None,
         });
         id
     }
@@ -60,6 +65,11 @@ impl TxnTable {
     #[inline]
     pub(crate) fn get(&self, id: u64) -> &Txn {
         &self.txns[id as usize]
+    }
+
+    #[inline]
+    pub(crate) fn get_mut(&mut self, id: u64) -> &mut Txn {
+        &mut self.txns[id as usize]
     }
 
     pub(crate) fn len(&self) -> u64 {

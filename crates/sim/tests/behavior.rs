@@ -21,9 +21,7 @@ fn single_kernel(gen: Gen, tbs: u64, warps: usize) -> Workload {
 
 #[test]
 fn single_coalesced_load() {
-    let gen: Gen = Arc::new(|_, _| {
-        vec![Instruction::Load(LaneAddrs::contiguous(0x1000, 32, 4))]
-    });
+    let gen: Gen = Arc::new(|_, _| vec![Instruction::Load(LaneAddrs::contiguous(0x1000, 32, 4))]);
     let r = run_workload(single_kernel(gen, 1, 1));
     assert_eq!(r.memory_transactions, 1);
     assert_eq!(r.llc.accesses(), 1);
@@ -54,20 +52,19 @@ fn mshr_merges_cross_warp_misses() {
     // Two warps of the same TB load the same cold line in back-to-back
     // cycles: the second merges into the first's MSHR entry, so only one
     // LLC access and one DRAM read happen.
-    let gen: Gen = Arc::new(|_, _| {
-        vec![Instruction::Load(LaneAddrs::contiguous(0x4000, 32, 4))]
-    });
+    let gen: Gen = Arc::new(|_, _| vec![Instruction::Load(LaneAddrs::contiguous(0x4000, 32, 4))]);
     let r = run_workload(single_kernel(gen, 1, 2));
     assert_eq!(r.memory_transactions, 2);
-    assert_eq!(r.dram.reads, 1, "merged misses must not duplicate DRAM reads");
+    assert_eq!(
+        r.dram.reads, 1,
+        "merged misses must not duplicate DRAM reads"
+    );
     assert!(r.llc.accesses() <= 1);
 }
 
 #[test]
 fn stores_are_write_through_to_dram() {
-    let gen: Gen = Arc::new(|_, _| {
-        vec![Instruction::Store(LaneAddrs::contiguous(0x8000, 32, 4))]
-    });
+    let gen: Gen = Arc::new(|_, _| vec![Instruction::Store(LaneAddrs::contiguous(0x8000, 32, 4))]);
     let r = run_workload(single_kernel(gen, 1, 1));
     assert_eq!(r.dram.writes, 1);
     assert_eq!(r.dram.reads, 0);
@@ -77,9 +74,7 @@ fn stores_are_write_through_to_dram() {
 
 #[test]
 fn uncoalesced_load_explodes_into_transactions() {
-    let gen: Gen = Arc::new(|_, _| {
-        vec![Instruction::Load(LaneAddrs::strided(0, 32, 4096))]
-    });
+    let gen: Gen = Arc::new(|_, _| vec![Instruction::Load(LaneAddrs::strided(0, 32, 4096))]);
     let r = run_workload(single_kernel(gen, 1, 1));
     assert_eq!(r.memory_transactions, 32);
     assert_eq!(r.dram.reads, 32);

@@ -6,7 +6,9 @@
 //! *LLC-slice* balance rather than DRAM: the column walks at the padded
 //! 4 KiB pitch pin all concurrent requests to one slice under BASE.
 
-use crate::gen::{compute, load_contig, load_strided, region, store_contig, store_strided, Scale, F32};
+use crate::gen::{
+    compute, load_contig, load_strided, region, store_contig, store_strided, Scale, F32,
+};
 use crate::workload::{KernelSpec, Workload};
 use std::sync::Arc;
 use valley_sim::Instruction;
@@ -118,8 +120,7 @@ mod tests {
         // bit 19): their first column-walk requests agree below bit 12.
         let first_col = |v: &[u64]| {
             *v.iter()
-                .filter(|&&a| a < region(1) && a >= PITCH)
-                .next()
+                .find(|&&a| a < region(1) && a >= PITCH)
                 .expect("fan2 touches the matrix")
         };
         let (x, y) = (first_col(&a0), first_col(&a1));

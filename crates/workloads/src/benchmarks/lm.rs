@@ -38,7 +38,10 @@ pub fn workload(scale: Scale) -> Workload {
                 compute(12), // pairwise force arithmetic
             ]);
         }
-        insts.push(store_contig(forces + tb * BOX_BYTES + warp as u64 * 256, F32));
+        insts.push(store_contig(
+            forces + tb * BOX_BYTES + warp as u64 * 256,
+            F32,
+        ));
         insts
     });
     let kernel = KernelSpec::new("lavamd_forces", tbs, 8, gen);

@@ -76,7 +76,7 @@ mod tests {
 
     #[test]
     fn x_extent_stays_below_channel_bits() {
-        assert!(NX * F32 <= 256);
+        const { assert!(NX * F32 <= 256) };
     }
 
     #[test]

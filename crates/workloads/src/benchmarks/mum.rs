@@ -6,7 +6,9 @@
 //! benchmark). No valley — randomization cannot help what is already
 //! random (Figure 20).
 
-use crate::gen::{compute, load_contig, load_gather, region, store_contig, warp_rng, Scale, F32, WARP};
+use crate::gen::{
+    compute, load_contig, load_gather, region, store_contig, warp_rng, Scale, F32, WARP,
+};
 use crate::workload::{KernelSpec, Workload};
 use rand::RngExt;
 use std::sync::Arc;
@@ -42,7 +44,11 @@ pub fn workload(scale: Scale) -> Workload {
                 insts.push(store_contig(results + (tb * 8 + warp as u64) * 128, F32));
                 insts
             });
-            let name = if phase == 0 { "mummergpu_match" } else { "mummergpu_print" };
+            let name = if phase == 0 {
+                "mummergpu_match"
+            } else {
+                "mummergpu_print"
+            };
             KernelSpec::new(name, tbs, 8, gen)
         })
         .collect();
@@ -64,11 +70,7 @@ mod tests {
         let w = workload(Scale::Ref);
         let k = w.kernel(0);
         let addrs = valley_sim::tb_request_addresses(k.as_ref(), 0, 64);
-        let tree_addrs: Vec<u64> = addrs
-            .iter()
-            .copied()
-            .filter(|&a| a < region(1))
-            .collect();
+        let tree_addrs: Vec<u64> = addrs.iter().copied().filter(|&a| a < region(1)).collect();
         assert!(tree_addrs.len() >= DEPTH * WARP / 2);
         let min = tree_addrs.iter().min().unwrap();
         let max = tree_addrs.iter().max().unwrap();

@@ -60,9 +60,8 @@ mod tests {
         let k = w.kernel(0);
         let a0 = valley_sim::tb_request_addresses(k.as_ref(), 0, 64);
         let a5 = valley_sim::tb_request_addresses(k.as_ref(), 5, 64);
-        let loads = |v: &[u64]| -> Vec<u64> {
-            v.iter().copied().filter(|&a| a < base_mb(640)).collect()
-        };
+        let loads =
+            |v: &[u64]| -> Vec<u64> { v.iter().copied().filter(|&a| a < base_mb(640)).collect() };
         for (x, y) in loads(&a0).iter().zip(loads(&a5).iter()) {
             assert_eq!(x & (VEC_PITCH - 1), y & (VEC_PITCH - 1));
             assert_eq!(y - x, 5 * VEC_PITCH);

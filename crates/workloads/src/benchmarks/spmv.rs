@@ -5,7 +5,9 @@
 //! footprint's bits, so no valley forms (Figure 20). Table II: 50
 //! kernels, MPKI 2.75.
 
-use crate::gen::{compute, load_contig, load_gather, region, store_contig, warp_rng, Scale, F32, WARP};
+use crate::gen::{
+    compute, load_contig, load_gather, region, store_contig, warp_rng, Scale, F32, WARP,
+};
 use crate::workload::{KernelSpec, Workload};
 use rand::RngExt;
 use std::sync::Arc;

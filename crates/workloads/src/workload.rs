@@ -98,7 +98,10 @@ impl Workload {
     ///
     /// Panics if `kernels` is empty.
     pub fn new(name: impl Into<String>, kernels: Vec<KernelSpec>) -> Self {
-        assert!(!kernels.is_empty(), "workload must have at least one kernel");
+        assert!(
+            !kernels.is_empty(),
+            "workload must have at least one kernel"
+        );
         Workload {
             name: name.into(),
             kernels: kernels.into_iter().map(Arc::new).collect(),

@@ -25,10 +25,7 @@ fn main() {
     println!("custom BIM:");
     println!("  XOR gates:      {}", bim.xor_gate_count());
     println!("  XOR tree depth: {}", bim.xor_tree_depth());
-    println!(
-        "  decode matrix exists: {}",
-        bim.inverse().is_some()
-    );
+    println!("  decode matrix exists: {}", bim.inverse().is_some());
 
     let custom = AddressMapper::from_bim(SchemeKind::Pae, bim, 1);
 

@@ -8,8 +8,11 @@ use valley::dram::{DramChannel, DramConfig, DramRequest};
 
 fn drain(ch: &mut DramChannel, until: u64) -> Vec<(u64, u64)> {
     let mut done = Vec::new();
+    let mut buf = Vec::new();
     for cycle in 0..until {
-        for c in ch.tick(cycle) {
+        buf.clear();
+        ch.tick(cycle, &mut buf);
+        for c in &buf {
             done.push((c.id, c.finish));
         }
     }
@@ -30,8 +33,12 @@ fn main() {
     }
     let done = drain(&mut same_row, 400);
     let s = same_row.stats();
-    println!("same-row stream:      last finish {:>4}, ACTs {}, hit rate {:.0}%",
-        done.last().unwrap().1, s.activates, s.row_buffer_hit_rate() * 100.0);
+    println!(
+        "same-row stream:      last finish {:>4}, ACTs {}, hit rate {:.0}%",
+        done.last().unwrap().1,
+        s.activates,
+        s.row_buffer_hit_rate() * 100.0
+    );
 
     // Stream B: 16 accesses alternating two rows of one bank (conflicts).
     let mut ping_pong = DramChannel::new(DramConfig::gddr5());
@@ -46,8 +53,12 @@ fn main() {
     }
     let done = drain(&mut ping_pong, 4000);
     let s = ping_pong.stats();
-    println!("row-conflict stream:  last finish {:>4}, ACTs {}, hit rate {:.0}%",
-        done.last().unwrap().1, s.activates, s.row_buffer_hit_rate() * 100.0);
+    println!(
+        "row-conflict stream:  last finish {:>4}, ACTs {}, hit rate {:.0}%",
+        done.last().unwrap().1,
+        s.activates,
+        s.row_buffer_hit_rate() * 100.0
+    );
     println!("  (FR-FCFS groups same-row requests, so even the ping-pong");
     println!("   stream activates each row once, not 8 times)");
 
@@ -64,8 +75,12 @@ fn main() {
     }
     let done = drain(&mut banked, 400);
     let s = banked.stats();
-    println!("16-bank stream:       last finish {:>4}, ACTs {}, hit rate {:.0}%",
-        done.last().unwrap().1, s.activates, s.row_buffer_hit_rate() * 100.0);
+    println!(
+        "16-bank stream:       last finish {:>4}, ACTs {}, hit rate {:.0}%",
+        done.last().unwrap().1,
+        s.activates,
+        s.row_buffer_hit_rate() * 100.0
+    );
     println!("  (activations overlap across banks; the data bus serializes");
     println!("   only the 4-cycle bursts — this is the parallelism the");
     println!("   paper's mapping schemes unlock)");

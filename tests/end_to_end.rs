@@ -34,7 +34,10 @@ fn every_benchmark_terminates_under_every_scheme() {
 fn metrics_are_sane() {
     for bench in [Benchmark::Mt, Benchmark::Mum, Benchmark::Gs] {
         let r = run(bench, SchemeKind::Pae, 1);
-        assert!((0.0..=1.0).contains(&r.llc_miss_rate()), "{bench} miss rate");
+        assert!(
+            (0.0..=1.0).contains(&r.llc_miss_rate()),
+            "{bench} miss rate"
+        );
         assert!(
             (0.0..=1.0).contains(&r.row_buffer_hit_rate()),
             "{bench} row hit rate"

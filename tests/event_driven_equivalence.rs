@@ -1,0 +1,101 @@
+//! The event-driven fast path must be an *exact* optimization: for any
+//! (benchmark, scheme) pair, `GpuSim::run` and the dense reference loop
+//! `GpuSim::run_dense` must produce bit-identical cycle counts, DRAM
+//! statistics and cache statistics. These tests pin that contract for a
+//! spread of workload behaviors: streaming (SP), the paper's headline
+//! valley benchmark (MT), and a pointer-chasing random workload (MUM).
+
+use valley::core::{AddressMapper, GddrMap, SchemeKind};
+use valley::sim::{GpuConfig, GpuSim, SimReport};
+use valley::workloads::{Benchmark, Scale};
+
+fn build(bench: Benchmark, scheme: SchemeKind) -> GpuSim {
+    let map = GddrMap::baseline();
+    let mapper = AddressMapper::build(scheme, &map, 1);
+    GpuSim::new(
+        GpuConfig::table1(),
+        mapper,
+        map,
+        Box::new(bench.workload(Scale::Test)),
+    )
+}
+
+fn assert_equivalent(bench: Benchmark, scheme: SchemeKind) {
+    let fast: SimReport = build(bench, scheme).run();
+    let dense: SimReport = build(bench, scheme).run_dense();
+    let tag = format!("{bench:?}/{scheme:?}");
+    assert_eq!(fast.cycles, dense.cycles, "{tag}: cycle count diverged");
+    assert_eq!(fast.dram, dense.dram, "{tag}: DRAM stats diverged");
+    assert_eq!(fast.l1, dense.l1, "{tag}: L1 stats diverged");
+    assert_eq!(fast.llc, dense.llc, "{tag}: LLC stats diverged");
+    assert_eq!(
+        fast.dram_cycles, dense.dram_cycles,
+        "{tag}: DRAM clock diverged"
+    );
+    assert_eq!(
+        fast.warp_instructions, dense.warp_instructions,
+        "{tag}: instruction count diverged"
+    );
+    assert_eq!(
+        fast.memory_transactions, dense.memory_transactions,
+        "{tag}: transaction count diverged"
+    );
+    assert_eq!(
+        fast.truncated, dense.truncated,
+        "{tag}: truncation diverged"
+    );
+    assert_eq!(fast.kernels, dense.kernels, "{tag}: kernel count diverged");
+    // The parallelism integrals are sums of identical integer samples.
+    assert_eq!(
+        fast.llc_parallelism.to_bits(),
+        dense.llc_parallelism.to_bits(),
+        "{tag}: LLC parallelism diverged"
+    );
+    assert_eq!(
+        fast.bank_parallelism.to_bits(),
+        dense.bank_parallelism.to_bits(),
+        "{tag}: bank parallelism diverged"
+    );
+    // And the fast path must not be a trivial no-op either: the run did
+    // real work.
+    assert!(
+        fast.cycles > 0 && fast.memory_transactions > 0,
+        "{tag}: empty run"
+    );
+}
+
+#[test]
+fn streaming_benchmark_base_scheme() {
+    assert_equivalent(Benchmark::Sp, SchemeKind::Base);
+}
+
+#[test]
+fn valley_benchmark_base_and_pae() {
+    assert_equivalent(Benchmark::Mt, SchemeKind::Base);
+    assert_equivalent(Benchmark::Mt, SchemeKind::Pae);
+}
+
+#[test]
+fn random_benchmark_fae_scheme() {
+    assert_equivalent(Benchmark::Mum, SchemeKind::Fae);
+}
+
+#[test]
+fn stacked_memory_equivalence() {
+    use valley::core::StackedMap;
+    let build = || {
+        let map = StackedMap::baseline();
+        let mapper = AddressMapper::build(SchemeKind::Pae, &map, 1);
+        GpuSim::new(
+            GpuConfig::stacked(),
+            mapper,
+            map,
+            Box::new(Benchmark::Sp.workload(Scale::Test)),
+        )
+    };
+    let fast = build().run();
+    let dense = build().run_dense();
+    assert_eq!(fast.cycles, dense.cycles, "stacked: cycle count diverged");
+    assert_eq!(fast.dram, dense.dram, "stacked: DRAM stats diverged");
+    assert_eq!(fast.llc, dense.llc, "stacked: LLC stats diverged");
+}

@@ -103,11 +103,7 @@ fn mapper_latency_is_charged() {
     let base = run(Benchmark::Nn, SchemeKind::Base, 0);
     // An identity BIM wrapped as a non-BASE scheme: same mapping, 1-cycle
     // latency.
-    let identity = AddressMapper::from_bim(
-        SchemeKind::Rmp,
-        valley::core::Bim::identity(30),
-        1,
-    );
+    let identity = AddressMapper::from_bim(SchemeKind::Rmp, valley::core::Bim::identity(30), 1);
     let slow = GpuSim::new(
         GpuConfig::table1(),
         identity,

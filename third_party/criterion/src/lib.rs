@@ -1,0 +1,164 @@
+//! Offline, dependency-free shim for the `criterion` benchmarking crate.
+//!
+//! Implements the subset used by `crates/bench/benches/`: [`Criterion`],
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! `sample_size` and `finish`), [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Methodology: each benchmark is calibrated so one sample runs for roughly
+//! [`TARGET_SAMPLE`], then `sample_size` samples are collected and the
+//! **median** time per iteration is reported on stdout as
+//! `criterion-shim: <name> <ns> ns/iter`, a line format the repository's
+//! tooling greps for perf tracking.
+
+#![warn(missing_docs)]
+
+use std::hint::black_box as bb;
+use std::time::{Duration, Instant};
+
+/// Target wall time of one sample during calibration.
+const TARGET_SAMPLE: Duration = Duration::from_millis(10);
+
+/// Default number of samples per benchmark.
+const DEFAULT_SAMPLES: usize = 15;
+
+/// Drives the closure under measurement.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the sample's iteration count, timing the whole batch.
+    /// The return value is passed through [`std::hint::black_box`] so the
+    /// optimizer cannot elide the work.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            bb(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark driver (shim).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    // Calibration: grow the per-sample iteration count until one sample
+    // takes at least TARGET_SAMPLE (or a single iteration exceeds it).
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    loop {
+        f(&mut b);
+        if b.elapsed >= TARGET_SAMPLE || b.iters >= 1 << 30 {
+            break;
+        }
+        let grow = if b.elapsed.is_zero() {
+            16
+        } else {
+            (TARGET_SAMPLE.as_secs_f64() / b.elapsed.as_secs_f64()).ceil() as u64
+        };
+        b.iters = (b.iters * grow.clamp(2, 16)).min(1 << 30);
+    }
+    let iters = b.iters;
+    let mut per_iter: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            f(&mut b);
+            b.elapsed.as_secs_f64() * 1e9 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    let median = per_iter[per_iter.len() / 2];
+    println!("criterion-shim: {name} {median:.1} ns/iter ({iters} iters x {samples} samples)");
+}
+
+impl Criterion {
+    /// Measures `f` and prints the median time per iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, f: F) {
+        run_bench(name.as_ref(), self.sample_size, f);
+    }
+
+    /// Opens a named group; names are reported as `group/function`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample count.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measures `f` under `group/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl AsRef<str>, f: F) {
+        run_bench(
+            &format!("{}/{}", self.name, name.as_ref()),
+            self.sample_size,
+            f,
+        );
+    }
+
+    /// Ends the group (no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collects benchmark functions into a runnable group, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` from one or more [`criterion_group!`] groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+    }
+}

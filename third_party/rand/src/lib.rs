@@ -1,0 +1,175 @@
+//! Offline, dependency-free shim for the `rand` crate.
+//!
+//! Implements exactly the surface the Valley workspace uses —
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`] and the [`RngExt`]
+//! extension trait (`random`, `random_range`, `random_bool`) — with a
+//! deterministic SplitMix64 generator. See `third_party/README.md` for why
+//! this exists. The stream is stable across platforms and releases: every
+//! simulation seed in the repository reproduces bit-identical traces.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Core trait: a source of uniformly distributed 64-bit values.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a 64-bit seed (the only constructor the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64 (Steele et al.),
+    /// deterministic and seedable from a `u64`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+/// Types producible by [`RngExt::random`].
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn draw(rng: &mut dyn FnMut() -> u64) -> Self;
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn draw(rng: &mut dyn FnMut() -> u64) -> Self {
+        rng()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn draw(rng: &mut dyn FnMut() -> u64) -> Self {
+        (rng() >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    #[inline]
+    fn draw(rng: &mut dyn FnMut() -> u64) -> Self {
+        rng() as usize
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn draw(rng: &mut dyn FnMut() -> u64) -> Self {
+        rng() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn draw(rng: &mut dyn FnMut() -> u64) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Integer types usable as [`RngExt::random_range`] bounds.
+pub trait SampleUniform: Copy {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample(lo: Self, hi: Self, rng: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample(lo: Self, hi: Self, rng: &mut dyn FnMut() -> u64) -> Self {
+                assert!(lo < hi, "random_range requires a non-empty range");
+                let span = (hi - lo) as u64;
+                lo + (rng() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+/// Extension methods over any [`RngCore`], mirroring `rand::Rng`.
+pub trait RngExt: RngCore {
+    /// A uniformly distributed value of type `T`.
+    #[inline]
+    fn random<T: Standard>(&mut self) -> T {
+        T::draw(&mut || self.next_u64())
+    }
+
+    /// A uniform draw from the half-open `range`.
+    #[inline]
+    fn random_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(range.start, range.end, &mut || self.next_u64())
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        let x: f64 = self.random();
+        x < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a: u64 = StdRng::seed_from_u64(7).random();
+        let b: u64 = StdRng::seed_from_u64(7).random();
+        let c: u64 = StdRng::seed_from_u64(8).random();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.random_range(10usize..20);
+            assert!((10..20).contains(&x));
+            let y = rng.random_range(0u64..3);
+            assert!(y < 3);
+        }
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+        let heads = (0..10_000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "suspicious bias: {heads}");
+    }
+}
