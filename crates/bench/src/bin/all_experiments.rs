@@ -1,6 +1,8 @@
 //! One-shot driver: regenerates every table and figure of the paper's
-//! evaluation in a single invocation, running the valley and non-valley
-//! simulation suites once each and reusing them across figures.
+//! evaluation in a single invocation, pulling the valley and non-valley
+//! suites through the sweep harness (simulated once, then served from
+//! the `results/` store — a re-run is a pure cache read) and reusing
+//! them across figures.
 //!
 //! The output of this binary is the basis of `EXPERIMENTS.md`.
 

@@ -1,49 +1,133 @@
-//! Wall-time benchmark of a small simulation suite, for the repository's
+//! Wall-time benchmark of the simulation suite, for the repository's
 //! perf trajectory: writes `BENCH_suite.json` (machine-readable) and a
 //! human summary to stdout.
+//!
+//! Two sections feed the trajectory:
+//!
+//! * the historical Test-scale suite timing, run on the work-stealing
+//!   pool *without* store persistence — the same work the pre-harness
+//!   `run_suite` timed, so `mcycles_per_second` stays comparable across
+//!   PRs and measures the simulator, not the store;
+//! * a harness-driven `Scale::Ref` smoke slice run twice against a
+//!   scratch store — cold (all simulated) and warm (all cache hits) —
+//!   recording per-job wall times and cache-hit counts, i.e. the cost of
+//!   a sweep and the cost of resuming one.
 //!
 //! Run with: `cargo run --release -p valley-bench --bin bench_wall`
 
 use std::time::Instant;
-use valley_bench::run_suite;
 use valley_core::SchemeKind;
+use valley_harness::{execute_job, pool, run_sweep, ResultStore, SweepOptions, SweepSpec};
+use valley_sim::json::Json;
 use valley_workloads::{Benchmark, Scale};
 
 fn main() {
+    let scratch = std::env::temp_dir().join(format!("valley-bench-wall-{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+
     // A representative slice of the full sweep: a valley benchmark (MT),
     // a streaming one (SP) and a random one (MUM), under the baseline and
     // the paper's headline scheme.
     let benches = [Benchmark::Mt, Benchmark::Sp, Benchmark::Mum];
     let schemes = [SchemeKind::Base, SchemeKind::Pae];
 
+    // Historical trajectory: pool-parallel simulation only, no store.
+    let test_jobs = SweepSpec::new(&benches, &schemes, Scale::Test).expand();
     let start = Instant::now();
-    let suite = run_suite(&benches, &schemes, Scale::Test);
+    let reports = pool::run_jobs(
+        test_jobs.len(),
+        pool::default_workers(test_jobs.len()),
+        |i| execute_job(&test_jobs[i]),
+        |_| {},
+    );
     let wall = start.elapsed();
+    let reports: Vec<_> = reports
+        .into_iter()
+        .map(|r| r.expect("test-scale suite job panicked"))
+        .collect();
 
-    let jobs = suite.len();
-    let total_cycles: u64 = suite.values().map(|r| r.cycles).sum();
+    let jobs = reports.len();
+    let total_cycles: u64 = reports.iter().map(|r| r.cycles).sum();
     let sim_mcps = total_cycles as f64 / 1e6 / wall.as_secs_f64();
     println!(
         "bench_wall: {jobs} jobs, {total_cycles} simulated cycles in {wall:.2?} \
          ({sim_mcps:.2} Mcycles/s)"
     );
 
-    // Hand-rolled JSON (the workspace is dependency-free offline).
-    let mut per_job = String::new();
-    for ((b, s), r) in &suite {
-        if !per_job.is_empty() {
-            per_job.push_str(", ");
-        }
-        per_job.push_str(&format!("\"{b}/{s}\": {}", r.cycles));
-    }
-    let json = format!(
-        "{{\n  \"suite\": \"mt+sp+mum x base+pae @ test scale\",\n  \
-         \"jobs\": {jobs},\n  \"wall_seconds\": {:.6},\n  \
-         \"simulated_cycles\": {total_cycles},\n  \
-         \"mcycles_per_second\": {sim_mcps:.3},\n  \
-         \"cycles_per_job\": {{ {per_job} }}\n}}\n",
-        wall.as_secs_f64()
+    // Harness smoke slice at Ref scale: cold sweep, then resumed sweep.
+    let store = ResultStore::open(&scratch).expect("scratch store opens");
+    let spec = SweepSpec::new(&benches, &schemes, Scale::Ref);
+    let quiet = SweepOptions {
+        workers: None,
+        verbose: false,
+        force: false,
+    };
+    let cold = run_sweep(&spec, &store, &quiet).expect("cold smoke sweep");
+    let warm = run_sweep(&spec, &store, &quiet).expect("warm smoke sweep");
+    println!(
+        "harness smoke (ref scale, {} jobs): cold {:.2?} ({} executed), \
+         warm {:.2?} ({} cache hits)",
+        cold.jobs.len(),
+        cold.wall,
+        cold.executed,
+        warm.wall,
+        warm.cache_hits,
     );
+
+    let cycles_per_job = test_jobs
+        .iter()
+        .zip(&reports)
+        .map(|(j, r)| (format!("{}/{}", j.bench, j.scheme), Json::UInt(r.cycles)))
+        .collect();
+    let smoke_walls = cold
+        .jobs
+        .iter()
+        .map(|j| {
+            (
+                format!("{}/{}", j.spec.bench, j.spec.scheme),
+                Json::Num((j.wall_ms * 1e3).round() / 1e3),
+            )
+        })
+        .collect();
+    let snapshot = Json::Obj(vec![
+        (
+            "suite".into(),
+            Json::Str("mt+sp+mum x base+pae @ test scale".into()),
+        ),
+        ("jobs".into(), Json::UInt(jobs as u64)),
+        ("wall_seconds".into(), Json::Num(wall.as_secs_f64())),
+        ("simulated_cycles".into(), Json::UInt(total_cycles)),
+        (
+            "mcycles_per_second".into(),
+            Json::Num((sim_mcps * 1e3).round() / 1e3),
+        ),
+        ("cycles_per_job".into(), Json::Obj(cycles_per_job)),
+        (
+            "harness_smoke".into(),
+            Json::Obj(vec![
+                (
+                    "slice".into(),
+                    Json::Str("mt+sp+mum x base+pae @ ref scale".into()),
+                ),
+                ("jobs".into(), Json::UInt(cold.jobs.len() as u64)),
+                (
+                    "cold_wall_seconds".into(),
+                    Json::Num(cold.wall.as_secs_f64()),
+                ),
+                ("cold_cache_hits".into(), Json::UInt(cold.cache_hits as u64)),
+                (
+                    "warm_wall_seconds".into(),
+                    Json::Num(warm.wall.as_secs_f64()),
+                ),
+                ("warm_cache_hits".into(), Json::UInt(warm.cache_hits as u64)),
+                ("job_wall_ms".into(), Json::Obj(smoke_walls)),
+            ]),
+        ),
+    ]);
+    let mut json = snapshot.to_json_string();
+    json.push('\n');
     std::fs::write("BENCH_suite.json", &json).expect("writing BENCH_suite.json");
     println!("wrote BENCH_suite.json");
+
+    std::fs::remove_dir_all(&scratch).ok();
 }

@@ -2,73 +2,10 @@
 //! allocation, the DRAM channel distribution each produces, the
 //! state-of-the-art PM scheme's partial fix, and the Broad BIM's perfect
 //! channel balance.
-
-use valley_core::Bim;
-
-/// The 6-bit example address map: the two LSBs select the channel.
-fn channel(addr: u64) -> usize {
-    (addr & 0b11) as usize
-}
-
-fn distribution(label: &str, addrs: &[u64], xform: &Bim) {
-    let mut chans = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
-    for (i, &a) in addrs.iter().enumerate() {
-        chans[channel(xform.apply(a))].push(i + 1);
-    }
-    println!("{label}:");
-    for (c, reqs) in chans.iter().enumerate() {
-        let reqs = if reqs.is_empty() {
-            "None".to_string()
-        } else {
-            reqs.iter()
-                .map(|r| r.to_string())
-                .collect::<Vec<_>>()
-                .join(",")
-        };
-        println!("  Ch. {c}: {reqs}");
-    }
-}
+//!
+//! Thin consumer: the rendering lives in [`valley_bench::figures`] and
+//! is pinned byte-for-byte by the golden tests.
 
 fn main() {
-    // Figure 2c: TB-RM2 walks consecutive addresses; TB-CM0 strides by 8
-    // elements (the column-major first TB).
-    let tb_rm2: Vec<u64> = (16..24).collect();
-    let tb_cm0: Vec<u64> = (0..8).map(|i| i * 8).collect();
-
-    let identity = Bim::identity(6);
-    distribution("TB-RM2 (row-major), BASE", &tb_rm2, &identity);
-    distribution("TB-CM0 (column-major), BASE", &tb_cm0, &identity);
-
-    // Figure 2c's PM matrix: channel bits XORed with one row bit each
-    // (bit0 <- bit0 ^ bit3, bit1 <- bit1 ^ bit4).
-    let mut pm = Bim::identity(6);
-    pm.set_row(0, 0b001001);
-    pm.set_row(1, 0b010010);
-    distribution("TB-CM0, PM", &tb_cm0, &pm);
-
-    // Figure 2c's Broad BIM, converted to LSB-first row masks: the
-    // paper's bottom row produces the new bit 0 from b5^b4^b3^b0, and
-    // its fifth row produces bit 1 from b5^b3^b1.
-    let broad = Bim::checked_invertible(vec![
-        0b111001, // out0 = b5 ^ b4 ^ b3 ^ b0
-        0b101010, // out1 = b5 ^ b3 ^ b1
-        0b000100, 0b001000, 0b010000, 0b100000,
-    ])
-    .expect("the example BIM is invertible");
-    distribution("TB-CM0, Broad BIM", &tb_cm0, &broad);
-
-    // The paper's observation in numbers:
-    let count = |addrs: &[u64], x: &Bim| {
-        let mut n = [0usize; 4];
-        for &a in addrs {
-            n[channel(x.apply(a))] += 1;
-        }
-        n
-    };
-    let base = count(&tb_cm0, &identity);
-    let fixed = count(&tb_cm0, &broad);
-    println!("\nTB-CM0 channel counts under BASE: {base:?} (all on one channel)");
-    println!("TB-CM0 channel counts under Broad BIM: {fixed:?} (perfect balance)");
-    assert_eq!(base, [8, 0, 0, 0]);
-    assert_eq!(fixed, [2, 2, 2, 2]);
+    print!("{}", valley_bench::figures::fig02_text());
 }

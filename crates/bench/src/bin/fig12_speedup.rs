@@ -3,34 +3,35 @@
 //!
 //! Paper shape: PAE/FAE/ALL ≈ 1.5× average (up to ~7.5× for MT/LU),
 //! PM ≈ 1.16×, RMP ≈ 1.21×.
+//!
+//! Thin harness consumer: the suite comes from the sweep engine's
+//! result store (`results/`), so a second invocation — or any other
+//! figure binary needing the same grid — is a pure cache read. The table
+//! rendering is pinned byte-for-byte by the golden tests.
 
-use valley_bench::{all_schemes, hmean, run_suite, scheme_header, speedup};
+use valley_bench::{all_schemes, figures, run_suite};
 use valley_core::SchemeKind;
 use valley_workloads::{Benchmark, Scale};
 
 fn main() {
-    let schemes = all_schemes();
-    let suite = run_suite(&Benchmark::VALLEY, &schemes, Scale::Ref);
+    let suite = run_suite(&Benchmark::VALLEY, &all_schemes(), Scale::Ref);
 
-    println!("\nFigure 12: speedup over BASE (valley benchmarks)");
-    println!("{}", scheme_header("bench", &schemes, 8));
-    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
-    for b in Benchmark::VALLEY {
-        let mut vals = Vec::new();
-        for (i, &s) in schemes.iter().enumerate() {
-            let sp = speedup(&suite, b, s);
-            per_scheme[i].push(sp);
-            vals.push(sp);
-        }
-        println!("{}", valley_bench::row(b.label(), &vals, 8, 2));
-    }
-    let hmeans: Vec<f64> = per_scheme.iter().map(|v| hmean(v)).collect();
-    println!("{}", valley_bench::row("HMEAN", &hmeans, 8, 2));
+    print!(
+        "{}",
+        figures::fig12_text(&suite, "Figure 12: speedup over BASE (valley benchmarks)")
+    );
 
-    // Context line matching the paper's headline claims.
-    let pae = hmeans[schemes.iter().position(|&s| s == SchemeKind::Pae).unwrap()];
-    let fae = hmeans[schemes.iter().position(|&s| s == SchemeKind::Fae).unwrap()];
-    let pm = hmeans[schemes.iter().position(|&s| s == SchemeKind::Pm).unwrap()];
+    // Context line matching the paper's headline claims, from the same
+    // aggregation that produced the table's HMEAN row.
+    let hmeans = figures::fig12_hmeans(&suite);
+    let of = |kind: SchemeKind| {
+        hmeans
+            .iter()
+            .find(|(s, _)| *s == kind)
+            .map(|&(_, h)| h)
+            .expect("scheme present in suite")
+    };
+    let (pae, fae, pm) = (of(SchemeKind::Pae), of(SchemeKind::Fae), of(SchemeKind::Pm));
     println!(
         "\npaper: PAE 1.52x, FAE 1.56x, ALL 1.54x, PM 1.16x, RMP 1.21x (HMEAN over valley set)"
     );

@@ -86,20 +86,39 @@ pub fn fig11(suite: &Suite) {
 
 /// Figure 12 (or 20 for the non-valley suite): speedup over BASE.
 pub fn fig12(suite: &Suite, title: &str) {
+    print!("{}", fig12_text(suite, title));
+}
+
+/// [`fig12`] as a string — golden tests pin this byte-for-byte against
+/// pre-harness-refactor snapshots, so the formatting must not drift.
+pub fn fig12_text(suite: &Suite, title: &str) -> String {
+    fig12_render(suite, title).0
+}
+
+/// The per-scheme HMEAN speedups of the suite, in the same scheme order
+/// as [`fig12_text`]'s columns — the single source for both the table's
+/// HMEAN row and any headline context lines.
+pub fn fig12_hmeans(suite: &Suite) -> Vec<(SchemeKind, f64)> {
+    fig12_render(suite, "").1
+}
+
+fn fig12_render(suite: &Suite, title: &str) -> (String, Vec<(SchemeKind, f64)>) {
     let schemes = schemes_of(suite);
     let benches = benches_of(suite);
-    println!("\n{title}");
-    println!("{}", scheme_header("bench", &schemes, 8));
+    let mut out = String::new();
+    out.push_str(&format!("\n{title}\n"));
+    out.push_str(&format!("{}\n", scheme_header("bench", &schemes, 8)));
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
     for &b in &benches {
         let vals: Vec<f64> = schemes.iter().map(|&s| speedup(suite, b, s)).collect();
         for (c, v) in vals.iter().enumerate() {
             cols[c].push(*v);
         }
-        println!("{}", row(b.label(), &vals, 8, 2));
+        out.push_str(&format!("{}\n", row(b.label(), &vals, 8, 2)));
     }
     let hm: Vec<f64> = cols.iter().map(|c| hmean(c)).collect();
-    println!("{}", row("HMEAN", &hm, 8, 2));
+    out.push_str(&format!("{}\n", row("HMEAN", &hm, 8, 2)));
+    (out, schemes.into_iter().zip(hm).collect())
 }
 
 /// Figure 13a: mean NoC packet latency in core cycles.
@@ -196,6 +215,100 @@ pub fn fig16(suite: &Suite) {
             bg + act + rd + wr
         );
     }
+}
+
+/// Figure 2 / Section II worked example: row-major vs column-major TB
+/// allocation, the DRAM channel distribution each produces, the PM
+/// scheme's partial fix, and the Broad BIM's perfect channel balance.
+/// Pure BIM arithmetic — no simulation; golden tests pin the output
+/// byte-for-byte against the pre-harness-refactor snapshot.
+///
+/// # Panics
+///
+/// Panics if the worked example stops reproducing the paper's channel
+/// counts (the asserts at the end are part of the figure's claim).
+pub fn fig02_text() -> String {
+    use valley_core::Bim;
+
+    // The 6-bit example address map: the two LSBs select the channel.
+    let channel = |addr: u64| (addr & 0b11) as usize;
+
+    let distribution = |label: &str, addrs: &[u64], xform: &Bim| -> String {
+        let mut chans = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for (i, &a) in addrs.iter().enumerate() {
+            chans[channel(xform.apply(a))].push(i + 1);
+        }
+        let mut out = format!("{label}:\n");
+        for (c, reqs) in chans.iter().enumerate() {
+            let reqs = if reqs.is_empty() {
+                "None".to_string()
+            } else {
+                reqs.iter()
+                    .map(|r| r.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            out.push_str(&format!("  Ch. {c}: {reqs}\n"));
+        }
+        out
+    };
+
+    let mut out = String::new();
+
+    // Figure 2c: TB-RM2 walks consecutive addresses; TB-CM0 strides by 8
+    // elements (the column-major first TB).
+    let tb_rm2: Vec<u64> = (16..24).collect();
+    let tb_cm0: Vec<u64> = (0..8).map(|i| i * 8).collect();
+
+    let identity = Bim::identity(6);
+    out.push_str(&distribution(
+        "TB-RM2 (row-major), BASE",
+        &tb_rm2,
+        &identity,
+    ));
+    out.push_str(&distribution(
+        "TB-CM0 (column-major), BASE",
+        &tb_cm0,
+        &identity,
+    ));
+
+    // Figure 2c's PM matrix: channel bits XORed with one row bit each
+    // (bit0 <- bit0 ^ bit3, bit1 <- bit1 ^ bit4).
+    let mut pm = Bim::identity(6);
+    pm.set_row(0, 0b001001);
+    pm.set_row(1, 0b010010);
+    out.push_str(&distribution("TB-CM0, PM", &tb_cm0, &pm));
+
+    // Figure 2c's Broad BIM, converted to LSB-first row masks: the
+    // paper's bottom row produces the new bit 0 from b5^b4^b3^b0, and
+    // its fifth row produces bit 1 from b5^b3^b1.
+    let broad = Bim::checked_invertible(vec![
+        0b111001, // out0 = b5 ^ b4 ^ b3 ^ b0
+        0b101010, // out1 = b5 ^ b3 ^ b1
+        0b000100, 0b001000, 0b010000, 0b100000,
+    ])
+    .expect("the example BIM is invertible");
+    out.push_str(&distribution("TB-CM0, Broad BIM", &tb_cm0, &broad));
+
+    // The paper's observation in numbers:
+    let count = |addrs: &[u64], x: &Bim| {
+        let mut n = [0usize; 4];
+        for &a in addrs {
+            n[channel(x.apply(a))] += 1;
+        }
+        n
+    };
+    let base = count(&tb_cm0, &identity);
+    let fixed = count(&tb_cm0, &broad);
+    out.push_str(&format!(
+        "\nTB-CM0 channel counts under BASE: {base:?} (all on one channel)\n"
+    ));
+    out.push_str(&format!(
+        "TB-CM0 channel counts under Broad BIM: {fixed:?} (perfect balance)\n"
+    ));
+    assert_eq!(base, [8, 0, 0, 0]);
+    assert_eq!(fixed, [2, 2, 2, 2]);
+    out
 }
 
 /// Figure 17: normalized performance per Watt.

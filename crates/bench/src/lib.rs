@@ -1,8 +1,18 @@
 //! # valley-bench
 //!
-//! The experiment harness: shared driver code used by the per-figure
+//! The experiment layer: shared figure printers used by the per-figure
 //! binaries in `src/bin/` (one per table/figure of the paper) and by the
 //! Criterion micro-benchmarks in `benches/`.
+//!
+//! Since the `valley-harness` refactor this crate is a *thin consumer*
+//! of the sweep engine: [`run_suite`] builds a
+//! [`SweepSpec`](valley_harness::SweepSpec), hands it to
+//! [`valley_harness::run_sweep`], and returns cached
+//! [`SimReport`]s — the ad-hoc thread-pool driver that used to live here
+//! is gone. Every figure binary therefore resumes from the persistent
+//! result store under `results/` (override with `$VALLEY_RESULTS_DIR`):
+//! the first binary to need a (benchmark, scheme) simulation pays for
+//! it, every later one is a pure cache read.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -10,18 +20,26 @@
 pub mod figures;
 
 use std::collections::BTreeMap;
-use valley_core::{AddressMapper, GddrMap, SchemeKind, StackedMap};
+use valley_core::{AddressMapper, GddrMap, SchemeKind};
+use valley_harness::{
+    execute_job, run_sweep, ConfigId, JobSpec, ResultStore, SweepOptions, SweepSpec,
+};
 use valley_sim::{GpuConfig, GpuSim, SimReport};
 use valley_workloads::{Benchmark, Scale};
 
-/// The BIM seed used for the headline results (the paper generates three
-/// random BIMs per scheme and reports the best; Figure 19 shows the
-/// spread — regenerate it with `fig19_bim_sensitivity`).
-pub const DEFAULT_SEED: u64 = 1;
+pub use valley_harness::util::{amean, hmean, row, scheme_header};
+pub use valley_harness::DEFAULT_SEED;
 
 /// Runs one (benchmark, scheme) simulation on the baseline GDDR5 GPU.
+/// Direct execution — no store involved; sweeps should use [`run_suite`].
 pub fn run_one(bench: Benchmark, scheme: SchemeKind, seed: u64, scale: Scale) -> SimReport {
-    run_one_with(bench, scheme, seed, scale, GpuConfig::table1())
+    execute_job(&JobSpec {
+        bench,
+        scheme,
+        seed,
+        scale,
+        config: ConfigId::Table1,
+    })
 }
 
 /// Runs one simulation with an explicit GPU configuration (SM sweeps).
@@ -53,92 +71,62 @@ pub fn run_custom(
 /// Runs one simulation on the 3D-stacked memory configuration
 /// (Figure 18, rightmost group).
 pub fn run_one_stacked(bench: Benchmark, scheme: SchemeKind, seed: u64, scale: Scale) -> SimReport {
-    let map = StackedMap::baseline();
-    let mapper = AddressMapper::build(scheme, &map, seed);
-    let sim = GpuSim::new(
-        GpuConfig::stacked(),
-        mapper,
-        map,
-        Box::new(bench.workload(scale)),
-    );
-    sim.run()
+    execute_job(&JobSpec {
+        bench,
+        scheme,
+        seed,
+        scale,
+        config: ConfigId::Stacked,
+    })
 }
 
 /// A suite of simulation results keyed by (benchmark, scheme).
 pub type Suite = BTreeMap<(Benchmark, SchemeKind), SimReport>;
 
-/// Runs the cross product of `benches × schemes` on a thread pool (each
-/// simulation is independent), printing progress and per-job wall time to
-/// stderr.
-///
-/// A panicking simulation does not take the suite down or silently drop
-/// its job: every worker catches panics, the survivors keep draining the
-/// queue, and the collected failures are reported together at the end.
+/// Runs the cross product of `benches × schemes` through the sweep
+/// harness against the default result store ([`default_results_dir`]):
+/// already-stored jobs are served from disk, the rest run in parallel on
+/// the work-stealing pool with per-job panic isolation, and every fresh
+/// result is persisted for the next consumer.
 ///
 /// # Panics
 ///
-/// Panics after all jobs have been attempted if any simulation panicked,
-/// with a summary naming every failed (benchmark, scheme) pair — a suite
-/// with holes would silently skew every downstream figure.
+/// Panics after all jobs have been attempted if any simulation panicked
+/// (naming every failed pair — a suite with holes would silently skew
+/// every downstream figure), or if the result store cannot be
+/// opened/written.
 pub fn run_suite(benches: &[Benchmark], schemes: &[SchemeKind], scale: Scale) -> Suite {
-    let jobs: Vec<(Benchmark, SchemeKind)> = benches
-        .iter()
-        .flat_map(|&b| schemes.iter().map(move |&s| (b, s)))
-        .collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results = std::sync::Mutex::new(Suite::new());
-    let failures = std::sync::Mutex::new(Vec::<String>::new());
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(jobs.len())
-        .max(1);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&(b, s)) = jobs.get(i) else { break };
-                eprintln!("  running {b} / {s} ...");
-                let start = std::time::Instant::now();
-                match std::panic::catch_unwind(|| run_one(b, s, DEFAULT_SEED, scale)) {
-                    Ok(r) => {
-                        eprintln!("    {b}/{s} finished in {:.2?}", start.elapsed());
-                        if r.truncated {
-                            eprintln!("    WARNING: {b}/{s} hit the cycle limit");
-                        }
-                        results
-                            .lock()
-                            .expect("no panics while holding the lock")
-                            .insert((b, s), r);
-                    }
-                    Err(panic) => {
-                        let msg = panic
-                            .downcast_ref::<&str>()
-                            .map(|m| (*m).to_string())
-                            .or_else(|| panic.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "non-string panic payload".to_string());
-                        eprintln!(
-                            "    ERROR: {b}/{s} panicked after {:.2?}: {msg}",
-                            start.elapsed()
-                        );
-                        failures
-                            .lock()
-                            .expect("no panics while holding the lock")
-                            .push(format!("{b}/{s}: {msg}"));
-                    }
-                }
-            });
-        }
-    });
-    let failures = failures.into_inner().expect("all workers joined");
-    assert!(
-        failures.is_empty(),
-        "{} of {} suite jobs panicked:\n  {}",
-        failures.len(),
-        jobs.len(),
-        failures.join("\n  ")
-    );
-    results.into_inner().expect("all workers joined")
+    let dir = valley_harness::default_results_dir();
+    let store = ResultStore::open(&dir)
+        .unwrap_or_else(|e| panic!("cannot open result store {}: {e}", dir.display()));
+    run_suite_with_store(benches, schemes, scale, &store)
+}
+
+/// [`run_suite`] against an explicit store (tests, scratch sweeps).
+///
+/// # Panics
+///
+/// Same contract as [`run_suite`].
+pub fn run_suite_with_store(
+    benches: &[Benchmark],
+    schemes: &[SchemeKind],
+    scale: Scale,
+    store: &ResultStore,
+) -> Suite {
+    let spec = SweepSpec::new(benches, schemes, scale);
+    let opts = SweepOptions {
+        workers: None,
+        verbose: true,
+        force: false,
+    };
+    match run_sweep(&spec, store, &opts) {
+        Ok(outcome) => outcome
+            .jobs
+            .into_iter()
+            .map(|j| ((j.spec.bench, j.spec.scheme), j.report))
+            .collect(),
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// The six schemes in the paper's presentation order.
@@ -156,62 +144,9 @@ pub fn speedup(suite: &Suite, bench: Benchmark, scheme: SchemeKind) -> f64 {
     suite[&(bench, scheme)].speedup_over(base)
 }
 
-/// Arithmetic mean.
-pub fn amean(xs: &[f64]) -> f64 {
-    if xs.is_empty() {
-        0.0
-    } else {
-        xs.iter().sum::<f64>() / xs.len() as f64
-    }
-}
-
-/// Harmonic mean (the paper's HMEAN for speedups).
-pub fn hmean(xs: &[f64]) -> f64 {
-    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
-        0.0
-    } else {
-        xs.len() as f64 / xs.iter().map(|x| 1.0 / x).sum::<f64>()
-    }
-}
-
-/// Renders one row of a fixed-width table.
-pub fn row(label: &str, values: &[f64], width: usize, precision: usize) -> String {
-    let mut s = format!("{label:<10}");
-    for v in values {
-        s.push_str(&format!("{v:>width$.precision$}"));
-    }
-    s
-}
-
-/// Prints a header row for a scheme-column table.
-pub fn scheme_header(label: &str, schemes: &[SchemeKind], width: usize) -> String {
-    let mut s = format!("{label:<10}");
-    for sc in schemes {
-        s.push_str(&format!("{:>width$}", sc.label()));
-    }
-    s
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn means() {
-        assert!((amean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
-        assert!((hmean(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
-        assert!(hmean(&[2.0, 2.0]) > 1.99);
-        assert_eq!(hmean(&[]), 0.0);
-        assert_eq!(hmean(&[1.0, 0.0]), 0.0);
-    }
-
-    #[test]
-    fn formatting() {
-        let h = scheme_header("bench", &[SchemeKind::Base, SchemeKind::Pae], 8);
-        assert!(h.contains("BASE") && h.contains("PAE"));
-        let r = row("MT", &[1.0, 2.5], 8, 2);
-        assert!(r.contains("1.00") && r.contains("2.50"));
-    }
 
     #[test]
     fn smoke_run_tiny_sim() {
@@ -221,5 +156,21 @@ mod tests {
         assert!(r.cycles > 0);
         assert!(r.memory_transactions > 0);
         assert!(r.warp_instructions > 0);
+    }
+
+    #[test]
+    fn run_one_matches_harness_execution_exactly() {
+        // `run_one` is a thin wrapper over `execute_job`; the two paths
+        // must stay bit-identical or cached suite results would diverge
+        // from direct runs.
+        let direct = run_one(Benchmark::Sp, SchemeKind::Pae, DEFAULT_SEED, Scale::Test);
+        let via_harness = execute_job(&JobSpec {
+            bench: Benchmark::Sp,
+            scheme: SchemeKind::Pae,
+            seed: DEFAULT_SEED,
+            scale: Scale::Test,
+            config: ConfigId::Table1,
+        });
+        assert_eq!(direct, via_harness);
     }
 }

@@ -1,0 +1,54 @@
+//! Golden tests pinning figure output across the harness refactor.
+//!
+//! The snapshot files under `tests/golden/` were captured from the
+//! *pre-refactor* binaries (commit `8d907f2`, direct `run_suite` driver,
+//! Test scale). The harness-backed paths must reproduce them
+//! byte-for-byte — both on a cold store (fresh simulation through the
+//! work-stealing pool) and on a warm store (pure cache read through the
+//! JSON round trip), so the store's serialization provably does not
+//! perturb a single digit of any figure.
+
+use valley_bench::{all_schemes, figures, run_suite_with_store};
+use valley_harness::ResultStore;
+use valley_workloads::{Benchmark, Scale};
+
+const FIG12_TITLE: &str = "Figure 12: speedup over BASE (valley benchmarks)";
+
+#[test]
+fn fig02_output_is_byte_identical_to_pre_refactor_snapshot() {
+    assert_eq!(
+        figures::fig02_text(),
+        include_str!("golden/fig02_motivation.txt")
+    );
+}
+
+#[test]
+fn fig12_harness_output_is_byte_identical_cold_and_cached() {
+    let golden = include_str!("golden/fig12_speedup_test_scale.txt");
+    let dir = std::env::temp_dir().join(format!("valley-golden-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let store = ResultStore::open(&dir).expect("store opens");
+
+    // Cold: every job simulated through the harness pool.
+    let suite = run_suite_with_store(&Benchmark::VALLEY, &all_schemes(), Scale::Test, &store);
+    assert_eq!(
+        figures::fig12_text(&suite, FIG12_TITLE),
+        golden,
+        "cold harness suite diverges from the pre-refactor snapshot"
+    );
+
+    // Warm: the same grid served exclusively from the store (reopened,
+    // so the reports have been through the JSON round trip on disk).
+    drop(store);
+    let store = ResultStore::open(&dir).expect("store reopens");
+    assert_eq!(store.len(), Benchmark::VALLEY.len() * all_schemes().len());
+    let cached = run_suite_with_store(&Benchmark::VALLEY, &all_schemes(), Scale::Test, &store);
+    assert_eq!(
+        figures::fig12_text(&cached, FIG12_TITLE),
+        golden,
+        "cached (store-served) suite diverges from the pre-refactor snapshot"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -3,7 +3,8 @@
 
 use proptest::prelude::*;
 use valley_core::entropy::{
-    window_entropy, window_entropy_method, window_entropy_naive_method, Bvr, EntropyMethod,
+    binary_entropy, binary_entropy_fast, window_entropy, window_entropy_method,
+    window_entropy_naive_method, Bvr, EntropyMethod,
 };
 use valley_core::{AddressMapper, Bim, DramAddressMap, GddrMap, PhysAddr, SchemeKind, StackedMap};
 
@@ -122,6 +123,17 @@ proptest! {
                 "{method:?} w={window}: rolling {rolling} vs naive {naive}"
             );
         }
+    }
+
+    /// The table-driven binary entropy matches the exact two-`log2`
+    /// formula to 1e-9 on arbitrary probabilities, and exactly on dyadic
+    /// knots (the values window means of binary BVRs actually take).
+    #[test]
+    fn table_binary_entropy_matches_exact(p in 0.0f64..=1.0, k in 0u32..=65536) {
+        let d = (binary_entropy_fast(p) - binary_entropy(p)).abs();
+        prop_assert!(d <= 1e-9, "p = {p}: err {d}");
+        let knot = f64::from(k) / 65536.0;
+        prop_assert_eq!(binary_entropy_fast(knot), binary_entropy(knot));
     }
 
     /// Entropy is invariant under reversing the TB order (windows slide

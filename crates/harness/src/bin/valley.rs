@@ -1,0 +1,402 @@
+//! The `valley` CLI: drive the sweep engine and its content-addressed
+//! result store from the command line.
+//!
+//! ```text
+//! valley sweep   [--scale S] [--benches B] [--schemes C] [--seeds N,..]
+//!                [--configs K,..] [--workers N] [--results DIR]
+//!                [--force] [--quiet] [--expect-cached PCT]
+//! valley status  [--results DIR]
+//! valley query   [--bench B] [--scheme C] [--scale S] [--seed N]
+//!                [--config K] [--results DIR]
+//! valley figures [--scale S] [--seed N] [--set valley|nonvalley|all]
+//!                [--results DIR]
+//! ```
+//!
+//! `sweep` runs the grid (resuming from the store), `status` summarizes
+//! the store, `query` prints matching stored results, and `figures`
+//! renders the headline tables *exclusively* from stored results — it
+//! never simulates.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+use valley_core::SchemeKind;
+use valley_harness::util::{amean, hmean, row, scheme_header};
+use valley_harness::{
+    default_results_dir, parse_scheme, run_sweep, ConfigId, ResultStore, StoredResult,
+    SweepOptions, SweepSpec, DEFAULT_SEED,
+};
+use valley_workloads::{Benchmark, Scale};
+
+const USAGE: &str = "\
+valley — sharded, resumable sweep engine for the Valley reproduction
+
+USAGE:
+  valley sweep   [--scale test|small|ref] [--benches all|valley|nonvalley|MT,LU,..]
+                 [--schemes all|BASE,PAE,..] [--seeds 1,2,3] [--configs table1,stacked,sms24]
+                 [--workers N] [--results DIR] [--force] [--quiet] [--expect-cached PCT]
+  valley status  [--results DIR]
+  valley query   [--bench MT] [--scheme PAE] [--scale ref] [--seed 1] [--config table1]
+                 [--results DIR]
+  valley figures [--scale test|small|ref] [--seed N] [--set valley|nonvalley|all]
+                 [--results DIR]
+
+The store defaults to $VALLEY_RESULTS_DIR, else ./results. A sweep skips
+every job already in the store; `--expect-cached 95` additionally fails
+the invocation if fewer than 95% of the jobs were cache hits (CI uses
+this to prove the resume path works). `figures` reads the store only —
+run the matching sweep first.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "sweep" => cmd_sweep(rest),
+        "status" => cmd_status(rest),
+        "query" => cmd_query(rest),
+        "figures" => cmd_figures(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Minimal `--flag value` parser: returns the map and rejects unknown
+/// or valueless flags.
+fn parse_flags(args: &[String], allowed: &[&str]) -> Result<BTreeMap<String, String>, String> {
+    let mut flags = BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument '{arg}'"));
+        };
+        if !allowed.contains(&name) {
+            return Err(format!("unknown flag '--{name}'"));
+        }
+        // Boolean flags take no value.
+        if name == "force" || name == "quiet" {
+            flags.insert(name.to_string(), String::new());
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag '--{name}' needs a value"))?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn parse_scale(flags: &BTreeMap<String, String>) -> Result<Scale, String> {
+    match flags.get("scale") {
+        None => Ok(Scale::Ref),
+        Some(s) => Scale::parse(s).ok_or_else(|| format!("unknown scale '{s}' (test|small|ref)")),
+    }
+}
+
+fn parse_benches(flags: &BTreeMap<String, String>) -> Result<Vec<Benchmark>, String> {
+    match flags.get("benches").map(String::as_str) {
+        None | Some("all") => Ok(Benchmark::ALL.to_vec()),
+        Some("valley") => Ok(Benchmark::VALLEY.to_vec()),
+        Some("nonvalley") => Ok(Benchmark::NON_VALLEY.to_vec()),
+        Some(csv) => csv
+            .split(',')
+            .map(|s| Benchmark::parse(s).ok_or_else(|| format!("unknown benchmark '{s}'")))
+            .collect(),
+    }
+}
+
+fn parse_schemes(flags: &BTreeMap<String, String>) -> Result<Vec<SchemeKind>, String> {
+    match flags.get("schemes").map(String::as_str) {
+        None | Some("all") => Ok(SchemeKind::ALL_SCHEMES.to_vec()),
+        Some(csv) => csv
+            .split(',')
+            .map(|s| parse_scheme(s).ok_or_else(|| format!("unknown scheme '{s}'")))
+            .collect(),
+    }
+}
+
+fn open_store(flags: &BTreeMap<String, String>) -> Result<ResultStore, String> {
+    let dir = flags
+        .get("results")
+        .map(Into::into)
+        .unwrap_or_else(default_results_dir);
+    ResultStore::open(dir).map_err(|e| e.to_string())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(
+        args,
+        &[
+            "scale",
+            "benches",
+            "schemes",
+            "seeds",
+            "configs",
+            "workers",
+            "results",
+            "force",
+            "quiet",
+            "expect-cached",
+        ],
+    )?;
+    let scale = parse_scale(&flags)?;
+    let benches = parse_benches(&flags)?;
+    let schemes = parse_schemes(&flags)?;
+    let seeds: Vec<u64> = match flags.get("seeds") {
+        None => vec![DEFAULT_SEED],
+        Some(csv) => csv
+            .split(',')
+            .map(|s| s.parse().map_err(|_| format!("bad seed '{s}'")))
+            .collect::<Result<_, _>>()?,
+    };
+    let configs: Vec<ConfigId> = match flags.get("configs") {
+        None => vec![ConfigId::Table1],
+        Some(csv) => csv
+            .split(',')
+            .map(|s| ConfigId::parse(s).ok_or_else(|| format!("unknown config '{s}'")))
+            .collect::<Result<_, _>>()?,
+    };
+    let workers = flags
+        .get("workers")
+        .map(|w| {
+            w.parse::<usize>()
+                .map_err(|_| format!("bad worker count '{w}'"))
+        })
+        .transpose()?;
+    let expect_cached: Option<f64> = flags
+        .get("expect-cached")
+        .map(|p| p.parse().map_err(|_| format!("bad percentage '{p}'")))
+        .transpose()?;
+
+    let store = open_store(&flags)?;
+    let spec = SweepSpec {
+        benches,
+        schemes,
+        seeds,
+        scale,
+        configs,
+    };
+    let opts = SweepOptions {
+        workers,
+        verbose: !flags.contains_key("quiet"),
+        force: flags.contains_key("force"),
+    };
+    let outcome = run_sweep(&spec, &store, &opts).map_err(|e| e.to_string())?;
+
+    let executed_ms = outcome
+        .jobs
+        .iter()
+        .filter(|j| !j.cached)
+        .map(|j| j.wall_ms)
+        .sum::<f64>()
+        .max(0.0); // an empty sum can be -0.0, which formats as "-0"
+    println!(
+        "sweep: {} jobs at scale {} — {} cache hit(s), {} executed ({:.1}% hit rate) \
+         in {:.2?} ({:.0} ms simulating)",
+        outcome.jobs.len(),
+        scale,
+        outcome.cache_hits,
+        outcome.executed,
+        outcome.hit_rate() * 100.0,
+        outcome.wall,
+        executed_ms,
+    );
+    println!(
+        "store: {} result(s) in {}",
+        store.len(),
+        store.dir().display()
+    );
+
+    if let Some(pct) = expect_cached {
+        let actual = outcome.hit_rate() * 100.0;
+        if actual < pct {
+            return Err(format!(
+                "expected ≥ {pct}% cache hits but measured {actual:.1}% — \
+                 the resume path did not serve stored results"
+            ));
+        }
+        println!("cache-hit check passed: {actual:.1}% ≥ {pct}%");
+    }
+    Ok(())
+}
+
+fn cmd_status(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["results"])?;
+    let store = open_store(&flags)?;
+    let entries = store.entries();
+    println!(
+        "store: {} ({} result(s))",
+        store.dir().display(),
+        entries.len()
+    );
+
+    let mut by_group: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for e in &entries {
+        *by_group
+            .entry((e.spec.scale.name().to_string(), e.spec.config.name()))
+            .or_insert(0) += 1;
+    }
+    if !by_group.is_empty() {
+        println!("\n{:<10}{:<12}{:>8}", "scale", "config", "results");
+        for ((scale, config), n) in &by_group {
+            println!("{scale:<10}{config:<12}{n:>8}");
+        }
+    }
+
+    let shards = store.shard_sizes();
+    let total: u64 = shards.iter().map(|(_, b)| b).sum();
+    let populated = shards.iter().filter(|(_, b)| *b > 0).count();
+    println!(
+        "\nshards: {populated}/{} populated, {total} bytes on disk",
+        shards.len()
+    );
+    Ok(())
+}
+
+fn matches_filters(e: &StoredResult, flags: &BTreeMap<String, String>) -> bool {
+    let eq = |key: &str, actual: &str| {
+        flags
+            .get(key)
+            .is_none_or(|want| want.eq_ignore_ascii_case(actual))
+    };
+    eq("bench", e.spec.bench.label())
+        && eq("scheme", e.spec.scheme.label())
+        && eq("scale", e.spec.scale.name())
+        && eq("config", &e.spec.config.name())
+        && flags
+            .get("seed")
+            .is_none_or(|want| want.parse() == Ok(e.spec.seed))
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(
+        args,
+        &["bench", "scheme", "scale", "seed", "config", "results"],
+    )?;
+    let store = open_store(&flags)?;
+    let matching: Vec<StoredResult> = store
+        .entries()
+        .into_iter()
+        .filter(|e| matches_filters(e, &flags))
+        .collect();
+    println!(
+        "{:<8}{:<8}{:>6}  {:<7}{:<9}{:>12}{:>8}{:>10}{:>10}",
+        "bench", "scheme", "seed", "scale", "config", "cycles", "ipc", "rbhit%", "wall_ms"
+    );
+    for e in &matching {
+        println!(
+            "{:<8}{:<8}{:>6}  {:<7}{:<9}{:>12}{:>8.3}{:>10.1}{:>10.1}",
+            e.spec.bench.label(),
+            e.spec.scheme.label(),
+            e.spec.seed,
+            e.spec.scale.name(),
+            e.spec.config.name(),
+            e.report.cycles,
+            e.report.ipc(),
+            e.report.row_buffer_hit_rate() * 100.0,
+            e.wall_ms,
+        );
+    }
+    println!("{} result(s)", matching.len());
+    Ok(())
+}
+
+fn cmd_figures(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["scale", "seed", "set", "results"])?;
+    let scale = parse_scale(&flags)?;
+    let seed: u64 = match flags.get("seed") {
+        None => DEFAULT_SEED,
+        Some(s) => s.parse().map_err(|_| format!("bad seed '{s}'"))?,
+    };
+    let benches: Vec<Benchmark> = match flags.get("set").map(String::as_str) {
+        None | Some("valley") => Benchmark::VALLEY.to_vec(),
+        Some("nonvalley") => Benchmark::NON_VALLEY.to_vec(),
+        Some("all") => Benchmark::ALL.to_vec(),
+        Some(other) => return Err(format!("unknown set '{other}' (valley|nonvalley|all)")),
+    };
+    let store = open_store(&flags)?;
+
+    // Pure cache read: collect every (bench, scheme) report or fail with
+    // the exact sweep command that would fill the gap.
+    let mut suite: BTreeMap<(Benchmark, SchemeKind), StoredResult> = BTreeMap::new();
+    let mut missing = Vec::new();
+    let spec = SweepSpec::new(&benches, &SchemeKind::ALL_SCHEMES, scale).with_seeds(&[seed]);
+    for job in spec.expand() {
+        match store.get(&job) {
+            Some(e) => {
+                suite.insert((job.bench, job.scheme), e);
+            }
+            None => missing.push(job.label()),
+        }
+    }
+    if !missing.is_empty() {
+        return Err(format!(
+            "{} of {} results missing from the store (e.g. {}); \
+             run `valley sweep --scale {scale}` first — figures never simulate",
+            missing.len(),
+            benches.len() * SchemeKind::ALL_SCHEMES.len(),
+            missing[0],
+        ));
+    }
+
+    let schemes = SchemeKind::ALL_SCHEMES;
+    let table = |title: &str,
+                 metric: &dyn Fn(&StoredResult) -> f64,
+                 agg: &dyn Fn(&[f64]) -> f64,
+                 agg_label: &str,
+                 precision: usize| {
+        println!("\n{title}");
+        println!("{}", scheme_header("bench", &schemes, 8));
+        let mut cols: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+        for &b in &benches {
+            let vals: Vec<f64> = schemes.iter().map(|&s| metric(&suite[&(b, s)])).collect();
+            for (c, v) in vals.iter().enumerate() {
+                cols[c].push(*v);
+            }
+            println!("{}", row(b.label(), &vals, 8, precision));
+        }
+        let aggs: Vec<f64> = cols.iter().map(|c| agg(c)).collect();
+        println!("{}", row(agg_label, &aggs, 8, precision));
+    };
+
+    println!(
+        "figures from store {} (scale {scale}, seed {seed}; pure cache read)",
+        store.dir().display()
+    );
+    table(
+        "Speedup over BASE (Figure 12/20)",
+        &|e| {
+            let base = &suite[&(e.spec.bench, SchemeKind::Base)];
+            e.report.speedup_over(&base.report)
+        },
+        &hmean,
+        "HMEAN",
+        2,
+    );
+    table(
+        "DRAM row-buffer hit rate % (Figure 15)",
+        &|e| e.report.row_buffer_hit_rate() * 100.0,
+        &amean,
+        "AVG",
+        1,
+    );
+    table(
+        "Channel-level parallelism (Figure 14b)",
+        &|e| e.report.channel_parallelism,
+        &amean,
+        "AVG",
+        2,
+    );
+    Ok(())
+}

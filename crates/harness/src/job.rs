@@ -1,0 +1,380 @@
+//! The job model: a [`SweepSpec`] expands the experiment grid
+//! (benchmark × scheme × seed × scale × config) into deterministic,
+//! content-hashed [`JobSpec`]s, and [`execute_job`] runs one of them.
+//!
+//! Every job has a canonical key string (see [`JobKey`]) that includes
+//! the harness schema version; its FNV-1a hash addresses the result
+//! store. Two jobs collide only if they are the same experiment, so a
+//! stored result can be reused by any future sweep, figure or ablation
+//! that asks for the same point of the grid.
+
+use valley_core::{AddressMapper, GddrMap, SchemeKind, StackedMap};
+use valley_sim::{GpuConfig, GpuSim, SimReport};
+use valley_workloads::{Benchmark, Scale};
+
+/// Version of the job-key schema. Bump when the canonical key format,
+/// the simulator's observable semantics, or the stored record layout
+/// changes incompatibly: old store entries then fail loudly on load
+/// instead of silently serving stale results.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The BIM seed used for the headline results (the paper generates three
+/// random BIMs per scheme and reports the best; Figure 19 shows the
+/// spread).
+pub const DEFAULT_SEED: u64 = 1;
+
+/// Identifies the GPU/memory configuration a job runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ConfigId {
+    /// The paper's baseline GDDR5 GPU (Table I).
+    Table1,
+    /// The 3D-stacked memory configuration (Figure 18, rightmost group).
+    Stacked,
+    /// Table I with a different SM count (Figure 18's scaling sweep).
+    Sms(u32),
+}
+
+impl ConfigId {
+    /// Stable identifier used in job keys and CLI flags.
+    pub fn name(self) -> String {
+        match self {
+            ConfigId::Table1 => "table1".to_string(),
+            ConfigId::Stacked => "stacked".to_string(),
+            ConfigId::Sms(n) => format!("sms{n}"),
+        }
+    }
+
+    /// Parses a [`ConfigId::name`] string.
+    pub fn parse(s: &str) -> Option<ConfigId> {
+        match s {
+            "table1" => Some(ConfigId::Table1),
+            "stacked" => Some(ConfigId::Stacked),
+            _ => {
+                let n: u32 = s.strip_prefix("sms")?.parse().ok()?;
+                (n > 0).then_some(ConfigId::Sms(n))
+            }
+        }
+    }
+
+    /// The simulator configuration this id denotes.
+    pub fn gpu_config(self) -> GpuConfig {
+        match self {
+            ConfigId::Table1 => GpuConfig::table1(),
+            ConfigId::Stacked => GpuConfig::stacked(),
+            ConfigId::Sms(n) => GpuConfig::table1().with_sms(n as usize),
+        }
+    }
+
+    /// Whether this configuration uses the 3D-stacked address map.
+    pub fn is_stacked(self) -> bool {
+        self == ConfigId::Stacked
+    }
+}
+
+impl std::fmt::Display for ConfigId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// One point of the experiment grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct JobSpec {
+    /// The workload.
+    pub bench: Benchmark,
+    /// The address-mapping scheme.
+    pub scheme: SchemeKind,
+    /// The BIM seed (ignored by the deterministic BASE/PM/RMP schemes,
+    /// but still part of the key — keys describe the request, not the
+    /// scheme's internals).
+    pub seed: u64,
+    /// The workload scale.
+    pub scale: Scale,
+    /// The GPU/memory configuration.
+    pub config: ConfigId,
+}
+
+impl JobSpec {
+    /// The job's content-addressed key.
+    pub fn key(&self) -> JobKey {
+        JobKey::of(self)
+    }
+
+    /// Short human-readable label for progress lines.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{} s{} @{} {}",
+            self.bench, self.scheme, self.seed, self.scale, self.config
+        )
+    }
+}
+
+impl std::fmt::Display for JobSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// The content-addressed identity of a job: a canonical key string (the
+/// exact experiment coordinates plus [`SCHEMA_VERSION`]) and its 64-bit
+/// FNV-1a hash, which addresses the store and selects the shard.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct JobKey {
+    canonical: String,
+    hash: u64,
+}
+
+impl JobKey {
+    /// Builds the key of a job spec.
+    pub fn of(spec: &JobSpec) -> JobKey {
+        let canonical = format!(
+            "schema={};bench={};scheme={};seed={};scale={};config={}",
+            SCHEMA_VERSION,
+            spec.bench.label(),
+            spec.scheme.label(),
+            spec.seed,
+            spec.scale.name(),
+            spec.config.name(),
+        );
+        let hash = fnv1a(canonical.as_bytes());
+        JobKey { canonical, hash }
+    }
+
+    /// The canonical key string.
+    pub fn canonical(&self) -> &str {
+        &self.canonical
+    }
+
+    /// The 64-bit content hash.
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// The hash in fixed-width hex (file-name and JSON friendly).
+    pub fn hash_hex(&self) -> String {
+        format!("{:016x}", self.hash)
+    }
+
+    /// Which of `shards` store shards this key lands in.
+    pub fn shard(&self, shards: usize) -> usize {
+        (self.hash % shards as u64) as usize
+    }
+}
+
+/// 64-bit FNV-1a over a byte string.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A sweep over the cross product of benchmarks × schemes × seeds ×
+/// configs at one scale. Expansion order is deterministic (and
+/// independent of how many workers later run the jobs): configs, then
+/// benchmarks, then schemes, then seeds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// The benchmarks to run.
+    pub benches: Vec<Benchmark>,
+    /// The mapping schemes to run.
+    pub schemes: Vec<SchemeKind>,
+    /// The BIM seeds to run (the paper uses best-of-3 for PAE/FAE/ALL).
+    pub seeds: Vec<u64>,
+    /// The workload scale.
+    pub scale: Scale,
+    /// The GPU/memory configurations.
+    pub configs: Vec<ConfigId>,
+}
+
+impl SweepSpec {
+    /// A single-seed, baseline-config sweep — the shape every figure
+    /// consumes.
+    pub fn new(benches: &[Benchmark], schemes: &[SchemeKind], scale: Scale) -> Self {
+        SweepSpec {
+            benches: benches.to_vec(),
+            schemes: schemes.to_vec(),
+            seeds: vec![DEFAULT_SEED],
+            scale,
+            configs: vec![ConfigId::Table1],
+        }
+    }
+
+    /// Replaces the seed list (builder style).
+    pub fn with_seeds(mut self, seeds: &[u64]) -> Self {
+        self.seeds = seeds.to_vec();
+        self
+    }
+
+    /// Replaces the config list (builder style).
+    pub fn with_configs(mut self, configs: &[ConfigId]) -> Self {
+        self.configs = configs.to_vec();
+        self
+    }
+
+    /// Expands the grid into concrete jobs, deterministically ordered.
+    pub fn expand(&self) -> Vec<JobSpec> {
+        let mut jobs = Vec::with_capacity(
+            self.configs.len() * self.benches.len() * self.schemes.len() * self.seeds.len(),
+        );
+        for &config in &self.configs {
+            for &bench in &self.benches {
+                for &scheme in &self.schemes {
+                    for &seed in &self.seeds {
+                        jobs.push(JobSpec {
+                            bench,
+                            scheme,
+                            seed,
+                            scale: self.scale,
+                            config,
+                        });
+                    }
+                }
+            }
+        }
+        jobs
+    }
+}
+
+/// Runs one job to completion and returns its report. This is the only
+/// place the harness touches the simulator; everything above it deals in
+/// keys and stored results.
+pub fn execute_job(spec: &JobSpec) -> SimReport {
+    let cfg = spec.config.gpu_config();
+    let workload = Box::new(spec.bench.workload(spec.scale));
+    if spec.config.is_stacked() {
+        let map = StackedMap::baseline();
+        let mapper = AddressMapper::build(spec.scheme, &map, spec.seed);
+        GpuSim::new(cfg, mapper, map, workload).run()
+    } else {
+        let map = GddrMap::baseline();
+        let mapper = AddressMapper::build(spec.scheme, &map, spec.seed);
+        GpuSim::new(cfg, mapper, map, workload).run()
+    }
+}
+
+/// Parses a scheme label (case-insensitive) — the inverse of
+/// [`SchemeKind::label`].
+pub fn parse_scheme(s: &str) -> Option<SchemeKind> {
+    SchemeKind::ALL_SCHEMES
+        .into_iter()
+        .find(|k| k.label().eq_ignore_ascii_case(s))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            bench: Benchmark::Mt,
+            scheme: SchemeKind::Pae,
+            seed: 1,
+            scale: Scale::Test,
+            config: ConfigId::Table1,
+        }
+    }
+
+    #[test]
+    fn keys_are_deterministic_and_canonical() {
+        let k1 = spec().key();
+        let k2 = spec().key();
+        assert_eq!(k1, k2);
+        assert_eq!(
+            k1.canonical(),
+            format!("schema={SCHEMA_VERSION};bench=MT;scheme=PAE;seed=1;scale=test;config=table1")
+        );
+        assert_eq!(k1.hash_hex().len(), 16);
+        assert!(k1.shard(16) < 16);
+    }
+
+    #[test]
+    fn keys_separate_every_grid_axis() {
+        let base = spec();
+        let variants = [
+            JobSpec {
+                bench: Benchmark::Lu,
+                ..base
+            },
+            JobSpec {
+                scheme: SchemeKind::Base,
+                ..base
+            },
+            JobSpec { seed: 2, ..base },
+            JobSpec {
+                scale: Scale::Ref,
+                ..base
+            },
+            JobSpec {
+                config: ConfigId::Stacked,
+                ..base
+            },
+            JobSpec {
+                config: ConfigId::Sms(24),
+                ..base
+            },
+        ];
+        for v in variants {
+            assert_ne!(v.key(), base.key(), "{v}");
+            assert_ne!(v.key().hash(), base.key().hash(), "{v}");
+        }
+    }
+
+    #[test]
+    fn full_grid_has_no_hash_collisions() {
+        use std::collections::HashMap;
+        let spec = SweepSpec {
+            benches: Benchmark::ALL.to_vec(),
+            schemes: SchemeKind::ALL_SCHEMES.to_vec(),
+            seeds: vec![1, 2, 3],
+            scale: Scale::Ref,
+            configs: vec![ConfigId::Table1, ConfigId::Stacked, ConfigId::Sms(24)],
+        };
+        let jobs = spec.expand();
+        assert_eq!(jobs.len(), 16 * 6 * 3 * 3);
+        let mut seen: HashMap<u64, String> = HashMap::new();
+        for j in jobs {
+            let k = j.key();
+            if let Some(prev) = seen.insert(k.hash(), k.canonical().to_string()) {
+                panic!("hash collision: {prev} vs {}", k.canonical());
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_order_is_deterministic() {
+        let s = SweepSpec::new(
+            &[Benchmark::Mt, Benchmark::Sp],
+            &[SchemeKind::Base, SchemeKind::Pae],
+            Scale::Test,
+        );
+        let jobs = s.expand();
+        assert_eq!(jobs.len(), 4);
+        assert_eq!(jobs[0].bench, Benchmark::Mt);
+        assert_eq!(jobs[0].scheme, SchemeKind::Base);
+        assert_eq!(jobs[1].scheme, SchemeKind::Pae);
+        assert_eq!(jobs[2].bench, Benchmark::Sp);
+        assert_eq!(s.expand(), jobs);
+    }
+
+    #[test]
+    fn config_names_round_trip() {
+        for c in [ConfigId::Table1, ConfigId::Stacked, ConfigId::Sms(24)] {
+            assert_eq!(ConfigId::parse(&c.name()), Some(c));
+        }
+        assert_eq!(ConfigId::parse("sms0"), None);
+        assert_eq!(ConfigId::parse("nope"), None);
+        assert_eq!(ConfigId::Sms(48).gpu_config().num_sms, 48);
+    }
+
+    #[test]
+    fn scheme_labels_parse() {
+        for k in SchemeKind::ALL_SCHEMES {
+            assert_eq!(parse_scheme(k.label()), Some(k));
+            assert_eq!(parse_scheme(&k.label().to_lowercase()), Some(k));
+        }
+        assert_eq!(parse_scheme("XYZ"), None);
+    }
+}

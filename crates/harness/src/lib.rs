@@ -1,0 +1,64 @@
+//! # valley-harness
+//!
+//! The sharded, resumable sweep engine behind every figure, table and
+//! ablation of the Valley reproduction:
+//!
+//! * a **job model** ([`SweepSpec`] → content-hashed [`JobSpec`]s /
+//!   [`JobKey`]s) that expands the paper's experiment grid — benchmark ×
+//!   scheme × BIM seed × scale × GPU config — deterministically;
+//! * a **work-stealing thread pool** ([`pool`]) with per-job panic
+//!   isolation, progress reporting, and result ordering that is
+//!   independent of the worker count;
+//! * a **persistent content-addressed result store** ([`ResultStore`]):
+//!   16 JSON-lines shards under `results/`, keyed by job hash, so
+//!   re-running a sweep skips completed jobs (*resume*) and figure
+//!   regeneration is a pure cache read;
+//! * the `valley` CLI (`sweep`, `status`, `query`, `figures`).
+//!
+//! `valley-bench`'s `run_suite` and the per-figure binaries are thin
+//! consumers of [`run_sweep`]; see `docs/harness.md` for the store
+//! format and resume semantics.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use valley_harness::{run_sweep, ResultStore, SweepOptions, SweepSpec};
+//! use valley_core::SchemeKind;
+//! use valley_workloads::{Benchmark, Scale};
+//!
+//! let dir = std::env::temp_dir().join(format!("valley-harness-doc-{}", std::process::id()));
+//! let store = ResultStore::open(&dir).unwrap();
+//! let spec = SweepSpec::new(&[Benchmark::Sp], &[SchemeKind::Base], Scale::Test);
+//! let first = run_sweep(&spec, &store, &SweepOptions::default()).unwrap();
+//! assert_eq!(first.executed + first.cache_hits, 1);
+//! // The second run is a pure cache read.
+//! let second = run_sweep(&spec, &store, &SweepOptions::default()).unwrap();
+//! assert_eq!(second.cache_hits, 1);
+//! assert_eq!(second.jobs[0].report, first.jobs[0].report);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod job;
+pub mod pool;
+mod store;
+mod sweep;
+pub mod util;
+
+pub use job::{
+    execute_job, parse_scheme, ConfigId, JobKey, JobSpec, SweepSpec, DEFAULT_SEED, SCHEMA_VERSION,
+};
+pub use store::{ResultStore, StoreError, StoredResult, NUM_SHARDS, STORE_VERSION};
+pub use sweep::{run_sweep, JobOutcome, SweepError, SweepOptions, SweepOutcome};
+
+use std::path::PathBuf;
+
+/// The default result-store directory: `$VALLEY_RESULTS_DIR` if set,
+/// otherwise `results/` under the current directory.
+pub fn default_results_dir() -> PathBuf {
+    std::env::var_os("VALLEY_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}

@@ -1,0 +1,227 @@
+//! A std-only work-stealing thread pool for coarse simulation jobs.
+//!
+//! Each worker owns a deque seeded with a stripe of the job indices; it
+//! pops work from its own front and, when empty, steals from the back of
+//! the fullest other deque. Stealing matters here because jobs are wildly
+//! uneven (a DRAM-saturated MUM run is ~10× an SP run): a static
+//! partition would leave workers idle behind one slow stripe.
+//!
+//! Guarantees:
+//!
+//! * **Panic isolation** — a panicking job becomes an `Err` at its index;
+//!   the worker that caught it keeps draining the queues.
+//! * **Deterministic ordering** — results are addressed by job index, so
+//!   the output is identical for any worker count or steal interleaving.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Progress notification for one finished job, delivered to the
+/// `on_done` callback from the worker that ran it.
+#[derive(Clone, Copy, Debug)]
+pub struct JobDone<'a> {
+    /// Index of the job in the submitted order.
+    pub index: usize,
+    /// `Err(panic message)` if the job panicked.
+    pub error: Option<&'a str>,
+    /// Wall time the job took.
+    pub elapsed: Duration,
+    /// Jobs finished so far (including this one).
+    pub completed: usize,
+    /// Total jobs submitted.
+    pub total: usize,
+    /// Worker that executed the job.
+    pub worker: usize,
+    /// Whether the job was stolen from another worker's deque.
+    pub stolen: bool,
+}
+
+/// A sensible worker count for `jobs` independent jobs: all available
+/// cores, but never more workers than jobs (and at least one).
+pub fn default_workers(jobs: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs)
+        .max(1)
+}
+
+/// Runs `total` jobs on `workers` threads with work stealing, returning
+/// one result per job **in submission order** regardless of scheduling.
+/// A job that panics yields `Err(message)` at its index.
+pub fn run_jobs<T, F, C>(total: usize, workers: usize, run: F, on_done: C) -> Vec<Result<T, String>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    C: Fn(JobDone<'_>) + Sync,
+{
+    if total == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, total);
+
+    // Striped initial distribution: job i starts in deque i % workers.
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..total).step_by(workers).collect()))
+        .collect();
+    let slots: Vec<Mutex<Option<Result<T, String>>>> =
+        (0..total).map(|_| Mutex::new(None)).collect();
+    let completed = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let deques = &deques;
+            let slots = &slots;
+            let completed = &completed;
+            let run = &run;
+            let on_done = &on_done;
+            scope.spawn(move || {
+                while let Some((job, stolen)) = next_job(deques, w) {
+                    let start = Instant::now();
+                    let result = catch_unwind(AssertUnwindSafe(|| run(job)))
+                        .map_err(|panic| panic_message(panic.as_ref()));
+                    let elapsed = start.elapsed();
+                    let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+                    on_done(JobDone {
+                        index: job,
+                        error: result.as_ref().err().map(String::as_str),
+                        elapsed,
+                        completed: done,
+                        total,
+                        worker: w,
+                        stolen,
+                    });
+                    *slots[job].lock().expect("result slot poisoned") = Some(result);
+                }
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job index was executed exactly once")
+        })
+        .collect()
+}
+
+/// Pops the next job for worker `w`: own deque front first, else steal
+/// from the back of the fullest other deque.
+fn next_job(deques: &[Mutex<VecDeque<usize>>], w: usize) -> Option<(usize, bool)> {
+    if let Some(job) = deques[w].lock().expect("deque poisoned").pop_front() {
+        return Some((job, false));
+    }
+    loop {
+        // Pick the currently fullest victim; re-check until every deque
+        // is observed empty (a victim can drain between len() and lock).
+        let victim = (0..deques.len())
+            .filter(|&v| v != w)
+            .map(|v| (deques[v].lock().expect("deque poisoned").len(), v))
+            .max()?;
+        if victim.0 == 0 {
+            return None;
+        }
+        if let Some(job) = deques[victim.1].lock().expect("deque poisoned").pop_back() {
+            return Some((job, true));
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    panic
+        .downcast_ref::<&str>()
+        .map(|m| (*m).to_string())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_submission_order_for_any_worker_count() {
+        for workers in [1, 2, 3, 8, 64] {
+            let out = run_jobs(23, workers, |i| i * i, |_| {});
+            let values: Vec<usize> = out.into_iter().map(|r| r.unwrap()).collect();
+            assert_eq!(values, (0..23).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn panics_are_isolated_to_their_index() {
+        let out = run_jobs(
+            10,
+            4,
+            |i| {
+                if i == 3 {
+                    panic!("job {i} exploded");
+                }
+                i
+            },
+            |_| {},
+        );
+        for (i, r) in out.iter().enumerate() {
+            if i == 3 {
+                assert_eq!(r.as_ref().unwrap_err(), "job 3 exploded");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i);
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_jobs_get_stolen() {
+        // Worker 0's stripe contains one long job; the short jobs behind
+        // it must be stolen by the idle workers. With 2 workers and the
+        // long job first in stripe 0, completion requires stealing.
+        let stolen = AtomicUsize::new(0);
+        let out = run_jobs(
+            16,
+            2,
+            |i| {
+                if i == 0 {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                i
+            },
+            |d| {
+                if d.stolen {
+                    stolen.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+        );
+        assert_eq!(out.len(), 16);
+        assert!(
+            stolen.load(Ordering::Relaxed) > 0,
+            "no jobs were stolen from the blocked worker's deque"
+        );
+    }
+
+    #[test]
+    fn progress_reports_count_up_to_total() {
+        let max_seen = AtomicUsize::new(0);
+        run_jobs(
+            7,
+            3,
+            |i| i,
+            |d| {
+                assert_eq!(d.total, 7);
+                max_seen.fetch_max(d.completed, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(max_seen.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn zero_and_one_job_edge_cases() {
+        assert!(run_jobs(0, 4, |i| i, |_| {}).is_empty());
+        let one = run_jobs(1, 4, |i| i + 41, |_| {});
+        assert_eq!(*one[0].as_ref().unwrap(), 41);
+    }
+}

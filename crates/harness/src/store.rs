@@ -1,0 +1,305 @@
+//! The persistent, content-addressed result store.
+//!
+//! Results live under a directory (by default `results/`) as 16 JSON-
+//! lines shard files, `shard-00.jsonl` … `shard-15.jsonl`, selected by
+//! the job-key hash. Each line is one self-describing record:
+//!
+//! ```json
+//! {"v":1,"hash":"9f3c…","bench":"MT","scheme":"PAE","seed":1,
+//!  "scale":"ref","config":"table1","wall_ms":139.4,"report":{…}}
+//! ```
+//!
+//! Appends are atomic per shard (a mutex per shard file — writers on
+//! different shards never contend), so a sweep can pour results in from
+//! every worker thread. On open, all shards are read into an in-memory
+//! index; a re-run sweep then skips every job whose key is already
+//! present (*resume*), and figure regeneration is a pure cache read.
+//!
+//! Failure policy — **loud**: a record with an unknown store version, a
+//! report with a mismatched schema version, a hash that does not match
+//! its own coordinates (the canonical key format changed), or corrupt
+//! JSON anywhere but the final line of a shard all fail `open` with a
+//! precise message. The one tolerated defect is a truncated *final*
+//! line, the signature of a run killed mid-append; it is dropped with a
+//! warning and will simply be re-run.
+
+use crate::job::{parse_scheme, ConfigId, JobKey, JobSpec};
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use valley_sim::json::{self, Json};
+use valley_sim::SimReport;
+use valley_workloads::{Benchmark, Scale};
+
+/// Version of the store record layout (independent of the report schema
+/// nested inside it).
+pub const STORE_VERSION: u32 = 1;
+
+/// Number of shard files. Also the modulus of [`JobKey::shard`].
+pub const NUM_SHARDS: usize = 16;
+
+/// One stored result: the job's coordinates, its report, and how long
+/// the simulation took when it actually ran.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredResult {
+    /// The job this result answers.
+    pub spec: JobSpec,
+    /// The simulation report.
+    pub report: SimReport,
+    /// Wall time of the original execution, in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Errors from opening or writing the store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A shard contains an invalid record; the message names the file,
+    /// line and cause.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "result store I/O error: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "result store is corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// The content-addressed result store. Cheap to share by reference
+/// across sweep workers; all methods take `&self`.
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+    index: Mutex<HashMap<u64, StoredResult>>,
+    shard_locks: Vec<Mutex<()>>,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store at `dir` and loads its index.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<ResultStore, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut index = HashMap::new();
+        for shard in 0..NUM_SHARDS {
+            load_shard(&shard_path(&dir, shard), &mut index)?;
+        }
+        Ok(ResultStore {
+            dir,
+            index: Mutex::new(index),
+            shard_locks: (0..NUM_SHARDS).map(|_| Mutex::new(())).collect(),
+        })
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of stored results.
+    pub fn len(&self) -> usize {
+        self.index.lock().expect("store index poisoned").len()
+    }
+
+    /// Whether the store holds no results.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up the result of a job, if present.
+    pub fn get(&self, spec: &JobSpec) -> Option<StoredResult> {
+        let key = spec.key();
+        let index = self.index.lock().expect("store index poisoned");
+        let stored = index.get(&key.hash())?;
+        // A 64-bit collision between different experiments is
+        // astronomically unlikely but cheap to rule out entirely.
+        (stored.spec == *spec).then(|| stored.clone())
+    }
+
+    /// Appends one result and updates the index. Writers on different
+    /// shards do not contend.
+    pub fn put(&self, spec: &JobSpec, report: &SimReport, wall_ms: f64) -> Result<(), StoreError> {
+        let key = spec.key();
+        let mut line = record_json(spec, &key, report, wall_ms).to_json_string();
+        line.push('\n');
+        let shard = key.shard(NUM_SHARDS);
+        {
+            let _guard = self.shard_locks[shard].lock().expect("shard lock poisoned");
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(shard_path(&self.dir, shard))?;
+            file.write_all(line.as_bytes())?;
+        }
+        self.index.lock().expect("store index poisoned").insert(
+            key.hash(),
+            StoredResult {
+                spec: *spec,
+                report: report.clone(),
+                wall_ms,
+            },
+        );
+        Ok(())
+    }
+
+    /// All stored results, sorted by canonical key (stable across runs
+    /// and insertion orders).
+    pub fn entries(&self) -> Vec<StoredResult> {
+        let index = self.index.lock().expect("store index poisoned");
+        let mut all: Vec<StoredResult> = index.values().cloned().collect();
+        all.sort_by_cached_key(|r| r.spec.key().canonical().to_string());
+        all
+    }
+
+    /// Per-shard (file name, size in bytes) of the on-disk store.
+    pub fn shard_sizes(&self) -> Vec<(String, u64)> {
+        (0..NUM_SHARDS)
+            .map(|s| {
+                let path = shard_path(&self.dir, s);
+                let bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+                (
+                    path.file_name().unwrap().to_string_lossy().into_owned(),
+                    bytes,
+                )
+            })
+            .collect()
+    }
+}
+
+fn shard_path(dir: &Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard:02}.jsonl"))
+}
+
+fn record_json(spec: &JobSpec, key: &JobKey, report: &SimReport, wall_ms: f64) -> Json {
+    Json::Obj(vec![
+        ("v".into(), Json::UInt(u64::from(STORE_VERSION))),
+        ("hash".into(), Json::Str(key.hash_hex())),
+        ("bench".into(), Json::Str(spec.bench.label().into())),
+        ("scheme".into(), Json::Str(spec.scheme.label().into())),
+        ("seed".into(), Json::UInt(spec.seed)),
+        ("scale".into(), Json::Str(spec.scale.name().into())),
+        ("config".into(), Json::Str(spec.config.name())),
+        ("wall_ms".into(), Json::Num(wall_ms)),
+        ("report".into(), report.to_json_value()),
+    ])
+}
+
+fn load_shard(path: &Path, index: &mut HashMap<u64, StoredResult>) -> Result<(), StoreError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e.into()),
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    for (n, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_record(line) {
+            Ok((hash, stored)) => {
+                index.insert(hash, stored);
+            }
+            Err(cause) => {
+                // A truncated final line is the signature of a run killed
+                // mid-append; drop it (the job will re-run). Anything
+                // else is real corruption and must not be papered over.
+                let is_last = n + 1 == lines.len() && !text.ends_with('\n');
+                if is_last {
+                    eprintln!(
+                        "warning: dropping truncated final record in {} ({cause})",
+                        path.display()
+                    );
+                } else {
+                    return Err(StoreError::Corrupt(format!(
+                        "{} line {}: {cause}",
+                        path.display(),
+                        n + 1
+                    )));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parses one stored record line into `(key hash, result)`.
+fn parse_record(line: &str) -> Result<(u64, StoredResult), String> {
+    let v = json::parse(line).map_err(|e| e.to_string())?;
+    let version = v
+        .get("v")
+        .and_then(Json::as_u64)
+        .ok_or("record has no version field")?;
+    if version != u64::from(STORE_VERSION) {
+        return Err(format!(
+            "record version {version} is not the supported {STORE_VERSION}; \
+             delete the store directory to regenerate"
+        ));
+    }
+    let text = |key: &str| -> Result<String, String> {
+        Ok(v.get(key)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("record field '{key}' missing or not a string"))?
+            .to_string())
+    };
+    let bench_name = text("bench")?;
+    let bench =
+        Benchmark::parse(&bench_name).ok_or_else(|| format!("unknown benchmark '{bench_name}'"))?;
+    let scheme_name = text("scheme")?;
+    let scheme =
+        parse_scheme(&scheme_name).ok_or_else(|| format!("unknown scheme '{scheme_name}'"))?;
+    let scale_name = text("scale")?;
+    let scale = Scale::parse(&scale_name).ok_or_else(|| format!("unknown scale '{scale_name}'"))?;
+    let config_name = text("config")?;
+    let config =
+        ConfigId::parse(&config_name).ok_or_else(|| format!("unknown config '{config_name}'"))?;
+    let seed = v
+        .get("seed")
+        .and_then(Json::as_u64)
+        .ok_or("record field 'seed' missing or not an integer")?;
+    let wall_ms = v
+        .get("wall_ms")
+        .and_then(Json::as_f64)
+        .ok_or("record field 'wall_ms' missing or not a number")?;
+    let spec = JobSpec {
+        bench,
+        scheme,
+        seed,
+        scale,
+        config,
+    };
+    // Recompute the content hash from the coordinates: if it disagrees
+    // with the stored one, the canonical key format changed under this
+    // record and serving it would be silently wrong.
+    let key = spec.key();
+    let stored_hash = text("hash")?;
+    if stored_hash != key.hash_hex() {
+        return Err(format!(
+            "stored hash {stored_hash} does not match recomputed {} for '{}' — \
+             the job-key schema changed; delete the store directory to regenerate",
+            key.hash_hex(),
+            key.canonical()
+        ));
+    }
+    let report = v.get("report").ok_or("record has no report")?;
+    let report = SimReport::from_json_value(report)?;
+    Ok((
+        key.hash(),
+        StoredResult {
+            spec,
+            report,
+            wall_ms,
+        },
+    ))
+}

@@ -1,0 +1,218 @@
+//! Sweep orchestration: expand a [`SweepSpec`], serve what the store
+//! already has, run the rest on the work-stealing pool, persist every
+//! fresh result, and hand back the full grid in deterministic order.
+
+use crate::job::{execute_job, JobSpec, SweepSpec};
+use crate::pool;
+use crate::store::{ResultStore, StoreError};
+use std::time::{Duration, Instant};
+use valley_sim::SimReport;
+
+/// Options controlling one sweep run.
+#[derive(Clone, Debug, Default)]
+pub struct SweepOptions {
+    /// Worker threads; `None` uses all available cores (capped at the
+    /// job count).
+    pub workers: Option<usize>,
+    /// Print per-job progress and a summary to stderr.
+    pub verbose: bool,
+    /// Re-run every job even if a stored result exists (the fresh result
+    /// overwrites the stored one).
+    pub force: bool,
+}
+
+/// One job's outcome within a sweep.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// The job.
+    pub spec: JobSpec,
+    /// Its report (from the store or freshly computed).
+    pub report: SimReport,
+    /// Wall time in milliseconds: the original execution time for cache
+    /// hits, this run's execution time for misses.
+    pub wall_ms: f64,
+    /// Whether the result came from the store.
+    pub cached: bool,
+}
+
+/// The result of a sweep: every job of the spec, in expansion order
+/// (independent of worker count and steal interleaving).
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    /// Per-job outcomes in [`SweepSpec::expand`] order.
+    pub jobs: Vec<JobOutcome>,
+    /// Jobs served from the store.
+    pub cache_hits: usize,
+    /// Jobs executed by this run.
+    pub executed: usize,
+    /// Wall time of the whole sweep (lookup + execution + persistence).
+    pub wall: Duration,
+}
+
+impl SweepOutcome {
+    /// Fraction of jobs served from the store, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.jobs.is_empty() {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.jobs.len() as f64
+        }
+    }
+
+    /// The report for one (already-expanded) job spec, if present.
+    pub fn report_of(&self, spec: &JobSpec) -> Option<&SimReport> {
+        self.jobs
+            .iter()
+            .find(|j| j.spec == *spec)
+            .map(|j| &j.report)
+    }
+}
+
+/// Errors from running a sweep.
+#[derive(Debug)]
+pub enum SweepError {
+    /// One or more jobs panicked; every failure is listed. The survivors
+    /// were still executed and persisted, so a re-run only retries the
+    /// failures.
+    Failures(Vec<(JobSpec, String)>),
+    /// The result store rejected a read or write.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Failures(failures) => {
+                writeln!(f, "{} sweep job(s) panicked:", failures.len())?;
+                for (spec, msg) in failures {
+                    writeln!(f, "  {spec}: {msg}")?;
+                }
+                Ok(())
+            }
+            SweepError::Store(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<StoreError> for SweepError {
+    fn from(e: StoreError) -> Self {
+        SweepError::Store(e)
+    }
+}
+
+/// Runs a sweep against a store: cache hits are served without
+/// simulation, misses run in parallel with per-job panic isolation, and
+/// every fresh result is persisted before the function returns.
+pub fn run_sweep(
+    spec: &SweepSpec,
+    store: &ResultStore,
+    opts: &SweepOptions,
+) -> Result<SweepOutcome, SweepError> {
+    let start = Instant::now();
+    let jobs = spec.expand();
+
+    // Phase 1: serve from the store.
+    let mut outcomes: Vec<Option<JobOutcome>> = Vec::with_capacity(jobs.len());
+    let mut todo: Vec<usize> = Vec::new();
+    for (i, job) in jobs.iter().enumerate() {
+        match (!opts.force).then(|| store.get(job)).flatten() {
+            Some(stored) => outcomes.push(Some(JobOutcome {
+                spec: *job,
+                report: stored.report,
+                wall_ms: stored.wall_ms,
+                cached: true,
+            })),
+            None => {
+                outcomes.push(None);
+                todo.push(i);
+            }
+        }
+    }
+    let cache_hits = jobs.len() - todo.len();
+
+    // Phase 2: execute the misses on the work-stealing pool.
+    let workers = opts
+        .workers
+        .unwrap_or_else(|| pool::default_workers(todo.len()));
+    if opts.verbose && !todo.is_empty() {
+        eprintln!(
+            "sweep: {} jobs, {} cached, running {} on {} worker(s)",
+            jobs.len(),
+            cache_hits,
+            todo.len(),
+            workers.clamp(1, todo.len()),
+        );
+    }
+    let results = pool::run_jobs(
+        todo.len(),
+        workers,
+        |k| {
+            let job = jobs[todo[k]];
+            let t = Instant::now();
+            let report = execute_job(&job);
+            (report, t.elapsed())
+        },
+        |done| {
+            if opts.verbose {
+                let job = &jobs[todo[done.index]];
+                let stolen = if done.stolen { ", stolen" } else { "" };
+                match done.error {
+                    None => eprintln!(
+                        "  [{}/{}] {job}: {:.2?} (worker {}{stolen})",
+                        done.completed, done.total, done.elapsed, done.worker
+                    ),
+                    Some(msg) => eprintln!(
+                        "  [{}/{}] {job}: PANIC after {:.2?}: {msg}",
+                        done.completed, done.total, done.elapsed
+                    ),
+                }
+            }
+        },
+    );
+
+    // Phase 3: persist and assemble; collect failures for a loud, full
+    // report (a suite with holes would silently skew every figure). A
+    // store write error becomes that job's failure rather than aborting
+    // the drain: the remaining computed results still get persisted and
+    // every failure is reported together.
+    let mut failures = Vec::new();
+    for (k, result) in results.into_iter().enumerate() {
+        let idx = todo[k];
+        let job = jobs[idx];
+        match result {
+            Ok((report, elapsed)) => {
+                let wall_ms = elapsed.as_secs_f64() * 1e3;
+                if let Err(e) = store.put(&job, &report, wall_ms) {
+                    failures.push((job, format!("result store write failed: {e}")));
+                    continue;
+                }
+                if opts.verbose && report.truncated {
+                    eprintln!("  WARNING: {job} hit the cycle limit");
+                }
+                outcomes[idx] = Some(JobOutcome {
+                    spec: job,
+                    report,
+                    wall_ms,
+                    cached: false,
+                });
+            }
+            Err(msg) => failures.push((job, msg)),
+        }
+    }
+    if !failures.is_empty() {
+        return Err(SweepError::Failures(failures));
+    }
+
+    let executed = jobs.len() - cache_hits;
+    Ok(SweepOutcome {
+        jobs: outcomes
+            .into_iter()
+            .map(|o| o.expect("every non-failed job has an outcome"))
+            .collect(),
+        cache_hits,
+        executed,
+        wall: start.elapsed(),
+    })
+}

@@ -1,0 +1,63 @@
+//! Small statistics and fixed-width table helpers shared by the CLI,
+//! `valley-bench`'s figure printers, and the per-figure binaries.
+
+use valley_core::SchemeKind;
+
+/// Arithmetic mean.
+pub fn amean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Harmonic mean (the paper's HMEAN for speedups).
+pub fn hmean(xs: &[f64]) -> f64 {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        0.0
+    } else {
+        xs.len() as f64 / xs.iter().map(|x| 1.0 / x).sum::<f64>()
+    }
+}
+
+/// Renders one row of a fixed-width table.
+pub fn row(label: &str, values: &[f64], width: usize, precision: usize) -> String {
+    let mut s = format!("{label:<10}");
+    for v in values {
+        s.push_str(&format!("{v:>width$.precision$}"));
+    }
+    s
+}
+
+/// Prints a header row for a scheme-column table.
+pub fn scheme_header(label: &str, schemes: &[SchemeKind], width: usize) -> String {
+    let mut s = format!("{label:<10}");
+    for sc in schemes {
+        s.push_str(&format!("{:>width$}", sc.label()));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn means() {
+        assert!((amean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((hmean(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!(hmean(&[2.0, 2.0]) > 1.99);
+        assert_eq!(hmean(&[]), 0.0);
+        assert_eq!(hmean(&[1.0, 0.0]), 0.0);
+        assert_eq!(amean(&[]), 0.0);
+    }
+
+    #[test]
+    fn formatting() {
+        let h = scheme_header("bench", &[SchemeKind::Base, SchemeKind::Pae], 8);
+        assert!(h.contains("BASE") && h.contains("PAE"));
+        let r = row("MT", &[1.0, 2.5], 8, 2);
+        assert!(r.contains("1.00") && r.contains("2.50"));
+    }
+}

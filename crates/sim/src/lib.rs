@@ -22,6 +22,7 @@
 mod coalesce;
 mod config;
 mod gpu;
+pub mod json;
 mod llc;
 mod metrics;
 mod sm;
@@ -31,7 +32,7 @@ mod txn;
 pub use coalesce::{coalesce, coalesce_into};
 pub use config::{GpuConfig, LlcWritePolicy, WarpScheduler};
 pub use gpu::GpuSim;
-pub use metrics::{ParallelismIntegrator, SimReport};
+pub use metrics::{ParallelismIntegrator, SimReport, REPORT_SCHEMA_VERSION};
 pub use trace::{
     tb_request_addresses, Instruction, KernelSource, LaneAddrs, WarpProgram, WorkloadSource,
 };

@@ -1,7 +1,14 @@
 //! Simulation metrics: everything the paper's evaluation figures report.
 
+use crate::json::{self, Json};
 use valley_cache::CacheStats;
 use valley_dram::DramStats;
+
+/// Version of the [`SimReport`] JSON encoding. Bump whenever a field is
+/// added, removed or changes meaning: stored results from an older schema
+/// then fail loudly in [`SimReport::from_json`] instead of silently
+/// misparsing into the new shape.
+pub const REPORT_SCHEMA_VERSION: u32 = 1;
 
 /// Incrementally-integrated occupancy metrics (Figures 13–14).
 ///
@@ -97,7 +104,7 @@ fn mean(sum: u64, n: u64) -> f64 {
 
 /// The complete result of one simulation run — the raw material for every
 /// evaluation figure.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SimReport {
     /// Workload name.
     pub benchmark: String,
@@ -195,6 +202,196 @@ fn per_kilo(events: u64, instructions: u64) -> f64 {
         0.0
     } else {
         events as f64 * 1000.0 / instructions as f64
+    }
+}
+
+// --- JSON round trip (the harness's persistent result store) ---
+
+fn cache_stats_json(s: &CacheStats) -> Json {
+    Json::Obj(vec![
+        ("hits".into(), Json::UInt(s.hits)),
+        ("misses".into(), Json::UInt(s.misses)),
+        ("evictions".into(), Json::UInt(s.evictions)),
+    ])
+}
+
+fn dram_stats_json(s: &DramStats) -> Json {
+    Json::Obj(vec![
+        ("activates".into(), Json::UInt(s.activates)),
+        ("precharges".into(), Json::UInt(s.precharges)),
+        ("reads".into(), Json::UInt(s.reads)),
+        ("writes".into(), Json::UInt(s.writes)),
+        ("row_hits".into(), Json::UInt(s.row_hits)),
+        ("row_empties".into(), Json::UInt(s.row_empties)),
+        ("row_conflicts".into(), Json::UInt(s.row_conflicts)),
+        ("busy_cycles".into(), Json::UInt(s.busy_cycles)),
+        ("data_bus_cycles".into(), Json::UInt(s.data_bus_cycles)),
+        ("total_cycles".into(), Json::UInt(s.total_cycles)),
+        ("total_latency".into(), Json::UInt(s.total_latency)),
+    ])
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+    v.get(key)
+        .ok_or_else(|| format!("SimReport JSON is missing field '{key}'"))
+}
+
+fn get_u64(v: &Json, key: &str) -> Result<u64, String> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("SimReport field '{key}' is not an unsigned integer"))
+}
+
+fn get_f64(v: &Json, key: &str) -> Result<f64, String> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("SimReport field '{key}' is not a number"))
+}
+
+fn get_usize(v: &Json, key: &str) -> Result<usize, String> {
+    usize::try_from(get_u64(v, key)?).map_err(|_| format!("SimReport field '{key}' overflows"))
+}
+
+fn get_str(v: &Json, key: &str) -> Result<String, String> {
+    Ok(field(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("SimReport field '{key}' is not a string"))?
+        .to_string())
+}
+
+fn get_bool(v: &Json, key: &str) -> Result<bool, String> {
+    field(v, key)?
+        .as_bool()
+        .ok_or_else(|| format!("SimReport field '{key}' is not a boolean"))
+}
+
+fn cache_stats_from(v: &Json, key: &str) -> Result<CacheStats, String> {
+    let o = field(v, key)?;
+    Ok(CacheStats {
+        hits: get_u64(o, "hits")?,
+        misses: get_u64(o, "misses")?,
+        evictions: get_u64(o, "evictions")?,
+    })
+}
+
+fn dram_stats_from(v: &Json, key: &str) -> Result<DramStats, String> {
+    let o = field(v, key)?;
+    Ok(DramStats {
+        activates: get_u64(o, "activates")?,
+        precharges: get_u64(o, "precharges")?,
+        reads: get_u64(o, "reads")?,
+        writes: get_u64(o, "writes")?,
+        row_hits: get_u64(o, "row_hits")?,
+        row_empties: get_u64(o, "row_empties")?,
+        row_conflicts: get_u64(o, "row_conflicts")?,
+        busy_cycles: get_u64(o, "busy_cycles")?,
+        data_bus_cycles: get_u64(o, "data_bus_cycles")?,
+        total_cycles: get_u64(o, "total_cycles")?,
+        total_latency: get_u64(o, "total_latency")?,
+    })
+}
+
+impl SimReport {
+    /// Serializes the report as a versioned single-line JSON object.
+    ///
+    /// The inverse is [`SimReport::from_json`]; the two are pinned by a
+    /// round-trip property test. Every counter is written as an exact
+    /// integer, so equality (not just approximation) survives storage.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_json_string()
+    }
+
+    /// The report as a [`Json`] value (for embedding in larger records).
+    pub fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("v".into(), Json::UInt(u64::from(REPORT_SCHEMA_VERSION))),
+            ("benchmark".into(), Json::Str(self.benchmark.clone())),
+            ("scheme".into(), Json::Str(self.scheme.clone())),
+            ("cycles".into(), Json::UInt(self.cycles)),
+            ("truncated".into(), Json::Bool(self.truncated)),
+            (
+                "warp_instructions".into(),
+                Json::UInt(self.warp_instructions),
+            ),
+            (
+                "thread_instructions".into(),
+                Json::UInt(self.thread_instructions),
+            ),
+            (
+                "memory_transactions".into(),
+                Json::UInt(self.memory_transactions),
+            ),
+            ("l1".into(), cache_stats_json(&self.l1)),
+            ("llc".into(), cache_stats_json(&self.llc)),
+            ("noc_latency".into(), Json::Num(self.noc_latency)),
+            ("llc_parallelism".into(), Json::Num(self.llc_parallelism)),
+            (
+                "channel_parallelism".into(),
+                Json::Num(self.channel_parallelism),
+            ),
+            ("bank_parallelism".into(), Json::Num(self.bank_parallelism)),
+            ("dram".into(), dram_stats_json(&self.dram)),
+            ("kernels".into(), Json::UInt(self.kernels as u64)),
+            ("dram_cycles".into(), Json::UInt(self.dram_cycles)),
+            (
+                "dram_channels".into(),
+                Json::UInt(self.dram_channels as u64),
+            ),
+            ("core_clock_ghz".into(), Json::Num(self.core_clock_ghz)),
+            ("dram_clock_ghz".into(), Json::Num(self.dram_clock_ghz)),
+            ("num_sms".into(), Json::UInt(self.num_sms as u64)),
+            ("sm_busy_fraction".into(), Json::Num(self.sm_busy_fraction)),
+        ])
+    }
+
+    /// Deserializes a report written by [`SimReport::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Fails loudly on malformed JSON, a missing/mistyped field, or — the
+    /// case the version field exists for — a schema version other than
+    /// [`REPORT_SCHEMA_VERSION`].
+    pub fn from_json(text: &str) -> Result<SimReport, String> {
+        let v = json::parse(text).map_err(|e| e.to_string())?;
+        SimReport::from_json_value(&v)
+    }
+
+    /// Deserializes a report from an already-parsed [`Json`] value.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SimReport::from_json`].
+    pub fn from_json_value(v: &Json) -> Result<SimReport, String> {
+        let version = get_u64(v, "v")?;
+        if version != u64::from(REPORT_SCHEMA_VERSION) {
+            return Err(format!(
+                "SimReport schema version {version} is not the supported \
+                 {REPORT_SCHEMA_VERSION}; re-run the sweep to regenerate stored results"
+            ));
+        }
+        Ok(SimReport {
+            benchmark: get_str(v, "benchmark")?,
+            scheme: get_str(v, "scheme")?,
+            cycles: get_u64(v, "cycles")?,
+            truncated: get_bool(v, "truncated")?,
+            warp_instructions: get_u64(v, "warp_instructions")?,
+            thread_instructions: get_u64(v, "thread_instructions")?,
+            memory_transactions: get_u64(v, "memory_transactions")?,
+            l1: cache_stats_from(v, "l1")?,
+            llc: cache_stats_from(v, "llc")?,
+            noc_latency: get_f64(v, "noc_latency")?,
+            llc_parallelism: get_f64(v, "llc_parallelism")?,
+            channel_parallelism: get_f64(v, "channel_parallelism")?,
+            bank_parallelism: get_f64(v, "bank_parallelism")?,
+            dram: dram_stats_from(v, "dram")?,
+            kernels: get_usize(v, "kernels")?,
+            dram_cycles: get_u64(v, "dram_cycles")?,
+            dram_channels: get_usize(v, "dram_channels")?,
+            core_clock_ghz: get_f64(v, "core_clock_ghz")?,
+            dram_clock_ghz: get_f64(v, "dram_clock_ghz")?,
+            num_sms: get_usize(v, "num_sms")?,
+            sm_busy_fraction: get_f64(v, "sm_busy_fraction")?,
+        })
     }
 }
 

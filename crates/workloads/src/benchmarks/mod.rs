@@ -116,6 +116,15 @@ impl Benchmark {
         }
     }
 
+    /// Parses a benchmark [`label`](Benchmark::label) (case-insensitive).
+    /// The labels are stable identifiers: the sweep harness keys its
+    /// content-addressed result store on them.
+    pub fn parse(s: &str) -> Option<Benchmark> {
+        Benchmark::ALL
+            .into_iter()
+            .find(|b| b.label().eq_ignore_ascii_case(s))
+    }
+
     /// Whether the paper classifies this benchmark as having an entropy
     /// valley (top group of Table II / Figure 5).
     pub fn has_valley(self) -> bool {
@@ -175,6 +184,15 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), 16);
+    }
+
+    #[test]
+    fn labels_parse_round_trip() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::parse(b.label()), Some(b));
+            assert_eq!(Benchmark::parse(&b.label().to_lowercase()), Some(b));
+        }
+        assert_eq!(Benchmark::parse("NOPE"), None);
     }
 
     /// Every benchmark builds at test scale, has kernels, and every

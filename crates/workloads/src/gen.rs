@@ -75,22 +75,55 @@ pub fn load_gather(addrs: Vec<u64>) -> Instruction {
 /// `Ref` is the scaled-down-but-representative configuration used by the
 /// experiment harness (the paper's billion-instruction runs are scaled to
 /// simulator-friendly footprints; address *structure* is preserved, see
-/// DESIGN.md §2.5).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+/// DESIGN.md §2.5). `Small` uses the test-sized footprints but lives in
+/// its own sweep namespace: CI and smoke sweeps run the *complete*
+/// benchmark × scheme grid at `Small` without touching (or being
+/// shadowed by) `Ref` results in the content-addressed store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Scale {
     /// Minimal configuration for fast tests.
     Test,
+    /// Test-sized footprints under a separate sweep namespace (full-grid
+    /// smoke sweeps, CI resume checks).
+    Small,
     /// Reference configuration for the experiment harness.
     Ref,
 }
 
 impl Scale {
-    /// Picks `t` under `Test` and `r` under `Ref`.
+    /// All scales, smallest first.
+    pub const ALL: [Scale; 3] = [Scale::Test, Scale::Small, Scale::Ref];
+
+    /// Picks `t` under `Test`/`Small` and `r` under `Ref`.
     pub fn pick<T>(self, t: T, r: T) -> T {
         match self {
-            Scale::Test => t,
+            Scale::Test | Scale::Small => t,
             Scale::Ref => r,
         }
+    }
+
+    /// Stable lower-case identifier, used in job keys and CLI flags.
+    /// Renaming a variant here silently orphans stored sweep results, so
+    /// these strings are part of the result-store schema.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Test => "test",
+            Scale::Small => "small",
+            Scale::Ref => "ref",
+        }
+    }
+
+    /// Parses a [`Scale::name`] string (case-insensitive).
+    pub fn parse(s: &str) -> Option<Scale> {
+        Scale::ALL
+            .into_iter()
+            .find(|c| c.name().eq_ignore_ascii_case(s))
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -141,6 +174,17 @@ mod tests {
     #[test]
     fn scale_pick() {
         assert_eq!(Scale::Test.pick(1, 2), 1);
+        assert_eq!(Scale::Small.pick(1, 2), 1);
         assert_eq!(Scale::Ref.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn scale_names_round_trip() {
+        for s in Scale::ALL {
+            assert_eq!(Scale::parse(s.name()), Some(s));
+            assert_eq!(Scale::parse(&s.name().to_uppercase()), Some(s));
+            assert_eq!(s.to_string(), s.name());
+        }
+        assert_eq!(Scale::parse("medium"), None);
     }
 }

@@ -11,7 +11,9 @@
 //! * [`noc`] — the SM↔LLC crossbar;
 //! * [`sim`] — the full GPU memory-system simulator;
 //! * [`workloads`] — the 16 synthetic GPU-compute benchmarks;
-//! * [`power`] — DRAM and GPU power models.
+//! * [`power`] — DRAM and GPU power models;
+//! * [`harness`] — the sharded, resumable sweep engine and its
+//!   content-addressed result store (see `docs/harness.md`).
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -20,6 +22,7 @@
 pub use valley_cache as cache;
 pub use valley_core as core;
 pub use valley_dram as dram;
+pub use valley_harness as harness;
 pub use valley_noc as noc;
 pub use valley_power as power;
 pub use valley_sim as sim;

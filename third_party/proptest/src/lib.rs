@@ -86,6 +86,34 @@ macro_rules! impl_range_strategy {
 
 impl_range_strategy!(u8, u16, u32, u64, usize);
 
+impl Strategy for ::std::ops::Range<f64> {
+    type Value = f64;
+    #[inline]
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+        let v = self.start + u * (self.end - self.start);
+        // start + u*(end-start) can round up to the excluded end bound
+        // (e.g. when the span is a few ULPs); fold that case back.
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+impl Strategy for ::std::ops::RangeInclusive<f64> {
+    type Value = f64;
+    #[inline]
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty range strategy");
+        let u = (rng.next_u64() >> 11) as f64 / ((1u64 << 53) - 1) as f64; // [0, 1]
+        lo + u * (hi - lo)
+    }
+}
+
 /// Types with a canonical "anything" strategy (see [`any`]).
 pub trait Arbitrary: Sized {
     /// Draws one arbitrary value.
