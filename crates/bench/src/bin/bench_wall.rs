@@ -14,14 +14,63 @@
 //!   a sweep and the cost of resuming one.
 //!
 //! Run with: `cargo run --release -p valley-bench --bin bench_wall`
+//!
+//! With `--gate PCT` (CI), the freshly measured Ref-scale smoke slice is
+//! compared against the committed `BENCH_suite.json` *before* it is
+//! overwritten: if the per-job geomean of cold wall times regressed by
+//! more than `PCT` percent, the run fails. Wall-clock gating is noisy by
+//! nature, so CI uses a generous threshold (25%) meant to catch real
+//! order-of-magnitude regressions, not jitter.
 
 use std::time::Instant;
 use valley_core::SchemeKind;
 use valley_harness::{execute_job, pool, run_sweep, ResultStore, SweepOptions, SweepSpec};
-use valley_sim::json::Json;
+use valley_sim::json::{self, Json};
 use valley_workloads::{Benchmark, Scale};
 
+/// Reads the committed snapshot's per-job smoke wall times, if present.
+fn committed_smoke_walls() -> Option<Vec<(String, f64)>> {
+    let text = std::fs::read_to_string("BENCH_suite.json").ok()?;
+    let v = json::parse(&text).ok()?;
+    let walls = v.get("harness_smoke")?.get("job_wall_ms")?;
+    match walls {
+        Json::Obj(entries) => Some(
+            entries
+                .iter()
+                .filter_map(|(k, v)| Some((k.clone(), v.as_f64()?)))
+                .collect(),
+        ),
+        _ => None,
+    }
+}
+
+/// Geometric mean of new/old per-job wall ratios over the jobs present
+/// in both snapshots.
+fn smoke_regression_ratio(old: &[(String, f64)], new: &[(String, f64)]) -> Option<f64> {
+    let mut log_sum = 0.0;
+    let mut n = 0usize;
+    for (name, new_ms) in new {
+        let Some((_, old_ms)) = old.iter().find(|(k, _)| k == name) else {
+            continue;
+        };
+        if *old_ms > 0.0 && *new_ms > 0.0 {
+            log_sum += (new_ms / old_ms).ln();
+            n += 1;
+        }
+    }
+    (n > 0).then(|| (log_sum / n as f64).exp())
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let gate_pct: Option<f64> = match args.as_slice() {
+        [] => None,
+        [flag, pct] if flag == "--gate" => {
+            Some(pct.parse().expect("--gate takes a percentage, e.g. 25"))
+        }
+        other => panic!("unknown arguments {other:?} (usage: bench_wall [--gate PCT])"),
+    };
+    let committed = gate_pct.and_then(|_| committed_smoke_walls());
     let scratch = std::env::temp_dir().join(format!("valley-bench-wall-{}", std::process::id()));
     std::fs::remove_dir_all(&scratch).ok();
 
@@ -130,4 +179,33 @@ fn main() {
     println!("wrote BENCH_suite.json");
 
     std::fs::remove_dir_all(&scratch).ok();
+
+    if let Some(pct) = gate_pct {
+        let fresh: Vec<(String, f64)> = cold
+            .jobs
+            .iter()
+            .map(|j| (format!("{}/{}", j.spec.bench, j.spec.scheme), j.wall_ms))
+            .collect();
+        match committed
+            .as_deref()
+            .and_then(|c| smoke_regression_ratio(c, &fresh))
+        {
+            Some(ratio) => {
+                println!(
+                    "smoke gate: per-job cold wall geomean is {ratio:.3}x the committed \
+                     BENCH_suite.json (threshold {:.3}x)",
+                    1.0 + pct / 100.0
+                );
+                assert!(
+                    ratio <= 1.0 + pct / 100.0,
+                    "Ref-scale smoke slice regressed {:.1}% (> {pct}%) vs committed BENCH_suite.json",
+                    (ratio - 1.0) * 100.0
+                );
+            }
+            None => println!(
+                "smoke gate: no comparable committed BENCH_suite.json — gate skipped \
+                 (first run on this branch?)"
+            ),
+        }
+    }
 }

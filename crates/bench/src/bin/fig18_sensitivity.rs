@@ -7,10 +7,17 @@
 //!
 //! To keep runtime in check, this sweep uses a 4-benchmark representative
 //! subset of the valley group (documented in EXPERIMENTS.md).
+//!
+//! The whole grid goes through the sweep harness as one multi-config
+//! [`SweepSpec`] (`table1` doubles as the 12-SM point, `sms24`/`sms48`
+//! are [`ConfigId::Sms`], the rightmost group is [`ConfigId::Stacked`]),
+//! so every point lands in — and on re-runs is served from — the shared
+//! result store instead of being silently re-simulated.
 
-use valley_bench::{all_schemes, hmean, run_one_stacked, run_one_with, DEFAULT_SEED};
+use std::collections::BTreeMap;
+use valley_bench::{all_schemes, hmean, run_spec, DEFAULT_SEED};
 use valley_core::SchemeKind;
-use valley_sim::GpuConfig;
+use valley_harness::{ConfigId, JobOutcome, SweepSpec};
 use valley_workloads::{Benchmark, Scale};
 
 const SUBSET: [Benchmark; 4] = [
@@ -22,6 +29,28 @@ const SUBSET: [Benchmark; 4] = [
 
 fn main() {
     let schemes = all_schemes();
+    // GpuConfig::table1() has 12 SMs, so the 12-SM point *is* the
+    // baseline config — sharing its cache key with every other figure.
+    let configs = [
+        (ConfigId::Table1, "12 SMs conv. DRAM"),
+        (ConfigId::Sms(24), "24 SMs conv. DRAM"),
+        (ConfigId::Sms(48), "48 SMs conv. DRAM"),
+        (ConfigId::Stacked, "64 SMs 3D DRAM"),
+    ];
+
+    let spec = SweepSpec::new(&SUBSET, &schemes, Scale::Ref)
+        .with_seeds(&[DEFAULT_SEED])
+        .with_configs(&configs.map(|(c, _)| c));
+    let jobs = run_spec(&spec);
+    let cycles: BTreeMap<(ConfigId, Benchmark, SchemeKind), u64> = jobs
+        .iter()
+        .map(|j: &JobOutcome| {
+            (
+                (j.spec.config, j.spec.bench, j.spec.scheme),
+                j.report.cycles,
+            )
+        })
+        .collect();
 
     println!("Figure 18: HMEAN speedup over BASE (subset: MT, NW, SRAD2, SP)\n");
     print!("{:<24}", "config");
@@ -30,59 +59,18 @@ fn main() {
     }
     println!();
 
-    for sms in [12usize, 24, 48] {
-        let cfg = GpuConfig::table1().with_sms(sms);
-        let mut base_cycles = std::collections::BTreeMap::new();
-        for b in SUBSET {
-            eprintln!("  {sms} SMs / BASE / {b} ...");
-            let r = run_one_with(b, SchemeKind::Base, DEFAULT_SEED, Scale::Ref, cfg.clone());
-            base_cycles.insert(b, r.cycles);
-        }
-        let mut row = Vec::new();
+    for (config, label) in configs {
+        print!("{label:<24}");
         for &s in &schemes {
-            let mut speedups = Vec::new();
-            for b in SUBSET {
-                let r = if s == SchemeKind::Base {
-                    None
-                } else {
-                    eprintln!("  {sms} SMs / {s} / {b} ...");
-                    Some(run_one_with(b, s, DEFAULT_SEED, Scale::Ref, cfg.clone()))
-                };
-                let cycles = r.map_or(base_cycles[&b], |r| r.cycles);
-                speedups.push(base_cycles[&b] as f64 / cycles as f64);
-            }
-            row.push(hmean(&speedups));
-        }
-        print!("{:<24}", format!("{sms} SMs conv. DRAM"));
-        for v in row {
-            print!("{v:>8.2}");
+            let speedups: Vec<f64> = SUBSET
+                .iter()
+                .map(|&b| {
+                    cycles[&(config, b, SchemeKind::Base)] as f64 / cycles[&(config, b, s)] as f64
+                })
+                .collect();
+            print!("{:>8.2}", hmean(&speedups));
         }
         println!();
     }
-
-    // 3D-stacked: 64 SMs, 64 vaults, wider NoC.
-    let mut base_cycles = std::collections::BTreeMap::new();
-    for b in SUBSET {
-        eprintln!("  stacked / BASE / {b} ...");
-        base_cycles.insert(
-            b,
-            run_one_stacked(b, SchemeKind::Base, DEFAULT_SEED, Scale::Ref).cycles,
-        );
-    }
-    print!("{:<24}", "64 SMs 3D DRAM");
-    for &s in &schemes {
-        let mut speedups = Vec::new();
-        for b in SUBSET {
-            let cycles = if s == SchemeKind::Base {
-                base_cycles[&b]
-            } else {
-                eprintln!("  stacked / {s} / {b} ...");
-                run_one_stacked(b, s, DEFAULT_SEED, Scale::Ref).cycles
-            };
-            speedups.push(base_cycles[&b] as f64 / cycles as f64);
-        }
-        print!("{:>8.2}", hmean(&speedups));
-    }
-    println!();
     println!("\npaper: consistent PAE/FAE/ALL gains at every SM count; RMP ~ BASE on 3D-stacked");
 }

@@ -5,10 +5,16 @@
 //! slightly more sensitive (it draws from fewer input bits), but even its
 //! worst BIM is a substantial improvement.
 //!
-//! Uses the same 4-benchmark subset as Figure 18.
+//! Uses the same 4-benchmark subset as Figure 18. The grid runs as two
+//! harness [`SweepSpec`]s — the BASE reference points (seed-independent,
+//! so only the default seed) and the multi-seed randomized-scheme grid —
+//! against the shared result store, so the seed sweep is cached like
+//! every other experiment instead of silently re-simulating.
 
-use valley_bench::{hmean, run_one, DEFAULT_SEED};
+use std::collections::BTreeMap;
+use valley_bench::{hmean, run_spec_with_store, DEFAULT_SEED};
 use valley_core::SchemeKind;
+use valley_harness::{ResultStore, SweepSpec};
 use valley_workloads::{Benchmark, Scale};
 
 const SUBSET: [Benchmark; 4] = [
@@ -22,26 +28,39 @@ fn main() {
     let schemes = [SchemeKind::Pae, SchemeKind::Fae, SchemeKind::All];
     let seeds = [DEFAULT_SEED, DEFAULT_SEED + 1, DEFAULT_SEED + 2];
 
-    let mut base_cycles = std::collections::BTreeMap::new();
-    for b in SUBSET {
-        eprintln!("  BASE / {b} ...");
-        base_cycles.insert(
-            b,
-            run_one(b, SchemeKind::Base, DEFAULT_SEED, Scale::Ref).cycles,
-        );
-    }
+    let dir = valley_harness::default_results_dir();
+    let store = ResultStore::open(&dir)
+        .unwrap_or_else(|e| panic!("cannot open result store {}: {e}", dir.display()));
+
+    // BASE ignores the BIM seed; one sweep at the default seed provides
+    // the reference cycle counts (shared with fig12/fig18's cache keys).
+    let base = run_spec_with_store(
+        &SweepSpec::new(&SUBSET, &[SchemeKind::Base], Scale::Ref),
+        &store,
+    );
+    let base_cycles: BTreeMap<Benchmark, u64> = base
+        .iter()
+        .map(|j| (j.spec.bench, j.report.cycles))
+        .collect();
+
+    let jobs = run_spec_with_store(
+        &SweepSpec::new(&SUBSET, &schemes, Scale::Ref).with_seeds(&seeds),
+        &store,
+    );
+    let cycles: BTreeMap<(SchemeKind, u64, Benchmark), u64> = jobs
+        .iter()
+        .map(|j| ((j.spec.scheme, j.spec.seed, j.spec.bench), j.report.cycles))
+        .collect();
 
     println!("Figure 19: HMEAN speedup for three random BIMs per scheme");
     println!("{:<8}{:>8}{:>8}{:>8}", "scheme", "BIM-1", "BIM-2", "BIM-3");
     for s in schemes {
         print!("{:<8}", s.label());
         for seed in seeds {
-            let mut speedups = Vec::new();
-            for b in SUBSET {
-                eprintln!("  {s} seed {seed} / {b} ...");
-                let r = run_one(b, s, seed, Scale::Ref);
-                speedups.push(base_cycles[&b] as f64 / r.cycles as f64);
-            }
+            let speedups: Vec<f64> = SUBSET
+                .iter()
+                .map(|&b| base_cycles[&b] as f64 / cycles[&(s, seed, b)] as f64)
+                .collect();
             print!("{:>8.2}", hmean(&speedups));
         }
         println!();

@@ -102,6 +102,46 @@ pub fn run_suite(benches: &[Benchmark], schemes: &[SchemeKind], scale: Scale) ->
     run_suite_with_store(benches, schemes, scale, &store)
 }
 
+/// Runs an arbitrary [`SweepSpec`] — any benchmarks × schemes × seeds ×
+/// configs grid — through the sweep harness against the default result
+/// store, returning per-job outcomes in expansion order. This is what
+/// the sensitivity figures (fig18's SM-count/3D-stacked grid, fig19's
+/// multi-seed BIM grid) use so their points are cached like every other
+/// experiment instead of silently re-simulating on each invocation.
+///
+/// # Panics
+///
+/// Panics if any job fails or the store cannot be opened/written (same
+/// contract as [`run_suite`]).
+pub fn run_spec(spec: &SweepSpec) -> Vec<valley_harness::JobOutcome> {
+    let dir = valley_harness::default_results_dir();
+    let store = ResultStore::open(&dir)
+        .unwrap_or_else(|e| panic!("cannot open result store {}: {e}", dir.display()));
+    run_spec_with_store(spec, &store)
+}
+
+/// [`run_spec`] against an already-open store — callers running several
+/// specs (fig19's BASE reference + multi-seed grid) open and parse the
+/// shards once instead of once per spec.
+///
+/// # Panics
+///
+/// Same contract as [`run_spec`].
+pub fn run_spec_with_store(
+    spec: &SweepSpec,
+    store: &ResultStore,
+) -> Vec<valley_harness::JobOutcome> {
+    let opts = SweepOptions {
+        workers: None,
+        verbose: true,
+        force: false,
+    };
+    match run_sweep(spec, store, &opts) {
+        Ok(outcome) => outcome.jobs,
+        Err(e) => panic!("{e}"),
+    }
+}
+
 /// [`run_suite`] against an explicit store (tests, scratch sweeps).
 ///
 /// # Panics

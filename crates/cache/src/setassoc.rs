@@ -175,8 +175,9 @@ impl SetAssocCache {
         let set = self.set_index(line);
         let ways = &mut self.sets[set];
         if let Some(pos) = ways.iter().position(|l| l.addr == line) {
-            let l = ways.remove(pos);
-            ways.insert(0, l);
+            // Promote to MRU with one in-place rotation (equivalent to
+            // remove + insert-at-front, at half the moves).
+            ways[..=pos].rotate_right(1);
             self.stats.hits += 1;
             true
         } else {
@@ -227,22 +228,25 @@ impl SetAssocCache {
         let assoc = self.cfg.assoc();
         let ways = &mut self.sets[set];
         if let Some(pos) = ways.iter().position(|l| l.addr == line) {
-            let mut l = ways.remove(pos);
-            l.dirty |= dirty;
-            ways.insert(0, l);
+            ways[..=pos].rotate_right(1);
+            ways[0].dirty |= dirty;
             return None;
         }
-        let victim = if ways.len() == assoc {
+        if ways.len() == assoc {
+            // Rotate the LRU victim to the front and overwrite it in
+            // place — one move pass instead of pop + insert-at-front.
             self.stats.evictions += 1;
-            ways.pop().map(|l| Eviction {
-                line: l.addr,
-                dirty: l.dirty,
+            ways.rotate_right(1);
+            let victim = ways[0];
+            ways[0] = Line { addr: line, dirty };
+            Some(Eviction {
+                line: victim.addr,
+                dirty: victim.dirty,
             })
         } else {
+            ways.insert(0, Line { addr: line, dirty });
             None
-        };
-        ways.insert(0, Line { addr: line, dirty });
-        victim
+        }
     }
 
     /// Marks the line containing `addr` dirty (write hit in a write-back
@@ -252,9 +256,8 @@ impl SetAssocCache {
         let set = self.set_index(line);
         let ways = &mut self.sets[set];
         if let Some(pos) = ways.iter().position(|l| l.addr == line) {
-            let mut l = ways.remove(pos);
-            l.dirty = true;
-            ways.insert(0, l);
+            ways[..=pos].rotate_right(1);
+            ways[0].dirty = true;
             true
         } else {
             false

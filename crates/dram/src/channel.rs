@@ -5,6 +5,22 @@
 //! examines banks that can accept a command this cycle, instead of
 //! scanning one global queue; a global sequence number preserves the exact
 //! FR-FCFS/FCFS ordering semantics of a single arrival-ordered queue.
+//!
+//! On top of the queues sit two **indexes** that make arbitration cheap:
+//!
+//! * a per-bank *row index* — for every (bank, row) with queued work, an
+//!   intrusive chain of the queued requests to that row in arrival order —
+//!   so the oldest row-buffer hit of a bank is one lookup instead of a
+//!   queue-prefix scan, and an ACT needs no recount of the new row's hits;
+//! * a *readiness heap* of `(ready_at, bank)` — banks whose next command
+//!   time is still in the future wait in the heap and are promoted into a
+//!   small ready set exactly when their `ready_at` arrives, so `pick` only
+//!   walks banks that can actually accept a command this cycle.
+//!
+//! Both indexes are pure accelerators: the scheduling decision is
+//! bit-identical to the linear scan they replaced, which is kept under
+//! `#[cfg(test)]` as [`DramChannel::pick_linear`] and pinned by a
+//! randomized-traffic property test.
 
 use crate::config::DramConfig;
 use crate::stats::DramStats;
@@ -49,6 +65,19 @@ pub enum RowBufferOutcome {
     Conflict,
 }
 
+/// Where a bank currently sits in the scheduler's readiness index.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+enum Sched {
+    /// No queued work; the bank is invisible to arbitration.
+    #[default]
+    Idle,
+    /// Queued work, but `ready_at` is in the future: one entry in the
+    /// readiness heap.
+    Heap,
+    /// Queued work and `ready_at` has arrived: member of the ready set.
+    Ready,
+}
+
 #[derive(Clone, Copy, Debug, Default)]
 struct Bank {
     open_row: Option<usize>,
@@ -58,16 +87,35 @@ struct Bank {
     act_at: u64,
     /// Transactions issued from this bank and not yet completed.
     inflight: u32,
-    /// Queued requests whose row matches `open_row` — lets the scheduler
-    /// skip the row-hit scan entirely for conflict-bound banks.
-    open_row_hits: u32,
+    /// Readiness-index membership (see [`Sched`]).
+    sched: Sched,
 }
 
-/// A queued request plus its global arrival order.
+/// Chain-link sentinel: no younger request to the same (bank, row).
+const NO_SEQ: u64 = u64::MAX;
+
+/// A queued request plus its global arrival order and its intrusive
+/// same-row chain link (the row index's linked list runs through the
+/// queue entries themselves, so the index needs no per-row allocation).
 #[derive(Clone, Copy, Debug)]
 struct Queued {
     seq: u64,
     req: DramRequest,
+    /// Seq of the next younger queued request to the same bank and row,
+    /// or [`NO_SEQ`].
+    next_same_row: u64,
+}
+
+/// One (bank, row) chain of the row index: the queued requests to `row`,
+/// oldest first, linked through [`Queued::next_same_row`].
+#[derive(Clone, Copy, Debug)]
+struct RowChain {
+    row: usize,
+    /// Oldest queued seq to this row (the FR-FCFS hit candidate).
+    head: u64,
+    /// Youngest queued seq (chain append point).
+    tail: u64,
+    len: u32,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -77,23 +125,6 @@ struct InFlight {
     bank: usize,
     is_write: bool,
     arrival: u64,
-}
-
-impl PartialEq for InFlight {
-    fn eq(&self, other: &Self) -> bool {
-        self.finish == other.finish && self.id == other.id
-    }
-}
-impl Eq for InFlight {}
-impl PartialOrd for InFlight {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for InFlight {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.finish, self.id).cmp(&(other.finish, other.id))
-    }
 }
 
 /// One DRAM channel with FR-FCFS scheduling and an open-page policy.
@@ -121,8 +152,20 @@ impl Ord for InFlight {
 pub struct DramChannel {
     cfg: DramConfig,
     banks: Vec<Bank>,
-    /// Per-bank scheduling queues, each in arrival order.
+    /// Per-bank scheduling queues, each in arrival order (seqs strictly
+    /// increasing front to back).
     queues: Vec<VecDeque<Queued>>,
+    /// Per-bank row index: one [`RowChain`] per row with queued work.
+    /// Linear-searched by row — a bank rarely holds more than a handful
+    /// of distinct rows, and the search runs on enqueue/issue, not per
+    /// tick.
+    row_chains: Vec<Vec<RowChain>>,
+    /// Readiness heap: `(ready_at, bank)` for every bank in
+    /// [`Sched::Heap`] state, min-first.
+    sched_heap: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Banks whose `ready_at` has arrived and that still hold queued
+    /// work ([`Sched::Ready`]); the only banks `pick` walks.
+    ready: Vec<usize>,
     /// Total requests across all per-bank queues.
     queued: usize,
     /// Banks with at least one outstanding (queued or in-flight) request,
@@ -140,7 +183,11 @@ pub struct DramChannel {
     /// folded into the arbitration scan so the evented path needs no
     /// second pass over the banks.
     next_hint: u64,
-    inflight: BinaryHeap<Reverse<InFlight>>,
+    /// Issued-but-uncompleted transactions, in issue order. The shared
+    /// data bus serializes bursts, so `finish` times are strictly
+    /// increasing in issue order and the retire queue is a plain FIFO —
+    /// no heap needed.
+    inflight: VecDeque<InFlight>,
     /// Earliest cycle the next ACT may issue (tRRD).
     next_act_at: u64,
     /// Cycle at which the shared data bus becomes free.
@@ -153,14 +200,20 @@ impl DramChannel {
     pub fn new(cfg: DramConfig) -> Self {
         DramChannel {
             banks: vec![Bank::default(); cfg.banks],
-            queues: vec![VecDeque::new(); cfg.banks],
+            // Sized for steady state (the whole channel holds at most
+            // `queue_capacity` queued requests): fresh channels otherwise
+            // pay a per-bank realloc ladder on every simulation run.
+            queues: vec![VecDeque::with_capacity(16); cfg.banks],
+            row_chains: vec![Vec::with_capacity(8); cfg.banks],
+            sched_heap: BinaryHeap::with_capacity(cfg.banks),
+            ready: Vec::with_capacity(cfg.banks),
             queued: 0,
             busy_bank_count: 0,
             next_seq: 0,
             cached_next: 0,
             acct_from: 0,
             next_hint: 0,
-            inflight: BinaryHeap::new(),
+            inflight: VecDeque::with_capacity(32),
             next_act_at: 0,
             bus_free_at: 0,
             stats: DramStats::default(),
@@ -187,19 +240,80 @@ impl DramChannel {
         // Counter deferral (evented path): the cycles before this arrival
         // must be accounted with the channel's *pre-enqueue* busy state.
         self.flush_deferred(req.arrival);
-        self.cached_next = 0;
         let seq = self.next_seq;
         self.next_seq += 1;
-        let bank = &mut self.banks[req.bank];
-        if self.queues[req.bank].is_empty() && bank.inflight == 0 {
+        let b = req.bank;
+        let was_empty = self.queues[b].is_empty();
+        if was_empty && self.banks[b].inflight == 0 {
             self.busy_bank_count += 1;
         }
-        if bank.open_row == Some(req.row) {
-            bank.open_row_hits += 1;
-        }
-        self.queues[req.bank].push_back(Queued { seq, req });
+        self.queues[b].push_back(Queued {
+            seq,
+            req,
+            next_same_row: NO_SEQ,
+        });
         self.queued += 1;
+        // Row index: append to the (bank, row) chain.
+        match self.row_chains[b].iter().position(|c| c.row == req.row) {
+            Some(i) => {
+                let chain = &mut self.row_chains[b][i];
+                let tail_seq = chain.tail;
+                chain.tail = seq;
+                chain.len += 1;
+                // Same-row streams append right behind the chain tail, so
+                // the tail is usually the queue's previous back entry.
+                let q = &mut self.queues[b];
+                let prev = q.len() - 2;
+                let t = if q[prev].seq == tail_seq {
+                    prev
+                } else {
+                    Self::index_of_seq(q, tail_seq)
+                };
+                q[t].next_same_row = seq;
+            }
+            None => self.row_chains[b].push(RowChain {
+                row: req.row,
+                head: seq,
+                tail: seq,
+                len: 1,
+            }),
+        }
+        // Readiness index: a previously empty bank becomes schedulable at
+        // its (possibly past) `ready_at`. A bank that is already ready by
+        // the request's own arrival — the common case under spread
+        // traffic, where banks drain and idle between requests — goes
+        // straight to the ready set: every future pick cycle is at or
+        // after `arrival`, so the promotion the heap would perform is a
+        // foregone conclusion and both heap operations can be skipped.
+        if was_empty {
+            debug_assert_eq!(self.banks[b].sched, Sched::Idle);
+            if self.banks[b].ready_at <= req.arrival {
+                self.banks[b].sched = Sched::Ready;
+                self.ready.push(b);
+            } else {
+                self.banks[b].sched = Sched::Heap;
+                self.sched_heap.push(Reverse((self.banks[b].ready_at, b)));
+            }
+        }
+        // Evented cache: the earliest cycle this request could issue is
+        // when both it has arrived and its bank can take a command —
+        // every other potential event was already covered by the hint the
+        // last tick left behind, so the cache stays exact (never late)
+        // without a rescan.
+        let event = req.arrival.max(self.banks[b].ready_at);
+        if event < self.cached_next {
+            self.cached_next = event;
+        }
         true
+    }
+
+    /// Position of `seq` within a bank queue (seqs are strictly
+    /// increasing, so this is a binary search).
+    #[inline]
+    fn index_of_seq(queue: &VecDeque<Queued>, seq: u64) -> usize {
+        let i = queue.partition_point(|q| q.seq < seq);
+        debug_assert_eq!(queue[i].seq, seq);
+        i
     }
 
     /// Number of queued (not yet scheduled) requests.
@@ -243,7 +357,7 @@ impl DramChannel {
     ///
     /// [`tick`]: DramChannel::tick
     pub fn next_event_at(&self, now: u64) -> Option<u64> {
-        let mut next = self.inflight.peek().map(|Reverse(f)| f.finish.max(now));
+        let mut next = self.inflight.front().map(|f| f.finish.max(now));
         for (bank, queue) in self.banks.iter().zip(&self.queues) {
             if queue.is_empty() {
                 continue;
@@ -323,11 +437,11 @@ impl DramChannel {
             return;
         }
 
-        while let Some(Reverse(f)) = self.inflight.peek() {
+        while let Some(f) = self.inflight.front() {
             if f.finish > cycle {
                 break;
             }
-            let Reverse(f) = self.inflight.pop().expect("peeked entry exists");
+            let f = self.inflight.pop_front().expect("peeked entry exists");
             self.banks[f.bank].inflight -= 1;
             if self.banks[f.bank].inflight == 0 && self.queues[f.bank].is_empty() {
                 self.busy_bank_count -= 1;
@@ -347,12 +461,21 @@ impl DramChannel {
                 .remove(idx)
                 .expect("picked index is valid");
             self.queued -= 1;
+            self.unindex_picked(bank, &q);
             self.issue(q.req, cycle);
             // The issued bank's readiness changed; its pre-issue ready_at
             // in `min_ready` can only be early (conservative).
-            hint = hint.min(self.banks[q.req.bank].ready_at);
+            hint = hint.min(self.banks[bank].ready_at);
+            // Re-index the bank at its post-issue readiness.
+            if self.queues[bank].is_empty() {
+                self.banks[bank].sched = Sched::Idle;
+            } else {
+                self.banks[bank].sched = Sched::Heap;
+                self.sched_heap
+                    .push(Reverse((self.banks[bank].ready_at, bank)));
+            }
         }
-        if let Some(Reverse(f)) = self.inflight.peek() {
+        if let Some(f) = self.inflight.front() {
             hint = hint.min(f.finish);
         }
         self.next_hint = hint;
@@ -362,41 +485,104 @@ impl DramChannel {
     /// requests whose bank can accept a command this cycle, the oldest
     /// row-buffer hit (global arrival order), then the oldest request
     /// overall. FCFS: strictly the oldest ready request. Returns the bank
-    /// and position within that bank's queue, plus the minimum `ready_at`
-    /// over all banks with queued work (the scheduler's next-event hint).
-    fn pick(&self, cycle: u64) -> (Option<(usize, usize)>, u64) {
-        let row_hit_first = self.cfg.policy == crate::config::SchedulingPolicy::FrFcfs;
-        let mut best_hit: Option<(u64, usize, usize)> = None;
-        let mut oldest_ready: Option<(u64, usize)> = None;
-        let mut min_ready = u64::MAX;
-        for (b, (bank, queue)) in self.banks.iter().zip(&self.queues).enumerate() {
-            let Some(front) = queue.front() else { continue };
-            min_ready = min_ready.min(bank.ready_at);
-            if bank.ready_at > cycle {
+    /// and position within that bank's queue, plus a next-event hint: a
+    /// value `<= cycle` when an issue-capable bank exists, otherwise the
+    /// earliest `ready_at` over all banks with queued work.
+    ///
+    /// Indexed: banks wait in the readiness heap until their `ready_at`
+    /// arrives, then move to the ready set; only ready banks are walked,
+    /// and each bank's oldest row hit is a row-index lookup instead of a
+    /// queue-prefix scan. The decision is bit-identical to the linear
+    /// reference scan ([`DramChannel::pick_linear`]).
+    fn pick(&mut self, cycle: u64) -> (Option<(usize, usize)>, u64) {
+        // Promote banks whose ready_at has arrived into the ready set.
+        while let Some(&Reverse((t, b))) = self.sched_heap.peek() {
+            if t > cycle {
+                break;
+            }
+            self.sched_heap.pop();
+            if self.banks[b].sched != Sched::Heap || self.banks[b].ready_at != t {
+                // Defensive: the state machine keeps exactly one fresh
+                // entry per Heap-state bank, so this never fires; lazy
+                // invalidation keeps a stale entry harmless regardless.
                 continue;
             }
+            self.banks[b].sched = Sched::Ready;
+            self.ready.push(b);
+        }
+        let row_hit_first = self.cfg.policy == crate::config::SchedulingPolicy::FrFcfs;
+        let mut best_hit: Option<(u64, usize)> = None;
+        let mut oldest_ready: Option<(u64, usize)> = None;
+        for &b in &self.ready {
+            debug_assert!(self.banks[b].ready_at <= cycle);
+            let front = self.queues[b].front().expect("ready bank has queued work");
             if oldest_ready.is_none_or(|(seq, _)| front.seq < seq) {
                 oldest_ready = Some((front.seq, b));
             }
-            // Only scan banks that provably hold a row hit (the counter is
-            // maintained on enqueue and issue); the oldest hit within a
-            // bank is the first match from the front (arrival order).
-            if row_hit_first && bank.open_row_hits > 0 {
-                let open = bank.open_row.expect("hits imply an open row");
-                for (i, q) in queue.iter().enumerate() {
-                    if q.req.row == open {
-                        if best_hit.is_none_or(|(seq, _, _)| q.seq < seq) {
-                            best_hit = Some((q.seq, b, i));
+            if row_hit_first {
+                if let Some(open) = self.banks[b].open_row {
+                    // The oldest hit of a bank is its open row's chain
+                    // head (arrival order), if the row has queued work.
+                    if let Some(c) = self.row_chains[b].iter().find(|c| c.row == open) {
+                        if best_hit.is_none_or(|(seq, _)| c.head < seq) {
+                            best_hit = Some((c.head, b));
                         }
-                        break;
                     }
                 }
             }
         }
-        let choice = best_hit
-            .map(|(_, b, i)| (b, i))
-            .or(oldest_ready.map(|(_, b)| (b, 0)));
+        // Next-event hint: a ready bank issues now (any value <= cycle
+        // keeps the evented cache exact); otherwise the heap top is the
+        // earliest bank readiness.
+        let min_ready = if self.ready.is_empty() {
+            self.sched_heap
+                .peek()
+                .map_or(u64::MAX, |&Reverse((t, _))| t)
+        } else {
+            cycle
+        };
+        let choice = match best_hit {
+            Some((seq, b)) => {
+                // The oldest hit is very often the bank's oldest request.
+                let q = &self.queues[b];
+                let idx = if q.front().is_some_and(|f| f.seq == seq) {
+                    0
+                } else {
+                    Self::index_of_seq(q, seq)
+                };
+                Some((b, idx))
+            }
+            None => oldest_ready.map(|(_, b)| (b, 0)),
+        };
         (choice, min_ready)
+    }
+
+    /// Removes a just-picked (and already dequeued) request from the row
+    /// index and the ready set. The picked request is always the oldest
+    /// queued request to its row within its bank — either the open row's
+    /// chain head (FR-FCFS hit) or the bank's queue front — so the chain
+    /// pop is a head pop.
+    fn unindex_picked(&mut self, bank: usize, q: &Queued) {
+        let pos = self
+            .ready
+            .iter()
+            .position(|&b| b == bank)
+            .expect("picked bank is in the ready set");
+        self.ready.swap_remove(pos);
+        let i = self.row_chains[bank]
+            .iter()
+            .position(|c| c.row == q.req.row)
+            .expect("queued row has a chain");
+        let chain = &mut self.row_chains[bank][i];
+        debug_assert_eq!(chain.head, q.seq, "picked request is its row's oldest");
+        if chain.len == 1 {
+            debug_assert_eq!(q.next_same_row, NO_SEQ);
+            self.row_chains[bank].swap_remove(i);
+        } else {
+            chain.len -= 1;
+            chain.head = q.next_same_row;
+            debug_assert_ne!(chain.head, NO_SEQ);
+        }
     }
 
     /// Commits the command sequence for `req` starting no earlier than
@@ -440,21 +626,8 @@ impl DramChannel {
         let data_end = data_start + t.tburst;
         self.bus_free_at = data_end;
 
-        match outcome {
-            RowBufferOutcome::Hit => {
-                // One queued hit (this request) left the queue.
-                bank.open_row_hits -= 1;
-            }
-            RowBufferOutcome::Empty | RowBufferOutcome::Conflict => {
-                // The open row changed: recount matches against the new
-                // row, once per ACT (amortized — row misses pay
-                // tRCD-scale latencies anyway).
-                bank.open_row_hits = self.queues[req.bank]
-                    .iter()
-                    .filter(|q| q.req.row == req.row)
-                    .count() as u32;
-            }
-        }
+        // Remaining hits against the (possibly new) open row are whatever
+        // the row index holds for `req.row` — no recount needed on an ACT.
         bank.open_row = Some(req.row);
         bank.ready_at = col_at + t.tccd;
         bank.inflight += 1;
@@ -470,13 +643,151 @@ impl DramChannel {
             self.stats.reads += 1;
         }
 
-        self.inflight.push(Reverse(InFlight {
+        debug_assert!(
+            self.inflight.back().is_none_or(|f| f.finish < data_end),
+            "bus serialization keeps retire order FIFO"
+        );
+        self.inflight.push_back(InFlight {
             finish: data_end,
             id: req.id,
             bank: req.bank,
             is_write: req.is_write,
             arrival: req.arrival,
-        }));
+        });
+    }
+}
+
+#[cfg(test)]
+impl DramChannel {
+    /// The pre-index linear arbitration — scans every bank and every
+    /// queue prefix — kept verbatim as the oracle the indexed
+    /// [`DramChannel::pick`] is property-tested against.
+    pub(crate) fn pick_linear(&self, cycle: u64) -> (Option<(usize, usize)>, u64) {
+        let row_hit_first = self.cfg.policy == crate::config::SchedulingPolicy::FrFcfs;
+        let mut best_hit: Option<(u64, usize, usize)> = None;
+        let mut oldest_ready: Option<(u64, usize)> = None;
+        let mut min_ready = u64::MAX;
+        for (b, (bank, queue)) in self.banks.iter().zip(&self.queues).enumerate() {
+            let Some(front) = queue.front() else { continue };
+            min_ready = min_ready.min(bank.ready_at);
+            if bank.ready_at > cycle {
+                continue;
+            }
+            if oldest_ready.is_none_or(|(seq, _)| front.seq < seq) {
+                oldest_ready = Some((front.seq, b));
+            }
+            if row_hit_first {
+                if let Some(open) = bank.open_row {
+                    for (i, q) in queue.iter().enumerate() {
+                        if q.req.row == open {
+                            if best_hit.is_none_or(|(seq, _, _)| q.seq < seq) {
+                                best_hit = Some((q.seq, b, i));
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let choice = best_hit
+            .map(|(_, b, i)| (b, i))
+            .or(oldest_ready.map(|(_, b)| (b, 0)));
+        (choice, min_ready)
+    }
+
+    /// The indexed arbitration, exposed for the oracle comparison.
+    /// Promotion is idempotent at a fixed cycle, so calling this and then
+    /// [`DramChannel::tick`] (which picks again) yields the same choice.
+    pub(crate) fn pick_indexed(&mut self, cycle: u64) -> (Option<(usize, usize)>, u64) {
+        self.pick(cycle)
+    }
+
+    /// Checks every internal invariant of the row index and readiness
+    /// index against a recompute from the plain queues.
+    pub(crate) fn assert_index_invariants(&self) {
+        use std::collections::HashMap;
+        let mut total = 0;
+        let mut busy = 0;
+        for (b, (bank, queue)) in self.banks.iter().zip(&self.queues).enumerate() {
+            total += queue.len();
+            if !queue.is_empty() || bank.inflight > 0 {
+                busy += 1;
+            }
+            // Queue is strictly arrival-ordered.
+            for w in queue.iter().zip(queue.iter().skip(1)) {
+                assert!(w.0.seq < w.1.seq, "bank {b}: queue out of arrival order");
+            }
+            // Row chains match a recompute, link by link.
+            let mut expect: HashMap<usize, Vec<u64>> = HashMap::new();
+            for q in queue {
+                expect.entry(q.req.row).or_default().push(q.seq);
+            }
+            assert_eq!(
+                self.row_chains[b].len(),
+                expect.len(),
+                "bank {b}: chain count"
+            );
+            for chain in &self.row_chains[b] {
+                let seqs = expect.get(&chain.row).expect("chain for a queued row");
+                assert_eq!(chain.head, seqs[0], "bank {b} row {}: head", chain.row);
+                assert_eq!(
+                    chain.tail,
+                    *seqs.last().expect("nonempty"),
+                    "bank {b} row {}: tail",
+                    chain.row
+                );
+                assert_eq!(chain.len as usize, seqs.len(), "bank {b}: chain len");
+                let mut cur = chain.head;
+                for (k, &s) in seqs.iter().enumerate() {
+                    assert_eq!(cur, s, "bank {b} row {}: link {k}", chain.row);
+                    cur = self.queues[b][Self::index_of_seq(&self.queues[b], s)].next_same_row;
+                }
+                assert_eq!(cur, NO_SEQ, "bank {b} row {}: chain tail link", chain.row);
+            }
+            // Scheduling state matches queue occupancy.
+            match bank.sched {
+                Sched::Idle => assert!(queue.is_empty(), "bank {b}: Idle with queued work"),
+                Sched::Heap | Sched::Ready => {
+                    assert!(!queue.is_empty(), "bank {b}: indexed without queued work")
+                }
+            }
+        }
+        assert_eq!(self.queued, total, "queued counter");
+        assert_eq!(self.busy_bank_count as usize, busy, "busy bank counter");
+        // The ready set holds exactly the Ready-state banks, once each.
+        let mut ready = self.ready.clone();
+        ready.sort_unstable();
+        ready.dedup();
+        assert_eq!(ready.len(), self.ready.len(), "duplicate ready entries");
+        for &b in &self.ready {
+            assert_eq!(self.banks[b].sched, Sched::Ready, "ready set stale");
+        }
+        let ready_banks = self
+            .banks
+            .iter()
+            .filter(|bk| bk.sched == Sched::Ready)
+            .count();
+        assert_eq!(self.ready.len(), ready_banks, "ready set incomplete");
+        // The heap holds exactly one fresh entry per Heap-state bank.
+        let entries: Vec<(u64, usize)> = self.sched_heap.iter().map(|&Reverse(e)| e).collect();
+        let heap_banks: Vec<usize> = self
+            .banks
+            .iter()
+            .enumerate()
+            .filter(|(_, bk)| bk.sched == Sched::Heap)
+            .map(|(b, _)| b)
+            .collect();
+        assert_eq!(entries.len(), heap_banks.len(), "stale heap entries");
+        for b in heap_banks {
+            assert_eq!(
+                entries
+                    .iter()
+                    .filter(|&&(t, eb)| eb == b && t == self.banks[b].ready_at)
+                    .count(),
+                1,
+                "bank {b}: heap entry missing or stale"
+            );
+        }
     }
 }
 
@@ -703,5 +1014,91 @@ mod tests {
         skip.skip_idle(ev + 1, 60 - ev - 1);
         assert_eq!(d1, d2);
         assert_eq!(dense.stats(), skip.stats());
+    }
+
+    mod indexed_pick_oracle {
+        use super::*;
+        use crate::config::SchedulingPolicy;
+        use proptest::prelude::*;
+
+        /// Drives a channel through randomized traffic (random banks,
+        /// rows, arrival times and both scheduling policies), asserting
+        /// before every tick that the indexed `pick` chooses exactly what
+        /// the linear oracle would, and after every enqueue/tick (which
+        /// covers issue and retire) that the row index, readiness heap
+        /// and ready set match a recompute from the plain queues.
+        fn drive(reqs: &[(usize, usize, bool, u64)], fcfs: bool) -> Result<(), TestCaseError> {
+            let mut cfg = DramConfig::gddr5();
+            if fcfs {
+                cfg.policy = SchedulingPolicy::Fcfs;
+            }
+            let mut ch = DramChannel::new(cfg);
+            let mut reqs: Vec<(usize, usize, bool, u64)> = reqs.to_vec();
+            reqs.sort_by_key(|r| r.3);
+            let mut next = 0;
+            let mut accepted = 0u64;
+            let mut done = Vec::new();
+            for cycle in 0..100_000u64 {
+                while next < reqs.len() && reqs[next].3 <= cycle {
+                    let (bank, row, is_write, arrival) = reqs[next];
+                    if ch.try_enqueue(DramRequest {
+                        id: next as u64,
+                        bank,
+                        row,
+                        is_write,
+                        arrival,
+                    }) {
+                        accepted += 1;
+                    }
+                    ch.assert_index_invariants();
+                    next += 1;
+                }
+                let expected = ch.pick_linear(cycle);
+                let actual = ch.pick_indexed(cycle);
+                prop_assert_eq!(actual.0, expected.0, "choice diverged at cycle {}", cycle);
+                // The hint needs only its evented-cache meaning: equal
+                // when in the future, both "now" when a bank is ready.
+                if expected.1 <= cycle {
+                    prop_assert!(actual.1 <= cycle, "hint late at cycle {}", cycle);
+                } else {
+                    prop_assert_eq!(actual.1, expected.1, "hint diverged at cycle {}", cycle);
+                }
+                ch.tick(cycle, &mut done);
+                ch.assert_index_invariants();
+                if next == reqs.len() && !ch.is_busy() {
+                    break;
+                }
+            }
+            prop_assert_eq!(done.len() as u64, accepted, "requests lost");
+            Ok(())
+        }
+
+        proptest! {
+            #[test]
+            fn fr_fcfs_matches_linear_oracle(
+                reqs in proptest::collection::vec(
+                    (0usize..16, 0usize..6, any::<bool>(), 0u64..400), 1..80)
+            ) {
+                drive(&reqs, false)?;
+            }
+
+            #[test]
+            fn fcfs_matches_linear_oracle(
+                reqs in proptest::collection::vec(
+                    (0usize..16, 0usize..6, any::<bool>(), 0u64..400), 1..80)
+            ) {
+                drive(&reqs, true)?;
+            }
+
+            /// Hot single-bank traffic maximizes queue depth and chain
+            /// length — the regime the prefix scan used to pay for.
+            #[test]
+            fn hot_bank_matches_linear_oracle(
+                reqs in proptest::collection::vec(
+                    (0usize..2, 0usize..3, any::<bool>(), 0u64..100), 1..70)
+            ) {
+                drive(&reqs, false)?;
+            }
+        }
     }
 }

@@ -32,6 +32,11 @@ use valley_core::{DramAddressMap, PhysAddr};
 pub struct DramSystem {
     map: Box<dyn DramAddressMap + Send>,
     channels: Vec<DramChannel>,
+    /// Cached minimum of the channels' next-event cycles (evented path):
+    /// lets [`DramSystem::tick_evented`] skip the whole per-channel walk
+    /// on quiet cycles and makes [`DramSystem::cached_next_event`] O(1)
+    /// instead of a scan — which matters at 64 stacked vaults.
+    cached_min: u64,
 }
 
 impl DramSystem {
@@ -45,7 +50,11 @@ impl DramSystem {
         let channels = (0..map.num_controllers())
             .map(|_| DramChannel::new(cfg))
             .collect();
-        DramSystem { map, channels }
+        DramSystem {
+            map,
+            channels,
+            cached_min: 0,
+        }
     }
 
     /// The number of controllers (channels/vaults).
@@ -105,7 +114,14 @@ impl DramSystem {
             is_write,
             arrival: now,
         };
-        self.channels[ctrl as usize].try_enqueue(req)
+        let ok = self.channels[ctrl as usize].try_enqueue(req);
+        if ok {
+            // The channel's next-event cache may have moved earlier.
+            self.cached_min = self
+                .cached_min
+                .min(self.channels[ctrl as usize].cached_next_event());
+        }
+        ok
     }
 
     /// Whether the channel serving `addr` can accept a request.
@@ -149,24 +165,27 @@ impl DramSystem {
         }
     }
 
-    /// Event-gated [`DramSystem::tick`]: each channel no-ops (deferring
-    /// its counters) until its own cached next-event cycle.
+    /// Event-gated [`DramSystem::tick`]: a single-branch no-op until the
+    /// earliest channel event, then each channel no-ops (deferring its
+    /// counters) until its own cached next-event cycle.
     #[inline]
     pub fn tick_evented(&mut self, cycle: u64, done: &mut Vec<DramCompletion>) {
+        if cycle < self.cached_min {
+            return;
+        }
+        let mut min = u64::MAX;
         for ch in &mut self.channels {
             ch.tick_evented(cycle, done);
+            min = min.min(ch.cached_next_event());
         }
+        self.cached_min = min;
     }
 
     /// The earliest cached next-event cycle over all channels
     /// (`u64::MAX` when every channel is empty). Exact under the evented
     /// tick discipline — see [`DramChannel::tick_evented`].
     pub fn cached_next_event(&self) -> u64 {
-        self.channels
-            .iter()
-            .map(DramChannel::cached_next_event)
-            .min()
-            .unwrap_or(u64::MAX)
+        self.cached_min
     }
 
     /// Brings every channel's deferred counters up to date with `up_to`.

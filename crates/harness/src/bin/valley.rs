@@ -10,12 +10,15 @@
 //!                [--config K] [--results DIR]
 //! valley figures [--scale S] [--seed N] [--set valley|nonvalley|all]
 //!                [--results DIR]
+//! valley gc      [--results DIR] [--expect-clean]
 //! ```
 //!
 //! `sweep` runs the grid (resuming from the store), `status` summarizes
-//! the store, `query` prints matching stored results, and `figures`
+//! the store (including `--force` duplicates and orphaned-schema records
+//! awaiting `gc`), `query` prints matching stored results, `figures`
 //! renders the headline tables *exclusively* from stored results — it
-//! never simulates.
+//! never simulates — and `gc` compacts the shards, dropping superseded
+//! duplicates and schema orphans.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -39,12 +42,17 @@ USAGE:
                  [--results DIR]
   valley figures [--scale test|small|ref] [--seed N] [--set valley|nonvalley|all]
                  [--results DIR]
+  valley gc      [--results DIR] [--expect-clean]
 
 The store defaults to $VALLEY_RESULTS_DIR, else ./results. A sweep skips
 every job already in the store; `--expect-cached 95` additionally fails
 the invocation if fewer than 95% of the jobs were cache hits (CI uses
 this to prove the resume path works). `figures` reads the store only —
-run the matching sweep first.";
+run the matching sweep first. `gc` compacts the shards: duplicate keys
+left behind by `sweep --force` (only the newest survives a load anyway)
+and records orphaned by a schema change are dropped; `--expect-clean`
+fails if anything had to be removed (CI runs it after the double sweep
+to prove a clean store stays clean).";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -57,6 +65,7 @@ fn main() -> ExitCode {
         "status" => cmd_status(rest),
         "query" => cmd_query(rest),
         "figures" => cmd_figures(rest),
+        "gc" => cmd_gc(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -85,7 +94,7 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<BTreeMap<String, Str
             return Err(format!("unknown flag '--{name}'"));
         }
         // Boolean flags take no value.
-        if name == "force" || name == "quiet" {
+        if name == "force" || name == "quiet" || name == "expect-clean" {
             flags.insert(name.to_string(), String::new());
             continue;
         }
@@ -231,18 +240,27 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn results_dir(flags: &BTreeMap<String, String>) -> std::path::PathBuf {
+    flags
+        .get("results")
+        .map(Into::into)
+        .unwrap_or_else(default_results_dir)
+}
+
 fn cmd_status(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(args, &["results"])?;
-    let store = open_store(&flags)?;
-    let entries = store.entries();
+    let dir = results_dir(&flags);
+    // A lenient scan instead of a strict open: a store full of schema
+    // orphans should *report* its state (and point at `gc`), not error.
+    let scan = valley_harness::scan(&dir).map_err(|e| e.to_string())?;
     println!(
         "store: {} ({} result(s))",
-        store.dir().display(),
-        entries.len()
+        dir.display(),
+        scan.records.len()
     );
 
     let mut by_group: BTreeMap<(String, String), usize> = BTreeMap::new();
-    for e in &entries {
+    for e in &scan.records {
         *by_group
             .entry((e.spec.scale.name().to_string(), e.spec.config.name()))
             .or_insert(0) += 1;
@@ -254,13 +272,49 @@ fn cmd_status(args: &[String]) -> Result<(), String> {
         }
     }
 
-    let shards = store.shard_sizes();
-    let total: u64 = shards.iter().map(|(_, b)| b).sum();
-    let populated = shards.iter().filter(|(_, b)| *b > 0).count();
+    let total: u64 = scan.shard_bytes.iter().sum();
+    let populated = scan.shard_bytes.iter().filter(|&&b| b > 0).count();
     println!(
         "\nshards: {populated}/{} populated, {total} bytes on disk",
-        shards.len()
+        scan.shard_bytes.len()
     );
+    println!(
+        "hygiene: {} duplicate record(s) (--force debris), {} orphaned-schema record(s), \
+         {} truncated tail(s)",
+        scan.duplicates, scan.orphans, scan.truncated
+    );
+    if scan.duplicates + scan.orphans + scan.truncated > 0 {
+        println!("run `valley gc` to compact");
+    }
+    Ok(())
+}
+
+fn cmd_gc(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["results", "expect-clean"])?;
+    let dir = results_dir(&flags);
+    let report = valley_harness::gc(&dir).map_err(|e| e.to_string())?;
+    println!(
+        "gc: {} kept, {} removed ({} duplicate(s), {} orphan(s), {} truncated tail(s)) in {}",
+        report.kept,
+        report.removed(),
+        report.duplicates_removed,
+        report.orphans_removed,
+        report.truncated_removed,
+        dir.display(),
+    );
+    println!(
+        "{} shard(s) rewritten, {} -> {} bytes on disk",
+        report.shards_rewritten, report.bytes_before, report.bytes_after
+    );
+    if flags.contains_key("expect-clean") && report.removed() > 0 {
+        return Err(format!(
+            "expected a clean store but gc removed {} record(s)",
+            report.removed()
+        ));
+    }
+    // The compacted store must still open (and serve) cleanly.
+    let store = ResultStore::open(&dir).map_err(|e| e.to_string())?;
+    println!("store reopens cleanly: {} result(s)", store.len());
     Ok(())
 }
 

@@ -13,7 +13,9 @@
 //!   16 JSON-lines shards under `results/`, keyed by job hash, so
 //!   re-running a sweep skips completed jobs (*resume*) and figure
 //!   regeneration is a pure cache read;
-//! * the `valley` CLI (`sweep`, `status`, `query`, `figures`).
+//! * the `valley` CLI (`sweep`, `status`, `query`, `figures`, `gc` —
+//!   the latter compacts `--force` duplicates and orphaned-schema
+//!   records out of the shards).
 //!
 //! `valley-bench`'s `run_suite` and the per-figure binaries are thin
 //! consumers of [`run_sweep`]; see `docs/harness.md` for the store
@@ -50,7 +52,9 @@ pub mod util;
 pub use job::{
     execute_job, parse_scheme, ConfigId, JobKey, JobSpec, SweepSpec, DEFAULT_SEED, SCHEMA_VERSION,
 };
-pub use store::{ResultStore, StoreError, StoredResult, NUM_SHARDS, STORE_VERSION};
+pub use store::{
+    gc, scan, GcReport, ResultStore, StoreError, StoreScan, StoredResult, NUM_SHARDS, STORE_VERSION,
+};
 pub use sweep::{run_sweep, JobOutcome, SweepError, SweepOptions, SweepOutcome};
 
 use std::path::PathBuf;

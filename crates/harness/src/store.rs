@@ -21,7 +21,15 @@
 //! JSON anywhere but the final line of a shard all fail `open` with a
 //! precise message. The one tolerated defect is a truncated *final*
 //! line, the signature of a run killed mid-append; it is dropped with a
-//! warning and will simply be re-run.
+//! warning — and **physically truncated from the shard file**, so a
+//! later append cannot weld a fresh record onto the partial line and
+//! corrupt both permanently — and the job simply re-runs.
+//!
+//! Two append-only defects accumulate instead of failing: `--force`
+//! re-runs append duplicate records for the same [`JobKey`] (only the
+//! last wins on load), and a [`crate::job::SCHEMA_VERSION`] bump orphans
+//! every stored record. [`scan`] reports both leniently and [`gc`]
+//! compacts them away; `valley status` / `valley gc` expose them.
 
 use crate::job::{parse_scheme, ConfigId, JobKey, JobSpec};
 use std::collections::HashMap;
@@ -221,6 +229,25 @@ fn load_shard(path: &Path, index: &mut HashMap<u64, StoredResult>) -> Result<(),
                         "warning: dropping truncated final record in {} ({cause})",
                         path.display()
                     );
+                    // Cut the partial line off the file as well: the
+                    // store appends, so leaving it would weld the next
+                    // record onto the fragment — one permanently corrupt
+                    // interior line that fails every later open. On a
+                    // read-only store the repair is impossible but the
+                    // weld hazard is moot (appends would fail too), so
+                    // fall back to the old warn-and-skip behavior.
+                    let keep = text.rfind('\n').map_or(0, |i| i + 1) as u64;
+                    if let Err(e) = std::fs::OpenOptions::new()
+                        .write(true)
+                        .open(path)
+                        .and_then(|f| f.set_len(keep))
+                    {
+                        eprintln!(
+                            "warning: could not truncate {} to {keep} bytes ({e}); \
+                             run `valley gc` before the next append",
+                            path.display()
+                        );
+                    }
                 } else {
                     return Err(StoreError::Corrupt(format!(
                         "{} line {}: {cause}",
@@ -232,6 +259,226 @@ fn load_shard(path: &Path, index: &mut HashMap<u64, StoredResult>) -> Result<(),
         }
     }
     Ok(())
+}
+
+/// What a lenient pass over a store directory found. Unlike
+/// [`ResultStore::open`], the scan does not fail on records orphaned by
+/// a schema change — it counts them, so `valley status` can report a
+/// store that needs [`gc`] instead of erroring out.
+#[derive(Clone, Debug, Default)]
+pub struct StoreScan {
+    /// Unique valid records (last write wins, like the in-memory index).
+    pub records: Vec<StoredResult>,
+    /// Valid records superseded by a later record with the same key
+    /// (`sweep --force` re-runs append; they accumulate until `gc`).
+    pub duplicates: usize,
+    /// Well-formed JSON lines that are no longer valid records — the
+    /// debris of a schema change (job-key format, benchmark/scheme/scale
+    /// names, store or report version).
+    pub orphans: usize,
+    /// Truncated final lines (crash mid-append), at most one per shard.
+    pub truncated: usize,
+    /// On-disk size of each shard file in bytes (missing shard = 0),
+    /// indexed by shard number — so consumers need not re-derive the
+    /// shard file naming the store owns.
+    pub shard_bytes: Vec<u64>,
+}
+
+/// Scans all shards of `dir` leniently. Interior non-JSON garbage is
+/// still a hard error — it is not schema drift, and silently dropping it
+/// would paper over real corruption.
+pub fn scan(dir: &Path) -> Result<StoreScan, StoreError> {
+    let mut out = StoreScan::default();
+    let mut index: HashMap<u64, StoredResult> = HashMap::new();
+    for shard in 0..NUM_SHARDS {
+        let path = shard_path(dir, shard);
+        let (records, stats) = scan_shard(&path)?;
+        out.shard_bytes
+            .push(std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0));
+        out.duplicates += stats.duplicates;
+        out.orphans += stats.orphans;
+        out.truncated += stats.truncated;
+        for (hash, stored) in records {
+            if index.insert(hash, stored).is_some() {
+                // Same-key records always land in the same shard, but a
+                // hand-edited store could violate that; count it anyway.
+                out.duplicates += 1;
+            }
+        }
+    }
+    let mut records: Vec<StoredResult> = index.into_values().collect();
+    records.sort_by_cached_key(|r| r.spec.key().canonical().to_string());
+    out.records = records;
+    Ok(out)
+}
+
+/// Per-shard lenient scan: classifies every line and returns the valid
+/// records (latest occurrence per key) in first-seen order.
+#[allow(clippy::type_complexity)]
+fn scan_shard(path: &Path) -> Result<(Vec<(u64, StoredResult)>, StoreScan), StoreError> {
+    let mut stats = StoreScan::default();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), stats)),
+        Err(e) => return Err(e.into()),
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    let mut order: Vec<u64> = Vec::new();
+    let mut latest: HashMap<u64, StoredResult> = HashMap::new();
+    for (n, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_record(line) {
+            Ok((hash, stored)) => {
+                if latest.insert(hash, stored).is_some() {
+                    stats.duplicates += 1;
+                } else {
+                    order.push(hash);
+                }
+            }
+            Err(cause) => {
+                let is_last = n + 1 == lines.len() && !text.ends_with('\n');
+                if is_last {
+                    stats.truncated += 1;
+                } else if json::parse(line).is_ok() {
+                    stats.orphans += 1;
+                } else {
+                    return Err(StoreError::Corrupt(format!(
+                        "{} line {}: {cause}",
+                        path.display(),
+                        n + 1
+                    )));
+                }
+            }
+        }
+    }
+    let records = order
+        .into_iter()
+        .map(|h| (h, latest.remove(&h).expect("ordered hash was inserted")))
+        .collect();
+    Ok((records, stats))
+}
+
+/// The result of one [`gc`] compaction pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Records kept across all shards.
+    pub kept: usize,
+    /// Superseded duplicate records removed (`--force` debris).
+    pub duplicates_removed: usize,
+    /// Orphaned-schema records removed.
+    pub orphans_removed: usize,
+    /// Truncated final lines removed (at most one per shard).
+    pub truncated_removed: usize,
+    /// Shard files rewritten (clean shards are left untouched).
+    pub shards_rewritten: usize,
+    /// On-disk size before and after, in bytes.
+    pub bytes_before: u64,
+    /// See `bytes_before`.
+    pub bytes_after: u64,
+}
+
+impl GcReport {
+    /// Total records dropped by the pass.
+    pub fn removed(&self) -> usize {
+        self.duplicates_removed + self.orphans_removed + self.truncated_removed
+    }
+}
+
+/// Compacts the store at `dir`: rewrites every shard that contains
+/// duplicate keys (keeping the newest record), orphaned-schema records
+/// or a truncated final line. Record order is otherwise preserved, and
+/// each shard is replaced atomically (write to a temporary file, then
+/// rename), so a crash mid-gc leaves either the old or the new shard.
+/// Clean shards are not touched. Interior non-JSON corruption still
+/// fails loudly, exactly as [`ResultStore::open`] would.
+pub fn gc(dir: &Path) -> Result<GcReport, StoreError> {
+    let mut report = GcReport::default();
+    // Phase 1: read and classify every shard, tracking the globally last
+    // occurrence of each key — same-key records normally share a shard,
+    // but a hand-edited or partially restored store may not, and gc must
+    // agree with [`scan`] (and the last-write-wins index) about which
+    // record survives.
+    let mut texts: Vec<Option<String>> = Vec::with_capacity(NUM_SHARDS);
+    let mut classes: Vec<Vec<Option<u64>>> = Vec::with_capacity(NUM_SHARDS);
+    let mut dirty: Vec<bool> = vec![false; NUM_SHARDS];
+    let mut last_of: HashMap<u64, (usize, usize)> = HashMap::new();
+    for shard in 0..NUM_SHARDS {
+        let path = shard_path(dir, shard);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                texts.push(None);
+                classes.push(Vec::new());
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        };
+        report.bytes_before += text.len() as u64;
+        let lines: Vec<&str> = text.lines().collect();
+        let mut shard_classes: Vec<Option<u64>> = Vec::with_capacity(lines.len());
+        for (n, line) in lines.iter().enumerate() {
+            if line.trim().is_empty() {
+                shard_classes.push(None);
+                dirty[shard] = true;
+                continue;
+            }
+            match parse_record(line) {
+                Ok((hash, _)) => {
+                    if let Some((ps, _)) = last_of.insert(hash, (shard, n)) {
+                        report.duplicates_removed += 1;
+                        dirty[ps] = true;
+                        dirty[shard] = true;
+                    }
+                    shard_classes.push(Some(hash));
+                }
+                Err(cause) => {
+                    let is_last = n + 1 == lines.len() && !text.ends_with('\n');
+                    if is_last {
+                        report.truncated_removed += 1;
+                    } else if json::parse(line).is_ok() {
+                        report.orphans_removed += 1;
+                    } else {
+                        return Err(StoreError::Corrupt(format!(
+                            "{} line {}: {cause}",
+                            path.display(),
+                            n + 1
+                        )));
+                    }
+                    shard_classes.push(None);
+                    dirty[shard] = true;
+                }
+            }
+        }
+        texts.push(Some(text));
+        classes.push(shard_classes);
+    }
+    report.kept = last_of.len();
+
+    // Phase 2: rewrite the dirty shards, keeping each key's (globally)
+    // last occurrence in its original position order.
+    for shard in 0..NUM_SHARDS {
+        let Some(text) = &texts[shard] else { continue };
+        if !dirty[shard] {
+            report.bytes_after += text.len() as u64;
+            continue;
+        }
+        let path = shard_path(dir, shard);
+        let mut compact = String::with_capacity(text.len());
+        for (n, line) in text.lines().enumerate() {
+            if classes[shard][n].is_some_and(|h| last_of[&h] == (shard, n)) {
+                compact.push_str(line);
+                compact.push('\n');
+            }
+        }
+        let tmp = path.with_extension("jsonl.tmp");
+        std::fs::write(&tmp, &compact)?;
+        std::fs::rename(&tmp, &path)?;
+        report.bytes_after += compact.len() as u64;
+        report.shards_rewritten += 1;
+    }
+    Ok(report)
 }
 
 /// Parses one stored record line into `(key hash, result)`.

@@ -220,6 +220,187 @@ fn corrupt_interior_line_is_fatal() {
     assert!(err.to_string().contains("line 1"), "wrong error: {err}");
 }
 
+#[test]
+fn interior_truncated_line_is_fatal() {
+    // A line truncated by a crash is only tolerable as the *final*
+    // unterminated line; the same fragment in the interior of a shard
+    // (i.e. followed by more records) is real corruption and must fail
+    // the open loudly, naming the line.
+    let tmp = TempStore::new("interior-trunc");
+    {
+        let store = tmp.open();
+        run_sweep(
+            &SweepSpec::new(&[Benchmark::Sp], &[SchemeKind::Base], Scale::Test),
+            &store,
+            &SweepOptions::default(),
+        )
+        .unwrap();
+    }
+    let shard = populated_shard(&tmp.0);
+    let text = std::fs::read_to_string(&shard).unwrap();
+    let record = text.trim_end();
+    let half = &record[..record.len() / 2];
+    // Shard layout: [truncated fragment]\n[valid record]\n — terminated.
+    std::fs::write(&shard, format!("{half}\n{record}\n")).unwrap();
+    let err = ResultStore::open(&tmp.0).unwrap_err();
+    assert!(err.to_string().contains("line 1"), "wrong error: {err}");
+
+    // The same fragment as the final line but *newline-terminated* is
+    // interior-equivalent (the append that wrote the newline finished),
+    // so it must also be fatal.
+    std::fs::write(&shard, format!("{record}\n{half}\n")).unwrap();
+    let err = ResultStore::open(&tmp.0).unwrap_err();
+    assert!(err.to_string().contains("line 2"), "wrong error: {err}");
+}
+
+#[test]
+fn truncated_tail_is_cut_so_later_appends_cannot_weld() {
+    // Regression: `open` used to drop a truncated final line from the
+    // index but leave it in the file. The next append then concatenated
+    // a fresh record onto the fragment — one permanently corrupt
+    // interior line that failed every later open.
+    let tmp = TempStore::new("weld");
+    let spec = SweepSpec::new(&[Benchmark::Sp], &[SchemeKind::Base], Scale::Test);
+    {
+        let store = tmp.open();
+        run_sweep(&spec, &store, &SweepOptions::default()).unwrap();
+    }
+    let shard = populated_shard(&tmp.0);
+    let text = std::fs::read_to_string(&shard).unwrap();
+    std::fs::write(&shard, &text[..text.len() / 2]).unwrap();
+
+    // Open drops the fragment from the file itself...
+    {
+        let store = tmp.open();
+        assert_eq!(store.len(), 0);
+        assert_eq!(
+            std::fs::metadata(&shard).unwrap().len(),
+            0,
+            "the partial line must be truncated from disk"
+        );
+        // ...so the re-run's append starts on a fresh line.
+        run_sweep(&spec, &store, &SweepOptions::default()).unwrap();
+    }
+    // And the store keeps opening cleanly afterwards.
+    let store = tmp.open();
+    assert_eq!(store.len(), 1);
+}
+
+#[test]
+fn gc_compacts_force_duplicates() {
+    let tmp = TempStore::new("gc-dups");
+    let spec = SweepSpec::new(
+        &[Benchmark::Sp, Benchmark::Mt],
+        &[SchemeKind::Base],
+        Scale::Test,
+    );
+    let store = tmp.open();
+    run_sweep(&spec, &store, &SweepOptions::default()).unwrap();
+    let forced = SweepOptions {
+        force: true,
+        ..Default::default()
+    };
+    run_sweep(&spec, &store, &forced).unwrap();
+    run_sweep(&spec, &store, &forced).unwrap();
+    drop(store);
+
+    let scan = valley_harness::scan(&tmp.0).unwrap();
+    assert_eq!(scan.records.len(), 2);
+    assert_eq!(scan.duplicates, 4, "two forced re-runs leave two dups each");
+
+    let report = valley_harness::gc(&tmp.0).unwrap();
+    assert_eq!(report.kept, 2);
+    assert_eq!(report.duplicates_removed, 4);
+    assert_eq!(report.orphans_removed, 0);
+    assert!(report.bytes_after < report.bytes_before);
+
+    // The compacted store serves the same (newest) results.
+    let store = tmp.open();
+    assert_eq!(store.len(), 2);
+    let again = run_sweep(&spec, &store, &SweepOptions::default()).unwrap();
+    assert_eq!(again.cache_hits, 2);
+
+    // A second gc is a no-op.
+    let report = valley_harness::gc(&tmp.0).unwrap();
+    assert_eq!(report.removed(), 0);
+    assert_eq!(report.shards_rewritten, 0);
+}
+
+#[test]
+fn gc_drops_orphaned_schema_records_and_truncated_tails() {
+    let tmp = TempStore::new("gc-orphans");
+    let spec = SweepSpec::new(&[Benchmark::Sp], &[SchemeKind::Base], Scale::Test);
+    {
+        let store = tmp.open();
+        run_sweep(&spec, &store, &SweepOptions::default()).unwrap();
+    }
+    // Forge an orphan (a well-formed record whose stored hash no longer
+    // matches its coordinates — the signature of a schema change) and a
+    // truncated tail in the same shard.
+    let shard = populated_shard(&tmp.0);
+    let text = std::fs::read_to_string(&shard).unwrap();
+    let record = text.trim_end();
+    let orphan = record.replacen("\"hash\":\"", "\"hash\":\"feed", 1);
+    let half = &record[..record.len() / 2];
+    std::fs::write(&shard, format!("{orphan}\n{record}\n{half}")).unwrap();
+
+    // Strict open refuses the orphan; the lenient scan counts it.
+    assert!(ResultStore::open(&tmp.0).is_err());
+    let scan = valley_harness::scan(&tmp.0).unwrap();
+    assert_eq!(
+        (scan.records.len(), scan.orphans, scan.truncated),
+        (1, 1, 1)
+    );
+
+    let report = valley_harness::gc(&tmp.0).unwrap();
+    assert_eq!(report.kept, 1);
+    assert_eq!(report.orphans_removed, 1);
+    assert_eq!(report.truncated_removed, 1);
+
+    // After compaction the strict open works again and the surviving
+    // record is served.
+    let store = tmp.open();
+    assert_eq!(store.len(), 1);
+    let out = run_sweep(&spec, &store, &SweepOptions::default()).unwrap();
+    assert_eq!(out.cache_hits, 1);
+}
+
+#[test]
+fn gc_removes_cross_shard_duplicates_scan_reports() {
+    // Same-key records normally share a shard, but a hand-edited or
+    // partially restored store may not; `scan` counts such duplicates,
+    // so `gc` must be able to remove them (keeping the globally newest)
+    // or the two would disagree about the same store forever.
+    let tmp = TempStore::new("gc-cross-shard");
+    let spec = SweepSpec::new(&[Benchmark::Sp], &[SchemeKind::Base], Scale::Test);
+    {
+        let store = tmp.open();
+        run_sweep(&spec, &store, &SweepOptions::default()).unwrap();
+    }
+    let shard = populated_shard(&tmp.0);
+    let record = std::fs::read_to_string(&shard).unwrap();
+    // Copy the record into a different (wrong, but parseable) shard.
+    let other = if shard.ends_with("shard-00.jsonl") {
+        tmp.0.join("shard-01.jsonl")
+    } else {
+        tmp.0.join("shard-00.jsonl")
+    };
+    std::fs::write(&other, &record).unwrap();
+
+    let scan = valley_harness::scan(&tmp.0).unwrap();
+    assert_eq!((scan.records.len(), scan.duplicates), (1, 1));
+
+    let report = valley_harness::gc(&tmp.0).unwrap();
+    assert_eq!(report.kept, 1);
+    assert_eq!(report.duplicates_removed, 1);
+
+    // After gc, scan and store agree the store is clean.
+    let scan = valley_harness::scan(&tmp.0).unwrap();
+    assert_eq!((scan.records.len(), scan.duplicates), (1, 0));
+    let store = tmp.open();
+    assert_eq!(store.len(), 1);
+}
+
 fn populated_shard(dir: &std::path::Path) -> std::path::PathBuf {
     std::fs::read_dir(dir)
         .unwrap()

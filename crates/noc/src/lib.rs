@@ -17,7 +17,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// Flit count of a request packet (header + address only).
 pub const REQUEST_FLITS: u32 = 1;
@@ -109,9 +110,26 @@ pub struct Crossbar {
     /// maintained for crossbars of ≤ 64 ports — all supported
     /// configurations). `tick` visits set bits instead of every port.
     active: u64,
-    /// Cached earliest cycle at which [`Crossbar::tick`] does real work
-    /// (`u64::MAX` = empty). Maintained by the evented tick path and
-    /// invalidated by [`Crossbar::inject`].
+    /// Per output port: the NoC cycle of its next flit movement
+    /// (`u64::MAX` = nothing queued) — the event-queue view of the port.
+    port_next: Vec<u64>,
+    /// Ports that move a flit on the next effective cycle (mid-packet,
+    /// or a head that chains on immediately). Saturated ports move every
+    /// cycle, so they live in this bitmask instead of churning through
+    /// the calendar once per flit; only *future* movements (router
+    /// pipeline exits) pay a heap operation.
+    streaming: u64,
+    /// Calendar of future `(first-move cycle, port)` events, min-first.
+    /// Together with `port_next` and `streaming` this makes
+    /// [`Crossbar::tick_evented`] a true event queue: it jumps straight
+    /// to the next flit movement instead of re-scanning the ports.
+    events: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Set when a dense [`Crossbar::tick`] ran: the event queue no longer
+    /// reflects the port state and is rebuilt on the next evented tick.
+    events_dirty: bool,
+    /// Cached earliest cycle at which the crossbar moves a flit
+    /// (`u64::MAX` = empty) — the fresh minimum of `events`, maintained
+    /// by [`Crossbar::tick_evented`] and [`Crossbar::inject`].
     cached_next: u64,
     /// First cycle whose counter update is still deferred (evented path).
     acct_from: u64,
@@ -127,11 +145,17 @@ impl Crossbar {
         Crossbar {
             num_src,
             router_latency,
-            outputs: vec![VecDeque::new(); num_dst],
+            // Sized for steady state: output queues grow from zero on
+            // every fresh crossbar otherwise (one realloc ladder per run).
+            outputs: vec![VecDeque::with_capacity(32); num_dst],
             in_service: vec![0; num_dst],
             queued: 0,
             active: 0,
-            cached_next: 0,
+            port_next: vec![u64::MAX; num_dst],
+            streaming: 0,
+            events: BinaryHeap::with_capacity(num_dst),
+            events_dirty: false,
+            cached_next: u64::MAX,
             acct_from: 0,
             stats: NocStats::default(),
         }
@@ -162,12 +186,32 @@ impl Crossbar {
             "destination port out of range"
         );
         assert!(pkt.flits > 0, "packets must have at least one flit");
-        self.outputs[pkt.dst].push_back(pkt);
+        let dst = pkt.dst;
+        let was_empty = self.outputs[dst].is_empty();
+        self.outputs[dst].push_back(pkt);
         self.queued += 1;
-        if pkt.dst < 64 {
-            self.active |= 1 << pkt.dst;
+        if dst < 64 {
+            self.active |= 1 << dst;
         }
-        self.cached_next = 0;
+        if self.events_dirty {
+            // Dense ticks ran since the last evented one; the event view
+            // is rebuilt wholesale on the next evented tick.
+            self.cached_next = 0;
+            return;
+        }
+        if was_empty {
+            // An idle port's first movement is this packet's head flit,
+            // once the router pipeline has been traversed. A busy port's
+            // schedule is unchanged (this packet waits its turn; its
+            // start time is computed when it reaches the head).
+            debug_assert_eq!(self.port_next[dst], u64::MAX);
+            let start = pkt.injected_at + self.router_latency;
+            self.port_next[dst] = start;
+            self.events.push(Reverse((start, dst)));
+            if start < self.cached_next {
+                self.cached_next = start;
+            }
+        }
     }
 
     /// The earliest NoC cycle at or after `now` at which [`tick`] would
@@ -209,18 +253,93 @@ impl Crossbar {
         }
     }
 
-    /// Event-gated [`Crossbar::tick`]: returns immediately (deferring the
-    /// cycle counter) while the cached next-event cycle is in the future,
-    /// otherwise flushes deferred counters and ticks densely. Produces
-    /// bit-identical behavior to calling `tick` every cycle.
+    /// Event-queue [`Crossbar::tick`]: returns immediately (deferring the
+    /// cycle counter) while the next scheduled flit movement is in the
+    /// future, otherwise settles counters and moves exactly the due
+    /// ports' flits, popped from the calendar in ascending port order —
+    /// the identical order the dense scan produces. Bit-identical to
+    /// calling `tick` every cycle.
     #[inline]
     pub fn tick_evented(&mut self, cycle: u64, done: &mut Vec<Delivery>) {
         if cycle < self.cached_next {
             return;
         }
+        if self.events_dirty {
+            self.rebuild_events(cycle);
+            if cycle < self.cached_next {
+                return;
+            }
+        }
         self.flush_deferred(cycle);
-        self.tick(cycle, done);
-        self.cached_next = self.next_event_at(cycle + 1).unwrap_or(u64::MAX);
+        self.stats.cycles += 1;
+        self.acct_from = cycle + 1;
+        // Move every due port's flit in ascending port order — the
+        // identical order the dense scan produces — merging the
+        // streaming set with the calendar's due entries.
+        let mut mask = self.streaming;
+        loop {
+            let stream_p = if mask == 0 {
+                usize::MAX
+            } else {
+                mask.trailing_zeros() as usize
+            };
+            let heap_due = match self.events.peek() {
+                Some(&Reverse((t, p))) if t <= cycle => Some((t, p)),
+                _ => None,
+            };
+            match heap_due {
+                Some((t, p)) if p < stream_p => {
+                    self.events.pop();
+                    if self.port_next[p] != t {
+                        continue; // superseded entry (defensive)
+                    }
+                    debug_assert_eq!(t, cycle, "events fire on their scheduled cycle");
+                    self.move_flit(p, cycle, done);
+                }
+                _ if stream_p != usize::MAX => {
+                    mask &= mask - 1;
+                    debug_assert_eq!(self.port_next[stream_p], cycle);
+                    self.move_flit(stream_p, cycle, done);
+                }
+                _ => break,
+            }
+        }
+        self.cached_next = if self.streaming != 0 {
+            cycle + 1
+        } else {
+            self.events.peek().map_or(u64::MAX, |&Reverse((t, _))| t)
+        };
+    }
+
+    /// Rebuilds the per-port schedule after dense ticks ran: a mid-packet
+    /// port moves again at `cycle`; a waiting head starts at its
+    /// router-pipeline exit (clamped to `cycle` — earlier cycles were
+    /// already ticked densely).
+    fn rebuild_events(&mut self, cycle: u64) {
+        self.events.clear();
+        self.streaming = 0;
+        for dst in 0..self.outputs.len() {
+            let next = match self.outputs[dst].front() {
+                None => u64::MAX,
+                Some(_) if self.in_service[dst] > 0 => cycle,
+                Some(head) => (head.injected_at + self.router_latency).max(cycle),
+            };
+            self.port_next[dst] = next;
+            if next == u64::MAX {
+                continue;
+            }
+            if next == cycle && dst < 64 {
+                self.streaming |= 1 << dst;
+            } else {
+                self.events.push(Reverse((next, dst)));
+            }
+        }
+        self.events_dirty = false;
+        self.cached_next = if self.streaming != 0 {
+            cycle
+        } else {
+            self.events.peek().map_or(u64::MAX, |&Reverse((t, _))| t)
+        };
     }
 
     /// Advances one NoC cycle: every output port moves one flit of its
@@ -231,6 +350,9 @@ impl Crossbar {
         debug_assert!(cycle >= self.acct_from, "ticking an already-counted cycle");
         self.stats.cycles += 1;
         self.acct_from = cycle + 1;
+        // Dense ticks advance ports without maintaining the calendar.
+        self.events_dirty = true;
+        self.cached_next = 0;
         if self.queued == 0 {
             return;
         }
@@ -252,13 +374,24 @@ impl Crossbar {
 
     #[inline]
     fn tick_port(&mut self, dst: usize, cycle: u64, done: &mut Vec<Delivery>) {
-        let queue = &mut self.outputs[dst];
-        let Some(head) = queue.front() else { return };
+        let Some(head) = self.outputs[dst].front() else {
+            return;
+        };
         // Router pipeline: a packet only starts moving flits after
         // router_latency cycles from injection.
         if cycle < head.injected_at + self.router_latency {
             return;
         }
+        self.transfer_flit(dst, cycle, done);
+    }
+
+    /// Moves one flit on a due port (head present, router pipeline
+    /// traversed); delivers the packet if it was the last flit.
+    #[inline]
+    fn transfer_flit(&mut self, dst: usize, cycle: u64, done: &mut Vec<Delivery>) {
+        let queue = &mut self.outputs[dst];
+        let head = queue.front().expect("due port has a head packet");
+        debug_assert!(cycle >= head.injected_at + self.router_latency);
         if self.in_service[dst] == 0 {
             self.in_service[dst] = head.flits;
         }
@@ -278,6 +411,33 @@ impl Crossbar {
                 dst,
                 latency,
             });
+        }
+    }
+
+    /// [`Crossbar::transfer_flit`] plus rescheduling of the port's next
+    /// movement — the evented path's per-event work. Ports that move
+    /// again next cycle join the streaming set (no heap traffic); only
+    /// genuinely future movements enter the calendar.
+    fn move_flit(&mut self, dst: usize, cycle: u64, done: &mut Vec<Delivery>) {
+        self.transfer_flit(dst, cycle, done);
+        let next = match self.outputs[dst].front() {
+            None => u64::MAX,
+            // Mid-packet: the next flit moves next cycle.
+            Some(_) if self.in_service[dst] > 0 => cycle + 1,
+            // Fresh head: next cycle at the earliest, later if its router
+            // pipeline has not been traversed yet.
+            Some(head) => (head.injected_at + self.router_latency).max(cycle + 1),
+        };
+        self.port_next[dst] = next;
+        if next == cycle + 1 && dst < 64 {
+            self.streaming |= 1 << dst;
+        } else {
+            if dst < 64 {
+                self.streaming &= !(1 << dst);
+            }
+            if next != u64::MAX {
+                self.events.push(Reverse((next, dst)));
+            }
         }
     }
 

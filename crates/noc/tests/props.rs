@@ -90,6 +90,74 @@ proptest! {
         prop_assert_eq!(xbar.stats().flits, total_flits);
     }
 
+    /// The event-queue path delivers exactly what the dense per-cycle
+    /// scan delivers — same packets, same cycles, same order, same
+    /// stats — under arbitrary staggered injection schedules.
+    #[test]
+    fn evented_is_bit_identical_to_dense(
+        pkts in proptest::collection::vec((0usize..12, 0usize..8, 1u32..6, 0u64..60), 1..60),
+        latency in 0u64..5,
+    ) {
+        let mut pkts = pkts.clone();
+        pkts.sort_by_key(|p| p.3);
+        let mut dense = Crossbar::new(12, 8, latency);
+        let mut evented = Crossbar::new(12, 8, latency);
+        let (mut d1, mut d2) = (Vec::new(), Vec::new());
+        let mut next = 0;
+        let horizon = 600u64;
+        for cycle in 0..horizon {
+            // The simulator's discipline: injections carry the next NoC
+            // cycle to tick as their timestamp.
+            while next < pkts.len() && pkts[next].3 <= cycle {
+                let (src, dst, flits, _) = pkts[next];
+                let pkt = Packet { payload: next as u64, src, dst, flits, injected_at: cycle };
+                dense.inject(pkt);
+                evented.inject(pkt);
+                next += 1;
+            }
+            dense.tick(cycle, &mut d1);
+            evented.tick_evented(cycle, &mut d2);
+            prop_assert_eq!(&d1, &d2, "deliveries diverged at cycle {}", cycle);
+        }
+        evented.flush_deferred(horizon);
+        prop_assert_eq!(dense.stats(), evented.stats());
+        prop_assert_eq!(dense.queued_packets(), evented.queued_packets());
+    }
+
+    /// Switching from dense ticks to evented ticks mid-run (the calendar
+    /// rebuild path) stays bit-identical to an all-dense run.
+    #[test]
+    fn evented_after_dense_rebuild_is_bit_identical(
+        pkts in proptest::collection::vec((0usize..8, 0usize..4, 1u32..6, 0u64..30), 1..40),
+        switch_at in 1u64..50,
+    ) {
+        let mut pkts = pkts.clone();
+        pkts.sort_by_key(|p| p.3);
+        let mut dense = Crossbar::new(8, 4, 3);
+        let mut mixed = Crossbar::new(8, 4, 3);
+        let (mut d1, mut d2) = (Vec::new(), Vec::new());
+        let mut next = 0;
+        let horizon = 400u64;
+        for cycle in 0..horizon {
+            while next < pkts.len() && pkts[next].3 <= cycle {
+                let (src, dst, flits, _) = pkts[next];
+                let pkt = Packet { payload: next as u64, src, dst, flits, injected_at: cycle };
+                dense.inject(pkt);
+                mixed.inject(pkt);
+                next += 1;
+            }
+            dense.tick(cycle, &mut d1);
+            if cycle < switch_at {
+                mixed.tick(cycle, &mut d2);
+            } else {
+                mixed.tick_evented(cycle, &mut d2);
+            }
+            prop_assert_eq!(&d1, &d2, "deliveries diverged at cycle {}", cycle);
+        }
+        mixed.flush_deferred(horizon);
+        prop_assert_eq!(dense.stats(), mixed.stats());
+    }
+
     /// One output port delivers at most one packet's last flit per
     /// `flits` cycles: spread destinations always finish no later than
     /// the single-destination hotspot.

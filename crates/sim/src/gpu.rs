@@ -75,6 +75,23 @@ enum FastForward {
     Truncated,
 }
 
+/// One core cycle's worth of a slower clock domain's accumulator
+/// arithmetic, exactly as the dense loop performs it (add the ratio,
+/// then repeatedly subtract 1.0 — *not* `fract`/`floor`, whose float
+/// rounding differs): returns the post-cycle accumulator and how many
+/// domain ticks elapse. Shared by `fast_forward`'s pre-check and skip
+/// loop so the two can never drift apart and break `run == run_dense`.
+#[inline]
+fn domain_ticks(acc: f64, per_core: f64) -> (f64, u64) {
+    let mut a = acc + per_core;
+    let mut ticks = 0u64;
+    while a >= 1.0 {
+        a -= 1.0;
+        ticks += 1;
+    }
+    (a, ticks)
+}
+
 impl TbScheduler {
     fn new(num_kernels: usize) -> Self {
         TbScheduler {
@@ -180,6 +197,20 @@ impl GpuSim {
         let mut completions: Vec<valley_dram::DramCompletion> = Vec::with_capacity(64);
         let mut banks_buf: Vec<usize> = Vec::with_capacity(self.dram.num_channels());
         let mut truncated = false;
+        // Whether `sched_can_progress` is known to be false (cached by
+        // `fast_forward`): exact while no SM ticked, no reply was
+        // delivered and `schedule_tbs` did not run, since those are the
+        // only ways SM capacity or kernel state can change.
+        let mut sched_quiet = false;
+        // Running minima of the SM and LLC-slice next-event caches,
+        // recomputed whenever the corresponding walk runs and clamped to
+        // zero by every out-of-band invalidation (delivery, DRAM fill,
+        // reply, TB assignment). While `cycle` is below the minimum,
+        // every per-component gate in the walk would no-op, so the walk
+        // itself is skipped — and `fast_forward` reads the core-domain
+        // horizon in O(1) instead of scanning every component.
+        let mut sms_next = 0u64;
+        let mut slices_next = 0u64;
 
         'outer: loop {
             // ---- Fast-forward over globally event-free cycles ----
@@ -193,6 +224,8 @@ impl GpuSim {
                     noc_per_core,
                     dram_per_core,
                     &sched,
+                    &mut sched_quiet,
+                    sms_next.min(slices_next),
                     &mut parallelism,
                     &mut banks_buf,
                 ) {
@@ -200,6 +233,9 @@ impl GpuSim {
                     break 'outer;
                 }
             }
+            // True once any SM's scheduling-relevant state may have
+            // changed this cycle (reply delivered or tick ran).
+            let mut sm_activity = false;
 
             // ---- NoC clock domain ----
             noc_acc += noc_per_core;
@@ -213,6 +249,7 @@ impl GpuSim {
                 }
                 for d in &deliveries {
                     self.slices[d.dst].deliver(d.payload);
+                    slices_next = 0;
                 }
                 deliveries.clear();
                 if event_driven {
@@ -222,6 +259,8 @@ impl GpuSim {
                 }
                 for d in &deliveries {
                     self.sms[d.dst].on_reply(d.payload, &self.txns, cycle);
+                    sm_activity = true;
+                    sms_next = 0;
                 }
                 noc_cycle += 1;
             }
@@ -247,34 +286,43 @@ impl GpuSim {
                             &self.mapper,
                             &mut replies,
                         );
+                        slices_next = 0;
                     }
                 }
                 dram_cycle += 1;
             }
 
             // ---- LLC slices ----
-            for s in &mut self.slices {
-                if event_driven {
-                    s.tick_evented(
-                        cycle,
-                        dram_cycle,
-                        &self.cfg,
-                        &mut self.dram,
-                        &mut self.txns,
-                        &self.mapper,
-                        &mut replies,
-                    );
-                } else {
-                    s.tick(
-                        cycle,
-                        dram_cycle,
-                        &self.cfg,
-                        &mut self.dram,
-                        &mut self.txns,
-                        &self.mapper,
-                        &mut replies,
-                    );
+            // Below `slices_next` every slice's own gate would no-op;
+            // skip the walk (the minimum is clamped to zero by every
+            // out-of-band slice invalidation above).
+            if !event_driven || cycle >= slices_next {
+                let mut next = u64::MAX;
+                for s in &mut self.slices {
+                    if event_driven {
+                        s.tick_evented(
+                            cycle,
+                            dram_cycle,
+                            &self.cfg,
+                            &mut self.dram,
+                            &mut self.txns,
+                            &self.mapper,
+                            &mut replies,
+                        );
+                        next = next.min(s.cached_next_event());
+                    } else {
+                        s.tick(
+                            cycle,
+                            dram_cycle,
+                            &self.cfg,
+                            &mut self.dram,
+                            &mut self.txns,
+                            &self.mapper,
+                            &mut replies,
+                        );
+                    }
                 }
+                slices_next = next;
             }
             for txn in replies.drain(..) {
                 let t = self.txns.get(txn);
@@ -292,26 +340,31 @@ impl GpuSim {
                 let map = self.map.as_ref();
                 let llc_slices = self.cfg.llc_slices;
                 let slicer = move |addr: PhysAddr| Self::slice_of(map, llc_slices, addr);
-                for sm in &mut self.sms {
-                    if event_driven {
-                        sm.tick_evented(
-                            cycle,
-                            &self.cfg,
-                            &self.mapper,
-                            &mut self.txns,
-                            &slicer,
-                            &mut outbound,
-                        );
-                    } else {
-                        sm.tick(
-                            cycle,
-                            &self.cfg,
-                            &self.mapper,
-                            &mut self.txns,
-                            &slicer,
-                            &mut outbound,
-                        );
+                if !event_driven || cycle >= sms_next {
+                    let mut next = u64::MAX;
+                    for sm in &mut self.sms {
+                        if event_driven {
+                            sm_activity |= sm.tick_evented(
+                                cycle,
+                                &self.cfg,
+                                &self.mapper,
+                                &mut self.txns,
+                                &slicer,
+                                &mut outbound,
+                            );
+                            next = next.min(sm.cached_next_event());
+                        } else {
+                            sm.tick(
+                                cycle,
+                                &self.cfg,
+                                &self.mapper,
+                                &mut self.txns,
+                                &slicer,
+                                &mut outbound,
+                            );
+                        }
                     }
+                    sms_next = next;
                 }
             }
             for o in outbound.drain(..) {
@@ -326,7 +379,16 @@ impl GpuSim {
             }
 
             // ---- TB scheduler ----
-            self.schedule_tbs(&mut sched, cycle);
+            // With no SM activity and a kernel loaded, `schedule_tbs` is
+            // provably a no-op (its retired-count early-out would fire);
+            // skip the call and its per-SM retired sum. Dense mode keeps
+            // the unconditional call of the reference loop.
+            if !event_driven || sm_activity || sched.kernel.is_none() {
+                self.schedule_tbs(&mut sched, cycle);
+                sched_quiet = false;
+                // `assign_tb` zeroes the assigned SM's next-event cache.
+                sms_next = 0;
+            }
 
             // ---- Metrics ----
             if cycle.is_multiple_of(METRIC_SAMPLE_INTERVAL) {
@@ -403,29 +465,49 @@ impl GpuSim {
         noc_per_core: f64,
         dram_per_core: f64,
         sched: &TbScheduler,
+        sched_quiet: &mut bool,
+        core_next: u64,
         parallelism: &mut ParallelismIntegrator,
         banks_buf: &mut Vec<usize>,
     ) -> FastForward {
-        // Earliest core-domain event, from the caches the evented tick
-        // paths maintain (exact: every mutation invalidates its cache).
-        let mut core_next = u64::MAX;
-        for sm in &self.sms {
-            core_next = core_next.min(sm.cached_next_event());
-        }
-        for s in &self.slices {
-            core_next = core_next.min(s.cached_next_event());
-        }
-        if core_next <= *cycle {
-            return FastForward::Resumed;
-        }
-        if self.sched_can_progress(sched) {
-            return FastForward::Resumed;
-        }
         let noc_next = self
             .req_net
             .cached_next_event()
             .min(self.reply_net.cached_next_event());
         let dram_next = self.dram.cached_next_event();
+        // Cheap pre-check: would skipping even one cycle run past a due
+        // NoC or DRAM event? In memory-saturated phases (an event every
+        // DRAM cycle) this bails before the per-SM/per-slice scans below,
+        // with the exact outcome the full loop would reach — all early
+        // returns here are mutation-free `Resumed`s.
+        {
+            let (_, nt) = domain_ticks(*noc_acc, noc_per_core);
+            if *noc_cycle + nt > noc_next {
+                return FastForward::Resumed;
+            }
+            let (_, dt) = domain_ticks(*dram_acc, dram_per_core);
+            if *dram_cycle + dt > dram_next {
+                return FastForward::Resumed;
+            }
+        }
+        // Earliest core-domain event: the run loop's maintained minimum
+        // over the SM and slice next-event caches. These are exact,
+        // never-late hints: ticks recompute them and mutations (NoC
+        // injects, DRAM enqueues, deliveries) *lower* them to the
+        // mutation's own earliest consequence instead of
+        // blanket-invalidating, so a burst of injections to a busy port
+        // or bank no longer collapses the fast-forward window.
+        if core_next <= *cycle {
+            return FastForward::Resumed;
+        }
+        if !*sched_quiet {
+            if self.sched_can_progress(sched) {
+                return FastForward::Resumed;
+            }
+            // Cache the negative verdict; the run loop clears it on any
+            // SM activity or `schedule_tbs` run.
+            *sched_quiet = true;
+        }
 
         let skip_start = *cycle;
         loop {
@@ -434,21 +516,11 @@ impl GpuSim {
             }
             // Replicate the dense loop's accumulator arithmetic on copies
             // so a rejected cycle leaves no trace.
-            let mut na = *noc_acc + noc_per_core;
-            let mut nt = 0u64;
-            while na >= 1.0 {
-                na -= 1.0;
-                nt += 1;
-            }
+            let (na, nt) = domain_ticks(*noc_acc, noc_per_core);
             if *noc_cycle + nt > noc_next {
                 break;
             }
-            let mut da = *dram_acc + dram_per_core;
-            let mut dt = 0u64;
-            while da >= 1.0 {
-                da -= 1.0;
-                dt += 1;
-            }
+            let (da, dt) = domain_ticks(*dram_acc, dram_per_core);
             if *dram_cycle + dt > dram_next {
                 break;
             }

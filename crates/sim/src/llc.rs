@@ -49,9 +49,12 @@ impl LlcSlice {
             id,
             cache: SetAssocCache::new(cfg.llc_slice),
             mshr: MshrFile::new(cfg.llc_mshrs, cfg.llc_mshr_merges),
-            input: VecDeque::new(),
-            hits: VecDeque::new(),
-            dram_retry: VecDeque::new(),
+            // Steady-state sized up front: every simulation run builds
+            // fresh slices, and letting the queues grow from zero pays a
+            // doubling-realloc ladder per run, per slice.
+            input: VecDeque::with_capacity(64),
+            hits: VecDeque::with_capacity(32),
+            dram_retry: VecDeque::with_capacity(32),
             acct_from: 0,
             input_stall: None,
             fill_version: 0,

@@ -123,14 +123,14 @@ impl Sm {
             warps: (0..cfg.max_warps_per_sm).map(|_| None).collect(),
             free_warp_slots: (0..cfg.max_warps_per_sm as u32).rev().collect(),
             ready: ReadySet::default(),
-            wake: BinaryHeap::new(),
+            wake: BinaryHeap::with_capacity(cfg.max_warps_per_sm),
             last_issued: None,
-            mem_queue: VecDeque::new(),
+            mem_queue: VecDeque::with_capacity(64),
             lines_buf: Vec::with_capacity(32),
             waiter_buf: Vec::with_capacity(8),
             l1: SetAssocCache::new(cfg.l1),
             mshr: MshrFile::new(cfg.l1_mshrs, cfg.l1_mshr_merges),
-            hit_queue: VecDeque::new(),
+            hit_queue: VecDeque::with_capacity(32),
             tb_slots: (0..cfg.max_tbs_per_sm).map(|_| None).collect(),
             free_tb_slots: (0..cfg.max_tbs_per_sm as u32).rev().collect(),
             resident_tbs: 0,
@@ -324,7 +324,9 @@ impl Sm {
 
     /// Event-gated [`Sm::tick`]: a no-op (with the busy counter deferred)
     /// while the cached next-event cycle is in the future. Bit-identical
-    /// to ticking densely every cycle.
+    /// to ticking densely every cycle. Returns whether the tick actually
+    /// ran — the driver uses this to prove the TB scheduler's view of SM
+    /// capacity is unchanged and skip its per-SM scans.
     #[inline]
     pub(crate) fn tick_evented(
         &mut self,
@@ -334,13 +336,14 @@ impl Sm {
         txns: &mut TxnTable,
         slice_of: &dyn Fn(PhysAddr) -> u16,
         outbound: &mut Vec<SmOutbound>,
-    ) {
+    ) -> bool {
         if cycle < self.cached_next {
-            return;
+            return false;
         }
         self.flush_idle(cycle);
         self.tick(cycle, cfg, mapper, txns, slice_of, outbound);
         self.cached_next = self.next_event_at(cycle + 1).unwrap_or(u64::MAX);
+        true
     }
 
     /// One core cycle: wake compute-stalled warps, finish L1 hits, run the
