@@ -71,6 +71,13 @@ fn main() {
         other => panic!("unknown arguments {other:?} (usage: bench_wall [--gate PCT])"),
     };
     let committed = gate_pct.and_then(|_| committed_smoke_walls());
+    // The sequential rows (and the --gate comparison against committed
+    // sequential baselines) must run on the sequential engine even when
+    // the caller's environment sets VALLEY_SIM_THREADS; snapshot the
+    // ambient value, clear it, and restore it after the sequential
+    // sections.
+    let ambient_sim_threads = std::env::var_os("VALLEY_SIM_THREADS");
+    std::env::remove_var("VALLEY_SIM_THREADS");
     let scratch = std::env::temp_dir().join(format!("valley-bench-wall-{}", std::process::id()));
     std::fs::remove_dir_all(&scratch).ok();
 
@@ -123,12 +130,50 @@ fn main() {
         warm.cache_hits,
     );
 
+    // Parallel-mode smoke row: the same Ref slice, cold, on the
+    // phase-parallel engine (4 shards). Results are bit-identical to the
+    // sequential rows by construction (the engine's contract); the wall
+    // times track what `VALLEY_SIM_THREADS=4` buys — or costs — on this
+    // machine, next to the sequential row.
+    let par_scratch =
+        std::env::temp_dir().join(format!("valley-bench-wall-par-{}", std::process::id()));
+    std::fs::remove_dir_all(&par_scratch).ok();
+    let par_store = ResultStore::open(&par_scratch).expect("parallel scratch store opens");
+    std::env::set_var("VALLEY_SIM_THREADS", "4");
+    let par_cold = run_sweep(&spec, &par_store, &quiet).expect("parallel smoke sweep");
+    match &ambient_sim_threads {
+        Some(v) => std::env::set_var("VALLEY_SIM_THREADS", v),
+        None => std::env::remove_var("VALLEY_SIM_THREADS"),
+    }
+    for (seq, par) in cold.jobs.iter().zip(&par_cold.jobs) {
+        assert_eq!(
+            seq.report, par.report,
+            "parallel engine diverged on {} — bit-identity broken",
+            seq.spec
+        );
+    }
+    println!(
+        "harness smoke parallel (4 shards): cold {:.2?} ({} executed)",
+        par_cold.wall, par_cold.executed,
+    );
+    std::fs::remove_dir_all(&par_scratch).ok();
+
     let cycles_per_job = test_jobs
         .iter()
         .zip(&reports)
         .map(|(j, r)| (format!("{}/{}", j.bench, j.scheme), Json::UInt(r.cycles)))
         .collect();
     let smoke_walls = cold
+        .jobs
+        .iter()
+        .map(|j| {
+            (
+                format!("{}/{}", j.spec.bench, j.spec.scheme),
+                Json::Num((j.wall_ms * 1e3).round() / 1e3),
+            )
+        })
+        .collect();
+    let par_smoke_walls = par_cold
         .jobs
         .iter()
         .map(|j| {
@@ -170,6 +215,22 @@ fn main() {
                 ),
                 ("warm_cache_hits".into(), Json::UInt(warm.cache_hits as u64)),
                 ("job_wall_ms".into(), Json::Obj(smoke_walls)),
+            ]),
+        ),
+        (
+            "harness_smoke_parallel".into(),
+            Json::Obj(vec![
+                (
+                    "slice".into(),
+                    Json::Str("mt+sp+mum x base+pae @ ref scale, VALLEY_SIM_THREADS=4".into()),
+                ),
+                ("sim_threads".into(), Json::UInt(4)),
+                ("jobs".into(), Json::UInt(par_cold.jobs.len() as u64)),
+                (
+                    "cold_wall_seconds".into(),
+                    Json::Num(par_cold.wall.as_secs_f64()),
+                ),
+                ("job_wall_ms".into(), Json::Obj(par_smoke_walls)),
             ]),
         ),
     ]);

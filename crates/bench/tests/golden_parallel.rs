@@ -1,0 +1,60 @@
+//! Golden tests re-run under `VALLEY_SIM_THREADS=4`: the phase-parallel
+//! engine must reproduce the committed fig02/fig12 snapshots byte for
+//! byte, pinning the determinism guarantee at the figure level in both
+//! execution modes (sequential golden runs live in `golden_figures.rs`).
+//!
+//! This lives in its own integration-test binary so the environment
+//! variable cannot leak into other test binaries' processes. Both tests
+//! set the variable (idempotently) because test execution order within
+//! the binary is not guaranteed.
+
+use valley_bench::{all_schemes, figures, run_suite_with_store};
+use valley_harness::ResultStore;
+use valley_workloads::{Benchmark, Scale};
+
+const FIG12_TITLE: &str = "Figure 12: speedup over BASE (valley benchmarks)";
+
+fn enable_parallel_sim() {
+    std::env::set_var("VALLEY_SIM_THREADS", "4");
+}
+
+#[test]
+fn fig02_output_is_byte_identical_under_parallel_sim() {
+    enable_parallel_sim();
+    assert_eq!(
+        figures::fig02_text(),
+        include_str!("golden/fig02_motivation.txt"),
+        "fig02 under VALLEY_SIM_THREADS=4 diverges from the golden snapshot"
+    );
+}
+
+#[test]
+fn fig12_output_is_byte_identical_under_parallel_sim() {
+    enable_parallel_sim();
+    let golden = include_str!("golden/fig12_speedup_test_scale.txt");
+    let dir = std::env::temp_dir().join(format!("valley-golden-par-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // Cold: every job simulated on the phase-parallel engine.
+    let store = ResultStore::open(&dir).expect("store opens");
+    let suite = run_suite_with_store(&Benchmark::VALLEY, &all_schemes(), Scale::Test, &store);
+    assert_eq!(
+        figures::fig12_text(&suite, FIG12_TITLE),
+        golden,
+        "cold parallel-engine suite diverges from the golden snapshot"
+    );
+
+    // Warm: served from the store written by parallel runs (the stored
+    // bytes must be indistinguishable from sequential ones).
+    drop(store);
+    let store = ResultStore::open(&dir).expect("store reopens");
+    assert_eq!(store.len(), Benchmark::VALLEY.len() * all_schemes().len());
+    let cached = run_suite_with_store(&Benchmark::VALLEY, &all_schemes(), Scale::Test, &store);
+    assert_eq!(
+        figures::fig12_text(&cached, FIG12_TITLE),
+        golden,
+        "store-served parallel-engine suite diverges from the golden snapshot"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -32,6 +32,13 @@ use valley_core::{DramAddressMap, PhysAddr};
 pub struct DramSystem {
     map: Box<dyn DramAddressMap + Send>,
     channels: Vec<DramChannel>,
+    /// Global controller index of each owned channel, ascending. For a
+    /// full system this is the identity; a subset system (see
+    /// [`DramSystem::for_controllers`]) owns a sparse selection.
+    ctrls: Vec<usize>,
+    /// Global controller index → position in `channels`
+    /// (`usize::MAX` = not owned by this system).
+    ctrl_local: Vec<usize>,
     /// Cached minimum of the channels' next-event cycles (evented path):
     /// lets [`DramSystem::tick_evented`] skip the whole per-channel walk
     /// on quiet cycles and makes [`DramSystem::cached_next_event`] O(1)
@@ -42,19 +49,67 @@ pub struct DramSystem {
 impl DramSystem {
     /// Creates a system with one channel per controller of `map`.
     pub fn new(map: Box<dyn DramAddressMap + Send>, cfg: DramConfig) -> Self {
+        let all: Vec<usize> = (0..map.num_controllers()).collect();
+        Self::for_controllers(map, cfg, &all)
+    }
+
+    /// Creates a system owning only the given (globally-indexed, strictly
+    /// ascending) controllers of `map`. Each channel behaves exactly as
+    /// the corresponding channel of a full system; the phase-parallel
+    /// simulation engine uses this to give every shard its own
+    /// independent slice of the memory system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank counts disagree, `ctrls` is empty, unsorted or
+    /// out of range.
+    pub fn for_controllers(
+        map: Box<dyn DramAddressMap + Send>,
+        cfg: DramConfig,
+        ctrls: &[usize],
+    ) -> Self {
         assert_eq!(
             cfg.banks,
             map.banks_per_controller(),
             "channel config and address map disagree on bank count"
         );
-        let channels = (0..map.num_controllers())
-            .map(|_| DramChannel::new(cfg))
-            .collect();
+        assert!(
+            !ctrls.is_empty(),
+            "a DRAM system needs at least one channel"
+        );
+        assert!(
+            ctrls.windows(2).all(|w| w[0] < w[1]),
+            "controller subset must be strictly ascending"
+        );
+        assert!(
+            *ctrls.last().unwrap() < map.num_controllers(),
+            "controller index out of range"
+        );
+        let mut ctrl_local = vec![usize::MAX; map.num_controllers()];
+        for (local, &c) in ctrls.iter().enumerate() {
+            ctrl_local[c] = local;
+        }
+        let channels = ctrls.iter().map(|_| DramChannel::new(cfg)).collect();
         DramSystem {
             map,
             channels,
+            ctrls: ctrls.to_vec(),
+            ctrl_local,
             cached_min: 0,
         }
+    }
+
+    /// Translates a global controller index into this system's channel
+    /// position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the controller is not owned by this system.
+    #[inline]
+    fn local(&self, ctrl: usize) -> usize {
+        let local = self.ctrl_local[ctrl];
+        debug_assert_ne!(local, usize::MAX, "controller {ctrl} not owned");
+        local
     }
 
     /// The number of controllers (channels/vaults).
@@ -114,19 +169,20 @@ impl DramSystem {
             is_write,
             arrival: now,
         };
-        let ok = self.channels[ctrl as usize].try_enqueue(req);
+        let local = self.local(ctrl as usize);
+        let ok = self.channels[local].try_enqueue(req);
         if ok {
             // The channel's next-event cache may have moved earlier.
             self.cached_min = self
                 .cached_min
-                .min(self.channels[ctrl as usize].cached_next_event());
+                .min(self.channels[local].cached_next_event());
         }
         ok
     }
 
     /// Whether the channel serving `addr` can accept a request.
     pub fn can_accept(&self, addr: PhysAddr) -> bool {
-        let ch = self.map.controller_of(addr);
+        let ch = self.local(self.map.controller_of(addr));
         self.channels[ch].queue_len() < self.channels[ch].config().queue_capacity
     }
 
@@ -242,13 +298,19 @@ impl DramSystem {
         total
     }
 
-    /// Read access to one channel (for tests and detailed metrics).
+    /// Read access to one channel by *global* controller index (for
+    /// tests, detailed metrics and the LLC's back-pressure gate).
     ///
     /// # Panics
     ///
-    /// Panics if `ch` is out of range.
+    /// Panics if `ch` is out of range or not owned by this system.
     pub fn channel(&self, ch: usize) -> &DramChannel {
-        &self.channels[ch]
+        &self.channels[self.local(ch)]
+    }
+
+    /// The global controller indices of the owned channels, ascending.
+    pub fn controllers(&self) -> &[usize] {
+        &self.ctrls
     }
 }
 

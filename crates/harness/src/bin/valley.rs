@@ -25,8 +25,8 @@ use std::process::ExitCode;
 use valley_core::SchemeKind;
 use valley_harness::util::{amean, hmean, row, scheme_header};
 use valley_harness::{
-    default_results_dir, parse_scheme, run_sweep, ConfigId, ResultStore, StoredResult,
-    SweepOptions, SweepSpec, DEFAULT_SEED,
+    default_results_dir, parse_scheme, run_sweep, ConfigId, ResultStore, StoreOptions,
+    StoredResult, SweepOptions, SweepSpec, DEFAULT_SEED,
 };
 use valley_workloads::{Benchmark, Scale};
 
@@ -36,7 +36,8 @@ valley — sharded, resumable sweep engine for the Valley reproduction
 USAGE:
   valley sweep   [--scale test|small|ref] [--benches all|valley|nonvalley|MT,LU,..]
                  [--schemes all|BASE,PAE,..] [--seeds 1,2,3] [--configs table1,stacked,sms24]
-                 [--workers N] [--results DIR] [--force] [--quiet] [--expect-cached PCT]
+                 [--workers N] [--sim-threads N] [--results DIR] [--force] [--quiet]
+                 [--expect-cached PCT] [--max-shard-bytes N]
   valley status  [--results DIR]
   valley query   [--bench MT] [--scheme PAE] [--scale ref] [--seed 1] [--config table1]
                  [--results DIR]
@@ -47,12 +48,16 @@ USAGE:
 The store defaults to $VALLEY_RESULTS_DIR, else ./results. A sweep skips
 every job already in the store; `--expect-cached 95` additionally fails
 the invocation if fewer than 95% of the jobs were cache hits (CI uses
-this to prove the resume path works). `figures` reads the store only —
-run the matching sweep first. `gc` compacts the shards: duplicate keys
-left behind by `sweep --force` (only the newest survives a load anyway)
-and records orphaned by a schema change are dropped; `--expect-clean`
-fails if anything had to be removed (CI runs it after the double sweep
-to prove a clean store stays clean).";
+this to prove the resume path works). `--sim-threads N` runs each
+simulation on the phase-parallel engine with N shards (bit-identical to
+sequential for every N — also settable via $VALLEY_SIM_THREADS).
+`--max-shard-bytes N` auto-compacts the store at open when any shard
+file exceeds N bytes. `figures` reads the store only — run the matching
+sweep first. `gc` compacts the shards: duplicate keys left behind by
+`sweep --force` (only the newest survives a load anyway) and records
+orphaned by a schema change are dropped; `--expect-clean` fails if
+anything had to be removed (CI runs it after the double sweep to prove a
+clean store stays clean).";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -140,7 +145,14 @@ fn open_store(flags: &BTreeMap<String, String>) -> Result<ResultStore, String> {
         .get("results")
         .map(Into::into)
         .unwrap_or_else(default_results_dir);
-    ResultStore::open(dir).map_err(|e| e.to_string())
+    let max_shard_bytes = flags
+        .get("max-shard-bytes")
+        .map(|v| {
+            v.parse::<u64>()
+                .map_err(|_| format!("bad byte count '{v}' for --max-shard-bytes"))
+        })
+        .transpose()?;
+    ResultStore::open_with_options(dir, StoreOptions { max_shard_bytes }).map_err(|e| e.to_string())
 }
 
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
@@ -153,12 +165,23 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             "seeds",
             "configs",
             "workers",
+            "sim-threads",
             "results",
             "force",
             "quiet",
             "expect-cached",
+            "max-shard-bytes",
         ],
     )?;
+    if let Some(n) = flags.get("sim-threads") {
+        n.parse::<usize>()
+            .map_err(|_| format!("bad thread count '{n}' for --sim-threads"))?;
+        // `GpuSim::run` reads the knob per run; setting the env threads
+        // it through `execute_job` without widening the job key (results
+        // are bit-identical for every value, so cached results stay
+        // valid).
+        std::env::set_var("VALLEY_SIM_THREADS", n);
+    }
     let scale = parse_scale(&flags)?;
     let benches = parse_benches(&flags)?;
     let schemes = parse_schemes(&flags)?;

@@ -53,7 +53,8 @@ pub use job::{
     execute_job, parse_scheme, ConfigId, JobKey, JobSpec, SweepSpec, DEFAULT_SEED, SCHEMA_VERSION,
 };
 pub use store::{
-    gc, scan, GcReport, ResultStore, StoreError, StoreScan, StoredResult, NUM_SHARDS, STORE_VERSION,
+    gc, scan, GcReport, ResultStore, StoreError, StoreOptions, StoreScan, StoredResult, NUM_SHARDS,
+    STORE_VERSION,
 };
 pub use sweep::{run_sweep, JobOutcome, SweepError, SweepOptions, SweepOutcome};
 

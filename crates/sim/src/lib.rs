@@ -25,13 +25,14 @@ mod gpu;
 pub mod json;
 mod llc;
 mod metrics;
+mod par;
 mod sm;
 mod trace;
 mod txn;
 
 pub use coalesce::{coalesce, coalesce_into};
 pub use config::{GpuConfig, LlcWritePolicy, WarpScheduler};
-pub use gpu::GpuSim;
+pub use gpu::{GpuSim, Parallelism};
 pub use metrics::{ParallelismIntegrator, SimReport, REPORT_SCHEMA_VERSION};
 pub use trace::{
     tb_request_addresses, Instruction, KernelSource, LaneAddrs, WarpProgram, WorkloadSource,

@@ -41,6 +41,16 @@ pub(crate) struct LlcSlice {
     /// [`LlcSlice::tick_evented`] and invalidated by deliveries and DRAM
     /// completions.
     cached_next: u64,
+    /// `Some(gate)` while the DRAM-retry head is known to be
+    /// back-pressured: the head cannot enqueue before core cycle `gate`
+    /// (the channel-event translation the last failed attempt computed).
+    /// `None` means the head — if any — has not been attempted since it
+    /// became the head and gates at the next cycle. Maintained by
+    /// [`LlcSlice::tick`] step 2, so [`LlcSlice::tick_evented`] updates
+    /// `cached_next` from this delta instead of re-deriving the gate
+    /// through the transaction table and the DRAM channel on every
+    /// effective tick (the recompute was ~10% of an MT/PAE run).
+    retry_gate: Option<u64>,
 }
 
 impl LlcSlice {
@@ -59,6 +69,7 @@ impl LlcSlice {
             input_stall: None,
             fill_version: 0,
             cached_next: 0,
+            retry_gate: None,
         }
     }
 
@@ -90,6 +101,12 @@ impl LlcSlice {
     /// progress before the target channel's next event (channel queues
     /// drain only on channel ticks), so the gate extends to a
     /// conservative core-cycle translation of that event.
+    ///
+    /// This is the recompute-from-scratch **oracle**: the hot path
+    /// ([`LlcSlice::tick_evented`]) maintains the same value
+    /// incrementally from the hit-queue/retry-head deltas of the tick it
+    /// just ran (see [`LlcSlice::next_event_incremental`]); a property
+    /// test pins the two against each other.
     pub(crate) fn next_event_at_with_dram(
         &self,
         now: u64,
@@ -193,6 +210,34 @@ impl LlcSlice {
         self.cached_next
     }
 
+    /// The post-tick `cached_next` value, derived incrementally: the
+    /// input-head and hit-queue terms are O(1) peeks, and the DRAM
+    /// back-pressure term reuses the gate [`LlcSlice::tick`] step 2 just
+    /// computed (while it already held the channel) instead of
+    /// re-deriving it through the transaction table and the channel's
+    /// event cache. Must equal
+    /// `next_event_at_with_dram(cycle + 1, ..)` at every effective-tick
+    /// boundary — pinned by the `retry_gate` property test.
+    #[inline]
+    fn next_event_incremental(&self, cycle: u64) -> u64 {
+        let now = cycle + 1;
+        if !self.input.is_empty() && !self.input_stalled_now() {
+            return now;
+        }
+        let mut next = u64::MAX;
+        if !self.dram_retry.is_empty() {
+            // A blocked head gates at the channel-event translation its
+            // failed attempt computed; a fresh (unattempted) head gates
+            // at the next cycle, like the oracle's undecoded branch.
+            next = self.retry_gate.unwrap_or(now);
+            debug_assert!(next >= now, "retry gate must not be in the past");
+        }
+        if let Some(&(ready, _)) = self.hits.front() {
+            next = next.min(ready.max(now));
+        }
+        next
+    }
+
     /// Event-gated [`LlcSlice::tick`]: a no-op while the cached
     /// next-event cycle is in the future (the slice has no per-cycle
     /// counters, so there is nothing to defer). Bit-identical to ticking
@@ -214,9 +259,13 @@ impl LlcSlice {
         }
         self.flush_stall(cycle);
         self.tick(cycle, dram_now, cfg, dram, txns, mapper, replies);
-        self.cached_next = self
-            .next_event_at_with_dram(cycle + 1, txns, dram, dram_now)
-            .unwrap_or(u64::MAX);
+        self.cached_next = self.next_event_incremental(cycle);
+        debug_assert_eq!(
+            self.cached_next,
+            self.next_event_at_with_dram(cycle + 1, txns, dram, dram_now)
+                .unwrap_or(u64::MAX),
+            "incremental next-event diverged from the recompute oracle"
+        );
     }
 
     /// One core cycle: complete hits, retry DRAM hand-offs, process one
@@ -243,7 +292,10 @@ impl LlcSlice {
             replies.push(txn);
         }
 
-        // 2. Drain the DRAM retry queue while the channel accepts.
+        // 2. Drain the DRAM retry queue while the channel accepts. Each
+        // head outcome updates `retry_gate`: a pop exposes a fresh head
+        // (gate unknown → next cycle); a failure records the blocked
+        // head's exact resume bound while the channel is already at hand.
         while let Some(&txn) = self.dram_retry.front() {
             let t = txns.get_mut(txn);
             let (ctrl, bank, row) = match t.coords {
@@ -256,7 +308,19 @@ impl LlcSlice {
             };
             if dram.try_enqueue_at(ctrl, bank, row, txn, t.is_store, dram_now) {
                 self.dram_retry.pop_front();
+                self.retry_gate = None;
             } else {
+                // The queue is full; it cannot drain before the channel's
+                // next event. `d` DRAM cycles take at least `d` core
+                // cycles (the DRAM clock is never faster than the core
+                // clock in any supported config) — an early, never-late
+                // translation, identical to the recompute oracle's.
+                let cn = dram.channel(ctrl as usize).cached_next_event();
+                self.retry_gate = Some(if cn <= dram_now {
+                    cycle + 1
+                } else {
+                    cycle + 1 + (cn - dram_now)
+                });
                 break;
             }
         }
@@ -323,6 +387,103 @@ impl LlcSlice {
                 // DRAM completion, so retries cost one counter update.
                 self.input_stall = Some(self.fill_version);
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::NO_WARP;
+    use proptest::prelude::*;
+    use valley_core::{GddrMap, SchemeKind};
+    use valley_dram::DramConfig;
+
+    // Random slice traffic: the incrementally-maintained next-event
+    // cache must equal the recompute-from-scratch oracle after every
+    // effective tick — including the DRAM back-pressure translation,
+    // which is the term the incremental path avoids re-deriving.
+    proptest! {
+        #[test]
+        fn incremental_next_event_matches_oracle(
+            seed in 0u64..u64::MAX,
+            txn_count in 1usize..60,
+            burst in 1u64..6,
+        ) {
+            let cfg = GpuConfig::table1();
+            let map = GddrMap::baseline();
+            let mapper = AddressMapper::build(SchemeKind::Base, &map, 1);
+            // A tiny queue so back-pressure (the retry-gate path) is hit
+            // often, not only under saturation.
+            let mut dram_cfg: DramConfig = cfg.dram;
+            dram_cfg.queue_capacity = 4;
+            let mut dram = DramSystem::for_controllers(
+                Box::new(map),
+                dram_cfg,
+                &(0..4).collect::<Vec<_>>(),
+            );
+            let mut txns = TxnTable::new();
+            let mut slice = LlcSlice::new(0, &cfg);
+            let mut replies = Vec::new();
+            let mut completions: Vec<valley_dram::DramCompletion> = Vec::new();
+
+            let mut s = seed;
+            let mut next_mix = || {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                s
+            };
+            let mut pending = txn_count;
+            let dram_per_core = cfg.dram_per_core();
+            let mut dram_acc = 0.0f64;
+            let mut dram_cycle = 0u64;
+            for cycle in 0..6_000u64 {
+                // DRAM domain, as the GPU loop drives it.
+                dram_acc += dram_per_core;
+                while dram_acc >= 1.0 {
+                    dram_acc -= 1.0;
+                    completions.clear();
+                    dram.tick_evented(dram_cycle, &mut completions);
+                    for c in &completions {
+                        if !txns.get(c.id).is_store {
+                            slice.on_dram_completion(c.id, cycle, &mut txns, &mapper, &mut replies);
+                        }
+                    }
+                    dram_cycle += 1;
+                }
+                // Random delivery bursts (hot lines force MSHR merges and
+                // stalls; random stores exercise the write-through path).
+                if pending > 0 && next_mix() % 3 == 0 {
+                    for _ in 0..burst.min(pending as u64) {
+                        let r = next_mix();
+                        let line = (r % 64) << 7;
+                        let is_store = r % 5 == 0;
+                        let mapped = mapper.map(valley_core::PhysAddr::new(line));
+                        let id = txns.alloc(0, if is_store { NO_WARP } else { 0 }, is_store, line, mapped, 0);
+                        slice.deliver(id);
+                        pending -= 1;
+                    }
+                }
+                if cycle >= slice.cached_next_event() {
+                    slice.flush_stall(cycle);
+                    slice.tick(cycle, dram_cycle, &cfg, &mut dram, &mut txns, &mapper, &mut replies);
+                    let incremental = slice.next_event_incremental(cycle);
+                    slice.cached_next = incremental;
+                    let oracle = slice
+                        .next_event_at_with_dram(cycle + 1, &txns, &dram, dram_cycle)
+                        .unwrap_or(u64::MAX);
+                    prop_assert_eq!(
+                        incremental, oracle,
+                        "cycle {}: incremental {} vs oracle {}", cycle, incremental, oracle
+                    );
+                }
+                replies.clear();
+                if pending == 0 && slice.is_idle() && !dram.is_busy() {
+                    break;
+                }
+            }
+            prop_assert!(pending == 0, "traffic never fully delivered");
         }
     }
 }

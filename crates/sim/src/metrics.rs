@@ -78,6 +78,35 @@ impl ParallelismIntegrator {
         }
     }
 
+    /// [`ParallelismIntegrator::sample_n`] in pre-summed form: one sample
+    /// repeated `n` times where `bank_sum` is the total busy-bank count
+    /// over the `bank_channels` busy channels. Exactly equivalent to the
+    /// list form — the integrator only ever accumulates the list's sum
+    /// and length — and what the phase-parallel engine uses to merge
+    /// per-shard sample contributions without materializing a list.
+    pub fn sample_sums_n(
+        &mut self,
+        busy_slices: u64,
+        busy_channels: u64,
+        bank_sum: u64,
+        bank_channels: u64,
+        n: u64,
+    ) {
+        if n == 0 {
+            return;
+        }
+        if busy_slices > 0 {
+            self.llc_busy_sum += busy_slices * n;
+            self.llc_samples += n;
+        }
+        if busy_channels > 0 {
+            self.chan_busy_sum += busy_channels * n;
+            self.chan_samples += n;
+        }
+        self.bank_busy_sum += bank_sum * n;
+        self.bank_samples += bank_channels * n;
+    }
+
     /// Mean number of busy LLC slices over busy samples (Figure 14a).
     pub fn llc_parallelism(&self) -> f64 {
         mean(self.llc_busy_sum, self.llc_samples)

@@ -1,0 +1,167 @@
+//! Randomized cross-thread equivalence battery: for random
+//! (machine configuration × mapping scheme × shard count × seed ×
+//! workload) points, the phase-parallel engine must reproduce the
+//! sequential evented engine's `SimReport` byte for byte.
+//!
+//! The proptest shim does not shrink structurally, so on failure the
+//! message *is* the minimal reproducer: it pins the exact grid
+//! coordinates and the first report field that diverged (the start of
+//! the diverging trace), which replays deterministically through
+//! `replay_case`.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use valley_core::{AddressMapper, GddrMap, SchemeKind};
+use valley_sim::{
+    GpuConfig, GpuSim, Instruction, LaneAddrs, LlcWritePolicy, Parallelism, SimReport,
+    WarpScheduler,
+};
+use valley_workloads::{KernelSpec, Workload};
+
+/// A splitmix-style hash: cheap, deterministic instruction streams.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A small random workload: `kernels` kernels of `tbs` TBs × `wpb`
+/// warps, each warp a deterministic stream of loads (contiguous and
+/// strided — the paper's valley pattern), stores and compute derived
+/// from `seed`.
+fn micro_workload(seed: u64, kernels: usize, tbs: u64, wpb: usize) -> Workload {
+    let specs = (0..kernels)
+        .map(|k| {
+            let kseed = mix(seed ^ (k as u64) << 32);
+            let gen = Arc::new(move |tb: u64, warp: usize| {
+                let mut s = mix(kseed ^ tb.wrapping_mul(0x1_0001) ^ (warp as u64));
+                let n = 1 + (s % 10) as usize;
+                (0..n)
+                    .map(|_| {
+                        s = mix(s);
+                        let base = (s >> 8) % (1 << 22);
+                        match s % 4 {
+                            0 => Instruction::Load(LaneAddrs::contiguous(base, 32, 4)),
+                            1 => {
+                                let stride = 128 << ((s >> 32) % 5);
+                                Instruction::Load(LaneAddrs::strided(base, 16, stride))
+                            }
+                            2 => Instruction::Store(LaneAddrs::contiguous(base, 32, 4)),
+                            _ => Instruction::Compute {
+                                cycles: 1 + (s >> 16) as u32 % 8,
+                            },
+                        }
+                    })
+                    .collect()
+            });
+            KernelSpec::new(format!("k{k}"), tbs, wpb, gen)
+        })
+        .collect();
+    Workload::new("prop-micro", specs)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn replay_case(
+    num_sms: usize,
+    llc_slices: usize,
+    sched: WarpScheduler,
+    policy: LlcWritePolicy,
+    scheme: SchemeKind,
+    map_seed: u64,
+    wl: (u64, usize, u64, usize),
+) -> (GpuSim, GpuSim) {
+    let (wl_seed, kernels, tbs, wpb) = (wl.2, wl.3, wl.0, wl.1);
+    let build = || {
+        let mut cfg = GpuConfig::table1()
+            .with_sms(num_sms)
+            .with_scheduler(sched)
+            .with_llc_write_policy(policy);
+        cfg.llc_slices = llc_slices;
+        let map = GddrMap::baseline();
+        let mapper = AddressMapper::build(scheme, &map, map_seed);
+        GpuSim::new(
+            cfg,
+            mapper,
+            map,
+            Box::new(micro_workload(wl_seed, kernels, tbs, wpb)),
+        )
+    };
+    (build(), build())
+}
+
+/// Field-by-field report diff — the "first diverging trace entry" the
+/// failure message reports.
+fn first_divergence(a: &SimReport, b: &SimReport) -> String {
+    if a.cycles != b.cycles {
+        return format!("cycles: {} vs {}", a.cycles, b.cycles);
+    }
+    if a.dram != b.dram {
+        return format!("dram: {:?} vs {:?}", a.dram, b.dram);
+    }
+    if a.l1 != b.l1 {
+        return format!("l1: {:?} vs {:?}", a.l1, b.l1);
+    }
+    if a.llc != b.llc {
+        return format!("llc: {:?} vs {:?}", a.llc, b.llc);
+    }
+    if a.memory_transactions != b.memory_transactions {
+        return format!(
+            "memory_transactions: {} vs {}",
+            a.memory_transactions, b.memory_transactions
+        );
+    }
+    if a.warp_instructions != b.warp_instructions {
+        return format!(
+            "warp_instructions: {} vs {}",
+            a.warp_instructions, b.warp_instructions
+        );
+    }
+    // Fall back to the serialized forms.
+    format!("json: {} vs {}", a.to_json(), b.to_json())
+}
+
+const SLICE_CHOICES: [usize; 3] = [2, 4, 8];
+
+proptest! {
+    #[test]
+    fn sharded_engine_matches_sequential_for_random_grids(
+        num_sms in 1usize..7,
+        slice_idx in 0usize..3,
+        knobs in (0u8..2, 0u8..2),
+        scheme_idx in 0usize..6,
+        map_seed in 0u64..4,
+        shards in 2usize..8,
+        threads_pick in 0u8..4,
+        tbs in 1u64..14,
+        wpb in 1usize..4,
+        wl_seed in 0u64..u64::MAX,
+        kernels in 1usize..3,
+    ) {
+        let llc_slices = SLICE_CHOICES[slice_idx];
+        let sched = if knobs.0 == 0 { WarpScheduler::Gto } else { WarpScheduler::Lrr };
+        let policy = if knobs.1 == 0 { LlcWritePolicy::WriteThrough } else { LlcWritePolicy::WriteBack };
+        let scheme = SchemeKind::ALL_SCHEMES[scheme_idx];
+        // Mostly the inline transport (fast on small machines); every
+        // fourth case pins the threaded transport too.
+        let threads = if threads_pick == 3 { 2 } else { 1 };
+        let (seq_sim, par_sim) = replay_case(
+            num_sms, llc_slices, sched, policy, scheme, map_seed,
+            (tbs, wpb, wl_seed, kernels),
+        );
+        // Explicitly sequential: `.run()` honors VALLEY_SIM_THREADS, and
+        // under that env the baseline would silently become a second
+        // parallel run, no longer pinning sequential ≡ parallel.
+        let seq = seq_sim.run_with(Parallelism::Off);
+        let par = par_sim.run_sharded(shards, threads);
+        prop_assert!(
+            seq.to_json() == par.to_json(),
+            "sharded engine diverged: sms={num_sms} slices={llc_slices} sched={sched:?} \
+             policy={policy:?} scheme={scheme:?} map_seed={map_seed} shards={shards} \
+             threads={threads} wl=(tbs={tbs},wpb={wpb},seed={wl_seed:#x},kernels={kernels}) \
+             — first divergence: {}",
+            first_divergence(&seq, &par)
+        );
+        prop_assert!(seq.cycles > 0, "degenerate case simulated nothing");
+    }
+}
