@@ -152,8 +152,31 @@ fn main() {
             seq.spec
         );
     }
+    // The wake-gate subsystem's observable win: the Ref-smoke slice is
+    // memory-saturated for long stretches (MT and MUM park every SM on
+    // MSHRs while replies stream back), and the per-unit wake gates must
+    // turn those stretches into multi-cycle epochs *while replies are in
+    // flight* — the regime the old global-minimum horizon pinned at one
+    // cycle per epoch.
+    let in_flight_multi: u64 = par_cold
+        .jobs
+        .iter()
+        .map(|j| j.report.epoch_hist.in_flight_multi)
+        .sum();
+    let multi: u64 = par_cold
+        .jobs
+        .iter()
+        .map(|j| j.report.epoch_hist.multi_cycle())
+        .sum();
+    assert!(
+        in_flight_multi > 0,
+        "no multi-cycle epoch overlapped an in-flight reply anywhere in \
+         the Ref smoke slice — the per-unit wake gates are not extending \
+         the parallel engine's horizon"
+    );
     println!(
-        "harness smoke parallel (4 shards): cold {:.2?} ({} executed)",
+        "harness smoke parallel (4 shards): cold {:.2?} ({} executed; \
+         {multi} multi-cycle epochs, {in_flight_multi} with replies in flight)",
         par_cold.wall, par_cold.executed,
     );
     std::fs::remove_dir_all(&par_scratch).ok();
@@ -231,6 +254,11 @@ fn main() {
                     Json::Num(par_cold.wall.as_secs_f64()),
                 ),
                 ("job_wall_ms".into(), Json::Obj(par_smoke_walls)),
+                ("multi_cycle_epochs".into(), Json::UInt(multi)),
+                (
+                    "multi_cycle_epochs_with_replies_in_flight".into(),
+                    Json::UInt(in_flight_multi),
+                ),
             ]),
         ),
     ]);

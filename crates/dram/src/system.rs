@@ -244,6 +244,21 @@ impl DramSystem {
         self.cached_min
     }
 
+    /// The cached next-event cycle of one channel, by *global*
+    /// controller index — the per-channel wake query of the simulator's
+    /// wake-gate subsystem: the LLC slice's DRAM back-pressure retry
+    /// gate reasons about the individual channel blocking it, not the
+    /// system-wide minimum (which the phase-parallel safe horizon reads
+    /// via [`DramSystem::cached_next_event`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ctrl` is out of range or not owned by this system.
+    #[inline]
+    pub fn channel_next_event(&self, ctrl: usize) -> u64 {
+        self.channels[self.local(ctrl)].cached_next_event()
+    }
+
     /// Brings every channel's deferred counters up to date with `up_to`.
     pub fn flush_deferred(&mut self, up_to: u64) {
         for ch in &mut self.channels {

@@ -16,9 +16,11 @@
 //! `sweep` runs the grid (resuming from the store), `status` summarizes
 //! the store (including `--force` duplicates and orphaned-schema records
 //! awaiting `gc`), `query` prints matching stored results, `figures`
-//! renders the headline tables *exclusively* from stored results — it
-//! never simulates — and `gc` compacts the shards, dropping superseded
-//! duplicates and schema orphans.
+//! renders the headline tables — speedup, row-buffer hit rate, channel
+//! parallelism, and the Figure 11/16 DRAM power tables (the power model
+//! is a pure function of the stored report) — *exclusively* from stored
+//! results; it never simulates. `gc` compacts the shards, dropping
+//! superseded duplicates and schema orphans.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -28,6 +30,7 @@ use valley_harness::{
     default_results_dir, parse_scheme, run_sweep, ConfigId, ResultStore, StoreOptions,
     StoredResult, SweepOptions, SweepSpec, DEFAULT_SEED,
 };
+use valley_power::DramPowerModel;
 use valley_workloads::{Benchmark, Scale};
 
 const USAGE: &str = "\
@@ -475,5 +478,57 @@ fn cmd_figures(args: &[String]) -> Result<(), String> {
         "AVG",
         2,
     );
+
+    // Power tables (Figures 11/16): the DRAM power model is a pure
+    // function of the stored report, so these render from the store
+    // like everything else — `figures` never simulates, for power
+    // either.
+    let model = DramPowerModel::gddr5();
+    println!("\nNormalized execution time vs normalized DRAM power (Figure 11)");
+    println!(
+        "{:<8}{:>16}{:>18}",
+        "scheme", "norm exec time", "norm DRAM power"
+    );
+    for &s in &schemes {
+        let mut times = Vec::new();
+        let mut powers = Vec::new();
+        for &b in &benches {
+            let base = &suite[&(b, SchemeKind::Base)].report;
+            let r = &suite[&(b, s)].report;
+            times.push(r.cycles as f64 / base.cycles as f64);
+            powers.push(model.evaluate(r).total() / model.evaluate(base).total());
+        }
+        println!(
+            "{:<8}{:>16.3}{:>18.3}",
+            s.label(),
+            amean(&times),
+            amean(&powers)
+        );
+    }
+    println!("\nDRAM power breakdown in Watts, averaged over benchmarks (Figure 16)");
+    println!(
+        "{:<8}{:>12}{:>12}{:>12}{:>12}{:>12}",
+        "scheme", "background", "activate", "read", "write", "total"
+    );
+    for &s in &schemes {
+        let (mut bg, mut act, mut rd, mut wr) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        for &b in &benches {
+            let p = model.evaluate(&suite[&(b, s)].report);
+            bg.push(p.background);
+            act.push(p.activate);
+            rd.push(p.read);
+            wr.push(p.write);
+        }
+        let (bg, act, rd, wr) = (amean(&bg), amean(&act), amean(&rd), amean(&wr));
+        println!(
+            "{:<8}{:>12.1}{:>12.1}{:>12.1}{:>12.1}{:>12.1}",
+            s.label(),
+            bg,
+            act,
+            rd,
+            wr,
+            bg + act + rd + wr
+        );
+    }
     Ok(())
 }

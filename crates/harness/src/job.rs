@@ -16,7 +16,11 @@ use valley_workloads::{Benchmark, Scale};
 /// the simulator's observable semantics, or the stored record layout
 /// changes incompatibly: old store entries then fail loudly on load
 /// instead of silently serving stale results.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// v2: stored reports gained the epoch-histogram engine diagnostics
+/// (report schema v2), so v1 records no longer parse; run `valley gc`
+/// to drop them and re-sweep.
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// The BIM seed used for the headline results (the paper generates three
 /// random BIMs per scheme and reports the best; Figure 19 shows the

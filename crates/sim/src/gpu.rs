@@ -4,10 +4,11 @@
 
 use crate::config::GpuConfig;
 use crate::llc::LlcSlice;
-use crate::metrics::{ParallelismIntegrator, SimReport};
+use crate::metrics::{EpochHist, ParallelismIntegrator, SimReport};
 use crate::sm::{Sm, SmOutbound};
 use crate::trace::{KernelSource, WorkloadSource};
 use crate::txn::TxnTable;
+use crate::wake::WakeGate;
 use valley_cache::CacheStats;
 use valley_core::{AddressMapper, DramAddressMap, PhysAddr};
 use valley_dram::{DramConfig, DramStats, DramSystem};
@@ -417,15 +418,16 @@ impl GpuSim {
         // delivered and `schedule_tbs` did not run, since those are the
         // only ways SM capacity or kernel state can change.
         let mut sched_quiet = false;
-        // Running minima of the SM and LLC-slice next-event caches,
-        // recomputed whenever the corresponding walk runs and clamped to
-        // zero by every out-of-band invalidation (delivery, DRAM fill,
-        // reply, TB assignment). While `cycle` is below the minimum,
-        // every per-component gate in the walk would no-op, so the walk
-        // itself is skipped — and `fast_forward` reads the core-domain
-        // horizon in O(1) instead of scanning every component.
-        let mut sms_next = 0u64;
-        let mut slices_next = 0u64;
+        // Wake gates over the SM and LLC-slice populations (see
+        // `crate::wake`): rebuilt from the per-unit next-event caches
+        // whenever the corresponding walk runs, and clamped by every
+        // out-of-band invalidation (delivery, DRAM fill, reply, TB
+        // assignment). While `cycle` is below a gate, every per-unit
+        // self-gate in that walk would no-op, so the walk itself is
+        // skipped — and `fast_forward` reads the core-domain horizon in
+        // O(1) instead of scanning every component.
+        let mut sms_next = WakeGate::new();
+        let mut slices_next = WakeGate::new();
 
         'outer: loop {
             // ---- Fast-forward over globally event-free cycles ----
@@ -440,7 +442,7 @@ impl GpuSim {
                     dram_per_core,
                     &sched,
                     &mut sched_quiet,
-                    sms_next.min(slices_next),
+                    sms_next.get().min(slices_next.get()),
                     &mut parallelism,
                     &mut banks_buf,
                 ) {
@@ -464,7 +466,7 @@ impl GpuSim {
                 }
                 for d in &deliveries {
                     self.slices[d.dst].deliver(d.payload);
-                    slices_next = 0;
+                    slices_next.wake_now();
                 }
                 deliveries.clear();
                 if event_driven {
@@ -475,7 +477,7 @@ impl GpuSim {
                 for d in &deliveries {
                     self.sms[d.dst].on_reply(d.payload, &self.txns, cycle);
                     sm_activity = true;
-                    sms_next = 0;
+                    sms_next.wake_now();
                 }
                 noc_cycle += 1;
             }
@@ -501,7 +503,7 @@ impl GpuSim {
                             &self.mapper,
                             &mut replies,
                         );
-                        slices_next = 0;
+                        slices_next.wake_now();
                     }
                 }
                 dram_cycle += 1;
@@ -511,7 +513,7 @@ impl GpuSim {
             // Below `slices_next` every slice's own gate would no-op;
             // skip the walk (the minimum is clamped to zero by every
             // out-of-band slice invalidation above).
-            if !event_driven || cycle >= slices_next {
+            if !event_driven || cycle >= slices_next.get() {
                 let mut next = u64::MAX;
                 for s in &mut self.slices {
                     if event_driven {
@@ -537,7 +539,7 @@ impl GpuSim {
                         );
                     }
                 }
-                slices_next = next;
+                slices_next.rebuild(next);
             }
             for txn in replies.drain(..) {
                 let t = self.txns.get(txn);
@@ -555,7 +557,7 @@ impl GpuSim {
                 let map = self.map.as_ref();
                 let llc_slices = self.cfg.llc_slices;
                 let slicer = move |addr: PhysAddr| Self::slice_of(map, llc_slices, addr);
-                if !event_driven || cycle >= sms_next {
+                if !event_driven || cycle >= sms_next.get() {
                     let mut next = u64::MAX;
                     for sm in &mut self.sms {
                         if event_driven {
@@ -579,7 +581,7 @@ impl GpuSim {
                             );
                         }
                     }
-                    sms_next = next;
+                    sms_next.rebuild(next);
                 }
             }
             for o in outbound.drain(..) {
@@ -602,7 +604,7 @@ impl GpuSim {
                 self.schedule_tbs(&mut sched, cycle);
                 sched_quiet = false;
                 // `assign_tb` zeroes the assigned SM's next-event cache.
-                sms_next = 0;
+                sms_next.wake_now();
             }
 
             // ---- Metrics ----
@@ -792,6 +794,7 @@ impl GpuSim {
             req: self.req_net.stats(),
             rep: self.reply_net.stats(),
             memory_transactions: self.txns.len(),
+            epoch_hist: EpochHist::default(),
         })
     }
 }
@@ -814,6 +817,8 @@ pub(crate) struct ReportParts<'a> {
     pub req: NocStats,
     pub rep: NocStats,
     pub memory_transactions: u64,
+    /// Engine diagnostics (empty for the sequential and dense engines).
+    pub epoch_hist: EpochHist,
 }
 
 /// Assembles the final [`SimReport`] — the single aggregation routine
@@ -872,5 +877,6 @@ pub(crate) fn build_report(parts: ReportParts<'_>) -> SimReport {
         } else {
             busy as f64 / (parts.cycles * num_sms) as f64
         },
+        epoch_hist: parts.epoch_hist,
     }
 }

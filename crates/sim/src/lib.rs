@@ -29,11 +29,12 @@ mod par;
 mod sm;
 mod trace;
 mod txn;
+mod wake;
 
 pub use coalesce::{coalesce, coalesce_into};
 pub use config::{GpuConfig, LlcWritePolicy, WarpScheduler};
 pub use gpu::{GpuSim, Parallelism};
-pub use metrics::{ParallelismIntegrator, SimReport, REPORT_SCHEMA_VERSION};
+pub use metrics::{EpochHist, ParallelismIntegrator, SimReport, REPORT_SCHEMA_VERSION};
 pub use trace::{
     tb_request_addresses, Instruction, KernelSource, LaneAddrs, WarpProgram, WorkloadSource,
 };

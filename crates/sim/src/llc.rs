@@ -127,7 +127,7 @@ impl LlcSlice {
                     if ch.queue_len() < ch.config().queue_capacity {
                         now
                     } else {
-                        let cn = ch.cached_next_event();
+                        let cn = dram.channel_next_event(ctrl as usize);
                         if cn == u64::MAX || cn <= dram_now {
                             now
                         } else {
@@ -208,6 +208,27 @@ impl LlcSlice {
     #[inline]
     pub(crate) fn cached_next_event(&self) -> u64 {
         self.cached_next
+    }
+
+    /// The earliest core cycle at which a [`LlcSlice::tick`] could emit
+    /// a *reply* without an intervening DRAM completion: the ready time
+    /// of the oldest in-flight hit (`u64::MAX` when none). All other
+    /// reply paths go through DRAM first — a tag probe books its hit
+    /// `llc_latency` (120) cycles out, far beyond any epoch — so the
+    /// phase-parallel safe horizon bounds in-epoch reply emissions by
+    /// this peek plus the DRAM-side terms; see `crate::par`.
+    #[inline]
+    pub(crate) fn next_reply_at(&self) -> u64 {
+        self.hits.front().map_or(u64::MAX, |&(ready, _)| ready)
+    }
+
+    /// The DRAM back-pressure gate [`LlcSlice::tick`] step 2 maintains
+    /// (`None` = the retry head, if any, has not been attempted yet) —
+    /// surfaced so the wake-gate subsystem's recompute oracles can check
+    /// the shared index against the slice's own bookkeeping.
+    #[cfg(test)]
+    pub(crate) fn retry_gate(&self) -> Option<u64> {
+        self.retry_gate
     }
 
     /// The post-tick `cached_next` value, derived incrementally: the
@@ -315,7 +336,7 @@ impl LlcSlice {
                 // cycles (the DRAM clock is never faster than the core
                 // clock in any supported config) — an early, never-late
                 // translation, identical to the recompute oracle's.
-                let cn = dram.channel(ctrl as usize).cached_next_event();
+                let cn = dram.channel_next_event(ctrl as usize);
                 self.retry_gate = Some(if cn <= dram_now {
                     cycle + 1
                 } else {
@@ -477,6 +498,18 @@ mod tests {
                         incremental, oracle,
                         "cycle {}: incremental {} vs oracle {}", cycle, incremental, oracle
                     );
+                    // The retry gate feeds the wake-gate subsystem
+                    // through `cached_next`: a blocked DRAM hand-off
+                    // must never gate in the past, and the slice's
+                    // published gate can never sit beyond it.
+                    if let Some(g) = slice.retry_gate() {
+                        prop_assert!(g > cycle, "cycle {}: retry gate {} in the past", cycle, g);
+                        prop_assert!(
+                            incremental <= g,
+                            "cycle {}: published gate {} ignores the blocked retry head at {}",
+                            cycle, incremental, g
+                        );
+                    }
                 }
                 replies.clear();
                 if pending == 0 && slice.is_idle() && !dram.is_busy() {

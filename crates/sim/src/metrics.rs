@@ -8,7 +8,58 @@ use valley_dram::DramStats;
 /// added, removed or changes meaning: stored results from an older schema
 /// then fail loudly in [`SimReport::from_json`] instead of silently
 /// misparsing into the new shape.
-pub const REPORT_SCHEMA_VERSION: u32 = 1;
+///
+/// v2 added the [`EpochHist`] engine diagnostics.
+pub const REPORT_SCHEMA_VERSION: u32 = 2;
+
+/// Histogram of the phase-parallel engine's epoch lengths (in core
+/// cycles) — the observability half of the per-unit wake-gate subsystem.
+///
+/// This is **engine telemetry, not a simulation result**: it describes
+/// how the run was *executed* (how many cycles each deterministic epoch
+/// spanned), so it varies with the engine, shard count and horizon rule
+/// while every scientific field of the report stays bit-identical.
+/// Sequential and dense runs have no epochs and report an empty
+/// histogram. Accordingly it is excluded from [`SimReport`]'s equality
+/// (`PartialEq` compares *results*) and from
+/// [`SimReport::results_json`], but serialized by [`SimReport::to_json`]
+/// so stored sweeps and `bench_wall` can observe it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpochHist {
+    /// Epoch counts bucketed by length: bucket `i` counts epochs whose
+    /// cycle count lies in `[2^i, 2^(i+1))` — 1, 2–3, 4–7, 8–15, … —
+    /// with the last bucket open-ended (≥ 128).
+    pub lengths: [u64; 8],
+    /// Multi-cycle epochs planned while at least one reply-net packet
+    /// was in flight. Before the per-unit wake gates this was
+    /// structurally zero: any reply in flight collapsed the safe horizon
+    /// to one cycle.
+    pub in_flight_multi: u64,
+}
+
+impl EpochHist {
+    /// Records one epoch of `len` cycles; `replies_in_flight` says
+    /// whether any reply-net packet was queued when the epoch was
+    /// planned.
+    pub fn record(&mut self, len: u64, replies_in_flight: bool) {
+        debug_assert!(len >= 1, "epochs span at least one cycle");
+        let bucket = (63 - len.max(1).leading_zeros() as usize).min(self.lengths.len() - 1);
+        self.lengths[bucket] += 1;
+        if len > 1 && replies_in_flight {
+            self.in_flight_multi += 1;
+        }
+    }
+
+    /// Total epochs recorded.
+    pub fn epochs(&self) -> u64 {
+        self.lengths.iter().sum()
+    }
+
+    /// Epochs spanning more than one cycle.
+    pub fn multi_cycle(&self) -> u64 {
+        self.lengths[1..].iter().sum()
+    }
+}
 
 /// Incrementally-integrated occupancy metrics (Figures 13–14).
 ///
@@ -133,7 +184,13 @@ fn mean(sum: u64, n: u64) -> f64 {
 
 /// The complete result of one simulation run — the raw material for every
 /// evaluation figure.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// Equality compares the simulation *results* only; the
+/// [`epoch_hist`](SimReport::epoch_hist) engine diagnostics are excluded
+/// (they describe how the engine executed the run, and legitimately
+/// differ between the sequential and phase-parallel engines whose
+/// results are otherwise bit-identical).
+#[derive(Clone, Debug)]
 pub struct SimReport {
     /// Workload name.
     pub benchmark: String,
@@ -178,6 +235,64 @@ pub struct SimReport {
     /// Fraction of cycles with at least one resident warp, averaged over
     /// SMs (GPU dynamic-power activity factor).
     pub sm_busy_fraction: f64,
+    /// Engine diagnostics: the phase-parallel engine's epoch-length
+    /// histogram (empty for sequential and dense runs). Excluded from
+    /// equality and from [`SimReport::results_json`] — see [`EpochHist`].
+    pub epoch_hist: EpochHist,
+}
+
+impl PartialEq for SimReport {
+    fn eq(&self, other: &Self) -> bool {
+        // Every field except `epoch_hist` (engine telemetry — see the
+        // struct docs). Listed explicitly so adding a result field
+        // without extending the comparison is a compile error… it is
+        // not, with a plain `&&` chain — so destructure instead.
+        let SimReport {
+            benchmark,
+            scheme,
+            cycles,
+            truncated,
+            warp_instructions,
+            thread_instructions,
+            memory_transactions,
+            l1,
+            llc,
+            noc_latency,
+            llc_parallelism,
+            channel_parallelism,
+            bank_parallelism,
+            dram,
+            kernels,
+            dram_cycles,
+            dram_channels,
+            core_clock_ghz,
+            dram_clock_ghz,
+            num_sms,
+            sm_busy_fraction,
+            epoch_hist: _,
+        } = self;
+        benchmark == &other.benchmark
+            && scheme == &other.scheme
+            && cycles == &other.cycles
+            && truncated == &other.truncated
+            && warp_instructions == &other.warp_instructions
+            && thread_instructions == &other.thread_instructions
+            && memory_transactions == &other.memory_transactions
+            && l1 == &other.l1
+            && llc == &other.llc
+            && noc_latency == &other.noc_latency
+            && llc_parallelism == &other.llc_parallelism
+            && channel_parallelism == &other.channel_parallelism
+            && bank_parallelism == &other.bank_parallelism
+            && dram == &other.dram
+            && kernels == &other.kernels
+            && dram_cycles == &other.dram_cycles
+            && dram_channels == &other.dram_channels
+            && core_clock_ghz == &other.core_clock_ghz
+            && dram_clock_ghz == &other.dram_clock_ghz
+            && num_sms == &other.num_sms
+            && sm_busy_fraction == &other.sm_busy_fraction
+    }
 }
 
 impl SimReport {
@@ -321,7 +436,8 @@ fn dram_stats_from(v: &Json, key: &str) -> Result<DramStats, String> {
 }
 
 impl SimReport {
-    /// Serializes the report as a versioned single-line JSON object.
+    /// Serializes the report as a versioned single-line JSON object,
+    /// including the [`EpochHist`] engine diagnostics.
     ///
     /// The inverse is [`SimReport::from_json`]; the two are pinned by a
     /// round-trip property test. Every counter is written as an exact
@@ -330,9 +446,46 @@ impl SimReport {
         self.to_json_value().to_json_string()
     }
 
+    /// The simulation *results* as a single-line JSON string — every
+    /// field of [`SimReport::to_json`] except the engine diagnostics.
+    /// This is the canonical byte form the cross-engine equivalence
+    /// battery compares: bit-identical results serialize to identical
+    /// digit strings, while the epoch histogram (which legitimately
+    /// differs per engine and shard count) stays out of the comparison.
+    pub fn results_json(&self) -> String {
+        Json::Obj(self.result_fields()).to_json_string()
+    }
+
     /// The report as a [`Json`] value (for embedding in larger records).
     pub fn to_json_value(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = self.result_fields();
+        fields.push((
+            "epoch_hist".into(),
+            Json::Obj(vec![
+                (
+                    "lengths".into(),
+                    Json::Arr(
+                        self.epoch_hist
+                            .lengths
+                            .iter()
+                            .map(|&n| Json::UInt(n))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "in_flight_multi".into(),
+                    Json::UInt(self.epoch_hist.in_flight_multi),
+                ),
+            ]),
+        ));
+        Json::Obj(fields)
+    }
+
+    /// Every result field in canonical order (shared by
+    /// [`SimReport::to_json_value`] and [`SimReport::results_json`] so
+    /// the two can never drift apart).
+    fn result_fields(&self) -> Vec<(String, Json)> {
+        vec![
             ("v".into(), Json::UInt(u64::from(REPORT_SCHEMA_VERSION))),
             ("benchmark".into(), Json::Str(self.benchmark.clone())),
             ("scheme".into(), Json::Str(self.scheme.clone())),
@@ -370,7 +523,7 @@ impl SimReport {
             ("dram_clock_ghz".into(), Json::Num(self.dram_clock_ghz)),
             ("num_sms".into(), Json::UInt(self.num_sms as u64)),
             ("sm_busy_fraction".into(), Json::Num(self.sm_busy_fraction)),
-        ])
+        ]
     }
 
     /// Deserializes a report written by [`SimReport::to_json`].
@@ -398,6 +551,27 @@ impl SimReport {
                  {REPORT_SCHEMA_VERSION}; re-run the sweep to regenerate stored results"
             ));
         }
+        let hist = field(v, "epoch_hist")?;
+        let lengths_json = field(hist, "lengths")?
+            .as_arr()
+            .ok_or("SimReport field 'epoch_hist.lengths' is not an array")?;
+        let mut lengths = [0u64; 8];
+        if lengths_json.len() != lengths.len() {
+            return Err(format!(
+                "SimReport field 'epoch_hist.lengths' has {} buckets, expected {}",
+                lengths_json.len(),
+                lengths.len()
+            ));
+        }
+        for (slot, j) in lengths.iter_mut().zip(lengths_json) {
+            *slot = j
+                .as_u64()
+                .ok_or("SimReport field 'epoch_hist.lengths' holds a non-integer")?;
+        }
+        let epoch_hist = EpochHist {
+            lengths,
+            in_flight_multi: get_u64(hist, "in_flight_multi")?,
+        };
         Ok(SimReport {
             benchmark: get_str(v, "benchmark")?,
             scheme: get_str(v, "scheme")?,
@@ -420,6 +594,7 @@ impl SimReport {
             dram_clock_ghz: get_f64(v, "dram_clock_ghz")?,
             num_sms: get_usize(v, "num_sms")?,
             sm_busy_fraction: get_f64(v, "sm_busy_fraction")?,
+            epoch_hist,
         })
     }
 }
@@ -455,7 +630,47 @@ mod tests {
             dram_clock_ghz: 0.924,
             num_sms: 12,
             sm_busy_fraction: 0.9,
+            epoch_hist: EpochHist::default(),
         }
+    }
+
+    #[test]
+    fn epoch_hist_buckets_by_power_of_two() {
+        let mut h = EpochHist::default();
+        for len in [1, 2, 3, 4, 7, 8, 64, 127, 128, 1000] {
+            h.record(len, false);
+        }
+        assert_eq!(h.lengths, [1, 2, 2, 1, 0, 0, 2, 2]);
+        assert_eq!(h.epochs(), 10);
+        assert_eq!(h.multi_cycle(), 9);
+        assert_eq!(h.in_flight_multi, 0);
+    }
+
+    #[test]
+    fn epoch_hist_counts_multi_cycle_epochs_under_replies() {
+        let mut h = EpochHist::default();
+        h.record(1, true); // one-cycle: never counts, replies or not
+        h.record(5, false);
+        h.record(5, true);
+        h.record(9, true);
+        assert_eq!(h.in_flight_multi, 2);
+    }
+
+    #[test]
+    fn report_equality_ignores_engine_diagnostics() {
+        let a = report(10);
+        let mut b = report(10);
+        b.epoch_hist.record(4, true);
+        assert_eq!(a, b, "epoch telemetry must not break result equality");
+        assert_eq!(a.results_json(), b.results_json());
+        assert_ne!(
+            a.to_json(),
+            b.to_json(),
+            "the full serialization does carry the histogram"
+        );
+        let mut c = report(10);
+        c.cycles += 1;
+        assert_ne!(a, c, "result fields still compare");
     }
 
     #[test]

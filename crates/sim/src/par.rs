@@ -29,13 +29,32 @@
 //! # Safe horizon
 //!
 //! An epoch may span multiple cycles only while the TB scheduler is
-//! provably inert and no SM can act: the horizon is the minimum of the
-//! SMs' next-event cycles, the reply-net ports' earliest calendar entry
-//! (an in-flight reply delivery would wake an SM), and the
-//! minimum-hop-latency bound above — all derived from existing event
-//! caches. Any cycle with possible SM activity runs as a one-cycle epoch
-//! whose barrier performs injection, TB scheduling and sampling exactly
-//! where the sequential loop would.
+//! provably inert and no SM can act. The bound is assembled from the
+//! **wake-gate subsystem** (see `crate::wake`) instead of global
+//! minima over raw event caches:
+//!
+//! * **SM gates** — each shard keeps a [`WakeGate`] over its SMs; the
+//!   epoch must end before the earliest per-shard gate.
+//! * **Reply deliveries** — a reply in flight on port *p* wakes exactly
+//!   the SM behind *p*, and it does so at the packet's *completion*
+//!   cycle ([`Crossbar::port_delivery_at`]), so that is when it clamps
+//!   the (global) epoch — not at its next flit movement. A streaming
+//!   5-flit reply therefore no longer pins the horizon at one cycle —
+//!   the regime where the old `reply_next` movement-minimum collapsed
+//!   every memory-saturated phase to lockstep.
+//! * **Emission gate** — in-epoch reply *emissions* are buffered and
+//!   barrier-injected, so they must not be due to move a flit before
+//!   the epoch ends. Emissions are bounded below by the per-channel
+//!   DRAM minima (completion replies), the slices' in-flight hit heads,
+//!   and — for work enqueued inside the epoch — the DRAM minimum
+//!   completion latency / LLC hit latency; the epoch may extend until
+//!   `router_latency` NoC cycles past the first emission-capable
+//!   cycle's stamp (previously: past the epoch's *start*).
+//!
+//! Any cycle with possible SM activity runs as a one-cycle epoch whose
+//! barrier performs injection, TB scheduling and sampling exactly where
+//! the sequential loop would. Epoch lengths are recorded in the
+//! report's [`EpochHist`] so the multi-cycle behavior is observable.
 //!
 //! # Determinism
 //!
@@ -51,18 +70,29 @@ use crate::gpu::{
     build_report, domain_ticks, GpuSim, ReportParts, SmPool, TbScheduler, METRIC_SAMPLE_INTERVAL,
 };
 use crate::llc::LlcSlice;
-use crate::metrics::{ParallelismIntegrator, SimReport};
+use crate::metrics::{EpochHist, ParallelismIntegrator, SimReport};
 use crate::sm::{Sm, SmOutbound};
 use crate::trace::KernelSource;
 use crate::txn::TxnTable;
+use crate::wake::WakeGate;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
 use valley_core::{AddressMapper, DramAddressMap, PhysAddr};
 use valley_dram::{DramCompletion, DramSystem};
 use valley_noc::{Crossbar, Delivery, NocStats, Packet};
 
-/// Hard cap on epoch length in core cycles (the router-latency bound is
+/// Hard cap on epoch length in core cycles (the emission-gate bound is
 /// usually tighter; this only bounds the coordinator's scratch buffers).
 const EPOCH_CAP: u64 = 64;
+
+/// How many busy-wait probes the epoch barrier performs before parking
+/// on the Condvar. One-cycle epochs turn around in well under a
+/// microsecond of shard work, so two futex round trips per epoch used to
+/// dominate the barrier; a bounded spin absorbs that common case while
+/// the parked path still yields the CPU on oversubscribed boxes (more
+/// workers than cores), where spinning would steal cycles from the very
+/// shard being waited on.
+const SPIN_ITERS: u32 = 1 << 12;
 
 /// A reply produced inside an epoch, tagged with the coordinates that
 /// define its sequential injection order.
@@ -139,10 +169,16 @@ struct Shard {
     reply_ports: Crossbar,
     /// This shard's transaction arena (ids carry the shard namespace).
     txns: TxnTable,
-    /// Local walk gates, mirroring the sequential loop's `sms_next` /
-    /// `slices_next` (behavior-neutral: every component still self-gates).
-    sms_next: u64,
-    slices_next: u64,
+    /// Wake gates over this shard's SM and slice populations (see
+    /// `crate::wake`): rebuilt by the walks below, clamped by the
+    /// deliveries/fills above them, exact at every epoch boundary —
+    /// the shard-local half of the wake-gate subsystem
+    /// (behavior-neutral: every component still self-gates). Being per
+    /// *shard*, instead of the global minimum the coordinator used to
+    /// fold them into, is what lets the safe horizon treat each
+    /// shard's pending wakes separately.
+    wake_sms: WakeGate,
+    wake_slices: WakeGate,
     /// Whether any SM ticked or received a reply this epoch.
     sm_activity: bool,
     // Epoch outboxes, drained by the coordinator at the barrier.
@@ -177,7 +213,7 @@ impl Shard {
                 self.req_ports.tick_evented(noc_cycle, &mut self.deliveries);
                 for d in &self.deliveries {
                     self.slices[d.dst].deliver(d.payload);
-                    self.slices_next = 0;
+                    self.wake_slices.wake_now();
                 }
                 self.deliveries.clear();
                 self.reply_ports
@@ -185,7 +221,8 @@ impl Shard {
                 for d in &self.deliveries {
                     self.sms[d.dst].on_reply(d.payload, &self.txns, cycle);
                     self.sm_activity = true;
-                    self.sms_next = 0;
+                    // `on_reply` forces a tick of this SM at `cycle`.
+                    self.wake_sms.wake_at(cycle);
                 }
                 noc_cycle += 1;
             }
@@ -218,7 +255,7 @@ impl Shard {
                                     txn,
                                 });
                             }
-                            self.slices_next = 0;
+                            self.wake_slices.wake_now();
                         }
                     }
                 }
@@ -226,7 +263,7 @@ impl Shard {
             }
 
             // ---- LLC slices ----
-            if !self.slices.is_empty() && cycle >= self.slices_next {
+            if !self.slices.is_empty() && cycle >= self.wake_slices.get() {
                 let dram = self
                     .dram
                     .as_mut()
@@ -254,11 +291,11 @@ impl Shard {
                     }
                     next = next.min(s.cached_next_event());
                 }
-                self.slices_next = next;
+                self.wake_slices.rebuild(next);
             }
 
             // ---- SMs ----
-            if cycle >= self.sms_next {
+            if cycle >= self.wake_sms.get() {
                 let mut next = u64::MAX;
                 for (si, sm) in self.sms.iter_mut().enumerate() {
                     self.outbound_scratch.clear();
@@ -282,7 +319,7 @@ impl Shard {
                     }
                     next = next.min(sm.cached_next_event());
                 }
-                self.sms_next = next;
+                self.wake_sms.rebuild(next);
             }
 
             // ---- Metrics (per-shard contribution; summed at the barrier)
@@ -349,7 +386,12 @@ impl SmPool for ShardSmPool<'_, '_> {
     }
     fn assign(&mut self, sm: usize, kernel: &dyn KernelSource, tb: u64, age: u64, cycle: u64) {
         let (s, l) = self.sm_map[sm];
-        self.guards[s as usize].sms[l as usize].assign_tb(kernel, tb, age, cycle);
+        let g = &mut self.guards[s as usize];
+        g.sms[l as usize].assign_tb(kernel, tb, age, cycle);
+        // `assign_tb` zeroed the SM's own next-event cache; clamp the
+        // owning shard's gate (only shards that actually received a TB
+        // are forced to walk — the old code reset every shard).
+        g.wake_sms.wake_now();
     }
 }
 
@@ -396,30 +438,40 @@ fn memory_groups(map: &dyn DramAddressMap, llc_slices: usize) -> Vec<(Vec<u16>, 
     }
 }
 
-/// The barrier protocol between the coordinator and the parked workers.
+/// The barrier protocol between the coordinator and the workers:
+/// **spin-then-park**. The fast path is lock-free — `epoch`, `remaining`
+/// and `stop` are atomics the two sides poll for a bounded number of
+/// iterations — so an epoch whose shard work finishes quickly costs no
+/// futex round trips at all. Only when the spin budget runs out does a
+/// side take the mutex and park on the matching Condvar; the publisher
+/// then pairs every atomic update with a locked notify, so a parked
+/// peer either observes the update before waiting (the lock orders the
+/// two) or is woken by the notify — no missed-wakeup window.
 struct Ctrl {
-    m: Mutex<CtrlState>,
+    /// Epoch counter, bumped by [`Ctrl::publish`] after the plan write.
+    epoch: AtomicU64,
+    /// Workers still ticking the current epoch.
+    remaining: AtomicUsize,
+    stop: AtomicBool,
+    /// The published plan; written before the `epoch` bump (Release)
+    /// and read after observing it (Acquire), the lock being needed
+    /// only because `Plan` is not atomic.
+    plan: Mutex<Plan>,
+    /// Park-path lock: pure synchronization, no data.
+    m: Mutex<()>,
     start_cv: Condvar,
     done_cv: Condvar,
     workers: usize,
 }
 
-struct CtrlState {
-    epoch: u64,
-    plan: Plan,
-    remaining: usize,
-    stop: bool,
-}
-
 impl Ctrl {
     fn new(workers: usize) -> Self {
         Ctrl {
-            m: Mutex::new(CtrlState {
-                epoch: 0,
-                plan: Plan::default(),
-                remaining: 0,
-                stop: false,
-            }),
+            epoch: AtomicU64::new(0),
+            remaining: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            plan: Mutex::new(Plan::default()),
+            m: Mutex::new(()),
             start_cv: Condvar::new(),
             done_cv: Condvar::new(),
             workers,
@@ -428,47 +480,76 @@ impl Ctrl {
 
     /// Coordinator: publish `plan` and release the workers.
     fn publish(&self, plan: &Plan) {
-        let mut g = self.m.lock().expect("ctrl poisoned");
-        g.plan = *plan;
-        g.epoch += 1;
-        g.remaining = self.workers;
+        *self.plan.lock().expect("ctrl poisoned") = *plan;
+        self.remaining.store(self.workers, Ordering::Release);
+        self.epoch.fetch_add(1, Ordering::Release);
+        // Lock-paired notify: a worker past its spin budget holds `m`
+        // while re-checking `epoch`, so it either sees the bump or is
+        // inside `wait` when this notify fires.
+        let _g = self.m.lock().expect("ctrl poisoned");
         self.start_cv.notify_all();
     }
 
-    /// Coordinator: wait until every worker finished the epoch.
+    /// Coordinator: wait until every worker finished the epoch — spin
+    /// first, park on the Condvar only if the workers outlast the
+    /// budget.
     fn wait_done(&self) {
+        for _ in 0..SPIN_ITERS {
+            if self.remaining.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            std::hint::spin_loop();
+        }
         let mut g = self.m.lock().expect("ctrl poisoned");
-        while g.remaining > 0 {
+        while self.remaining.load(Ordering::Acquire) > 0 {
             g = self.done_cv.wait(g).expect("ctrl poisoned");
         }
     }
 
     /// Coordinator: wake all workers for exit.
     fn stop(&self) {
-        let mut g = self.m.lock().expect("ctrl poisoned");
-        g.stop = true;
+        self.stop.store(true, Ordering::Release);
+        let _g = self.m.lock().expect("ctrl poisoned");
         self.start_cv.notify_all();
     }
 
-    /// Worker: wait for an epoch newer than `seen`; `None` = shut down.
+    /// Worker: wait for an epoch newer than `seen` (spin, then park);
+    /// `None` = shut down.
     fn next_epoch(&self, seen: u64) -> Option<(u64, Plan)> {
-        let mut g = self.m.lock().expect("ctrl poisoned");
-        loop {
-            if g.stop {
-                return None;
+        let ready = |this: &Self| -> Option<Option<u64>> {
+            if this.stop.load(Ordering::Acquire) {
+                return Some(None);
             }
-            if g.epoch > seen {
-                return Some((g.epoch, g.plan));
+            let e = this.epoch.load(Ordering::Acquire);
+            (e > seen).then_some(Some(e))
+        };
+        let mut outcome = None;
+        for _ in 0..SPIN_ITERS {
+            if let Some(o) = ready(self) {
+                outcome = Some(o);
+                break;
             }
-            g = self.start_cv.wait(g).expect("ctrl poisoned");
+            std::hint::spin_loop();
         }
+        let outcome = outcome.unwrap_or_else(|| {
+            let mut g = self.m.lock().expect("ctrl poisoned");
+            loop {
+                if let Some(o) = ready(self) {
+                    break o;
+                }
+                g = self.start_cv.wait(g).expect("ctrl poisoned");
+            }
+        });
+        let epoch = outcome?;
+        let plan = *self.plan.lock().expect("ctrl poisoned");
+        Some((epoch, plan))
     }
 
     /// Worker: report epoch completion.
     fn done(&self) {
-        let mut g = self.m.lock().expect("ctrl poisoned");
-        g.remaining -= 1;
-        if g.remaining == 0 {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last one out: lock-paired notify (see `publish`).
+            let _g = self.m.lock().expect("ctrl poisoned");
             self.done_cv.notify_one();
         }
     }
@@ -520,6 +601,8 @@ pub(crate) fn run_sharded(sim: GpuSim, num_shards: usize, threads: usize) -> Sim
         shards.push(Mutex::new(Shard {
             req_ports: Crossbar::new(cfg.num_sms, slice_ids.len().max(1), cfg.noc_router_latency),
             reply_ports: Crossbar::new(cfg.llc_slices, sm_ids.len().max(1), cfg.noc_router_latency),
+            wake_sms: WakeGate::new(),
+            wake_slices: WakeGate::new(),
             sm_ids,
             slice_ids,
             slice_local,
@@ -527,8 +610,6 @@ pub(crate) fn run_sharded(sim: GpuSim, num_shards: usize, threads: usize) -> Sim
             slices,
             dram,
             txns: TxnTable::with_namespace(s as u32),
-            sms_next: 0,
-            slices_next: 0,
             sm_activity: false,
             replies_out: Vec::with_capacity(64),
             reqs_out: Vec::with_capacity(64),
@@ -567,8 +648,12 @@ pub(crate) fn run_sharded(sim: GpuSim, num_shards: usize, threads: usize) -> Sim
         stamps: Vec::with_capacity(EPOCH_CAP as usize),
         merge_replies: Vec::with_capacity(128),
         merge_reqs: Vec::with_capacity(128),
+        reply_inbox: (0..num_shards).map(|_| Vec::with_capacity(32)).collect(),
+        req_inbox: (0..num_shards).map(|_| Vec::with_capacity(32)).collect(),
         sample_acc: Vec::with_capacity(EPOCH_CAP as usize),
         bank_channels: Vec::with_capacity(EPOCH_CAP as usize),
+        epoch_hist: EpochHist::default(),
+        plan_replies_busy: false,
     };
 
     let threads = threads.clamp(1, num_shards);
@@ -645,8 +730,20 @@ struct Coordinator<'a> {
     stamps: Vec<u64>,
     merge_replies: Vec<TaggedReply>,
     merge_reqs: Vec<TaggedReq>,
+    /// Per-destination-shard packet inboxes (reused every epoch): the
+    /// barrier batches all cross-shard packets by destination and
+    /// drains one `Vec` per shard, touching each shard's crossbars in
+    /// one contiguous pass instead of hopping between shards per
+    /// message.
+    reply_inbox: Vec<Vec<Packet>>,
+    req_inbox: Vec<Vec<Packet>>,
     sample_acc: Vec<SampleParts>,
     bank_channels: Vec<u64>,
+    /// Epoch-length telemetry, surfaced in the report.
+    epoch_hist: EpochHist,
+    /// Whether any reply-net packet was in flight when the pending
+    /// epoch was planned (feeds [`EpochHist::in_flight_multi`]).
+    plan_replies_busy: bool,
 }
 
 enum Step {
@@ -716,7 +813,7 @@ impl<'a> Coordinator<'a> {
             if let Some(d) = &g.dram {
                 dram_next = dram_next.min(d.cached_next_event());
             }
-            core_next = core_next.min(g.sms_next).min(g.slices_next);
+            core_next = core_next.min(g.wake_sms.get()).min(g.wake_slices.get());
         }
         {
             let (_, nt) = domain_ticks(self.noc_acc, self.env.noc_per_core);
@@ -793,12 +890,13 @@ impl<'a> Coordinator<'a> {
 
     /// Plans the next epoch: one cycle whenever SM activity or the TB
     /// scheduler may be live, else extended to the safe horizon derived
-    /// from the SM next-event minima, the reply-net calendars and the
-    /// minimum hop latency.
-    fn make_plan(&mut self, guards: &mut [MutexGuard<'_, Shard>]) -> Plan {
+    /// from the per-unit wake gates (see [`Coordinator::horizon`]).
+    fn make_plan(&mut self, guards: &[MutexGuard<'_, Shard>]) -> Plan {
+        let (h, replies_busy) = self.horizon(guards);
+        self.plan_replies_busy = replies_busy;
         let plan = Plan {
             t_start: self.cycle,
-            t_end: self.cycle + self.horizon(guards),
+            t_end: self.cycle + h,
             noc_acc: self.noc_acc,
             noc_cycle: self.noc_cycle,
             dram_acc: self.dram_acc,
@@ -820,40 +918,124 @@ impl<'a> Coordinator<'a> {
         plan
     }
 
-    /// How many cycles the next epoch may safely span (≥ 1).
-    fn horizon(&self, guards: &[MutexGuard<'_, Shard>]) -> u64 {
+    /// How many cycles the next epoch may safely span (≥ 1), plus
+    /// whether any reply-net packet was in flight when the bound was
+    /// computed (epoch telemetry).
+    ///
+    /// Assembled from the wake-gate subsystem, per shard:
+    ///
+    /// * `sm_gate` — the earliest per-SM wake gate anywhere; an SM tick
+    ///   is SM activity and must barrier.
+    /// * `deliver_gate` — the earliest reply-net packet *completion*
+    ///   (NoC cycles): a delivery wakes its SM. Crucially this is the
+    ///   per-port delivery query, not the next flit movement — a
+    ///   streaming reply only clamps the epoch at the cycle its last
+    ///   flit lands.
+    /// * `emit_cycle` — a core-cycle lower bound on the first in-epoch
+    ///   reply *emission*: the per-channel DRAM minima (a completion
+    ///   reply needs a channel event first), the slices' in-flight hit
+    ///   heads, and `min(DRAM minimum completion latency, LLC hit
+    ///   latency)` for work the epoch itself enqueues. Emitted replies
+    ///   are injected at the barrier with their in-epoch stamps; they
+    ///   cannot be due to move a flit before `stamp + router_latency`,
+    ///   so the epoch may run until that bound instead of stopping
+    ///   `router_latency` NoC cycles after its *start*.
+    ///
+    /// Planning is read-only: shard state is only inspected, never
+    /// touched (the `&` receivers all the way down prove it).
+    fn horizon(&self, guards: &[MutexGuard<'_, Shard>]) -> (u64, bool) {
+        let mut replies_busy = false;
+        for g in guards.iter() {
+            replies_busy |= g.reply_ports.is_busy();
+        }
         // The scheduler runs every cycle while no kernel is loaded
         // (kernel loads and termination both live there), so such cycles
         // barrier individually.
         if self.sched.kernel.is_none() {
-            return 1;
+            return (1, replies_busy);
         }
-        let mut sms_gate = u64::MAX;
-        let mut reply_next = u64::MAX;
-        for g in guards {
-            sms_gate = sms_gate.min(g.sms_next);
-            reply_next = reply_next.min(g.reply_ports.cached_next_event());
+        let cfg = self.env.cfg;
+        // Cheap gates first, each with an early-out: the expensive
+        // emission scan below only runs when a multi-cycle epoch is
+        // actually on the table, so 1-cycle epochs (which dominate even
+        // saturated phases, and where planning runs every cycle) pay a
+        // handful of scalar reads.
+        let mut sm_gate = u64::MAX; // core cycles
+        for g in guards.iter() {
+            sm_gate = sm_gate.min(g.wake_sms.get());
         }
-        // In-window injections (replies emitted by busy slices) cannot
-        // move a flit before `noc_cycle + router_latency`; pre-window
-        // reply packets cannot before `reply_next`. Below the combined
-        // gate no SM can be woken, so no TB can retire and the scheduler
-        // stays provably inert.
-        let noc_gate = reply_next.min(self.noc_cycle + self.env.cfg.noc_router_latency);
-        let cap = EPOCH_CAP.min(self.env.cfg.max_cycles - self.cycle);
+        if sm_gate <= self.cycle + 1 {
+            // An SM may act on the very next cycle: 1-cycle epoch.
+            return (1, replies_busy);
+        }
+        let mut deliver_gate = u64::MAX; // NoC cycles
+        for g in guards.iter() {
+            deliver_gate = deliver_gate.min(g.reply_ports.delivery_gate());
+        }
+        {
+            // First NoC step: a pre-existing reply completing within it
+            // forces a 1-cycle epoch — exactly the loop's first-iteration
+            // break, taken before the emission scan.
+            let (_, nt1) = domain_ticks(self.noc_acc, self.env.noc_per_core);
+            if self.noc_cycle + nt1 > deliver_gate {
+                return (1, replies_busy);
+            }
+        }
+        let mut emit_cycle = u64::MAX; // core cycles
+                                       // Work enqueued during the epoch (DRAM hand-offs, tag probes)
+                                       // cannot produce a reply sooner than the shorter of the DRAM
+                                       // minimum completion latency (in DRAM cycles, which take at
+                                       // least as many core cycles) and the LLC hit latency.
+        let enq_bound = cfg.dram.min_completion_latency().min(cfg.llc_latency);
+        for g in guards.iter() {
+            if let Some(d) = &g.dram {
+                let dm = d.cached_next_event();
+                if dm != u64::MAX {
+                    // `d` DRAM cycles take at least `d` core cycles
+                    // (domain clocks no faster than the core clock).
+                    emit_cycle = emit_cycle.min(self.cycle + dm.saturating_sub(self.dram_cycle));
+                }
+            }
+            let mut active = g.req_ports.is_busy();
+            for s in &g.slices {
+                emit_cycle = emit_cycle.min(s.next_reply_at());
+                active |= !s.is_idle();
+            }
+            if active {
+                emit_cycle = emit_cycle.min(self.cycle + enq_bound);
+            }
+        }
+        let rl = cfg.noc_router_latency;
+        let cap = EPOCH_CAP.min(cfg.max_cycles - self.cycle);
         let mut h = 0u64;
         let mut na = self.noc_acc;
         let mut nc = self.noc_cycle;
-        while h < cap && self.cycle + h < sms_gate {
+        // NoC stamp of the first emission-capable cycle, once the window
+        // reaches it. Stamps never precede the window's starting NoC
+        // cycle, so an already-due emission gate degrades exactly to the
+        // old `noc_cycle + router_latency` rule.
+        let mut emit_stamp = (emit_cycle <= self.cycle).then_some(self.noc_cycle);
+        while h < cap && self.cycle + h < sm_gate {
             let (na2, nt) = domain_ticks(na, self.env.noc_per_core);
-            if nc + nt > noc_gate {
+            let v = nc + nt;
+            // A reply delivery inside the window would wake an SM.
+            if v > deliver_gate {
+                break;
+            }
+            // A barrier-injected emission must not already be due.
+            if emit_stamp.is_some_and(|es| v > es + rl) {
                 break;
             }
             na = na2;
-            nc += nt;
+            nc = v;
             h += 1;
+            if emit_stamp.is_none() && self.cycle + h > emit_cycle {
+                // The cycle just admitted is the first emission-capable
+                // one; its post-tick NoC cycle stamps its injections.
+                emit_stamp = Some(nc);
+            }
         }
-        h.max(1)
+        (h.max(1), replies_busy)
     }
 
     /// The epoch barrier: merge outboxes in sequential order, inject
@@ -899,16 +1081,22 @@ impl<'a> Coordinator<'a> {
 
         // ---- Inject cross-shard traffic in sequential order ----
         // Stable sorts: entries with equal keys come from a single shard
-        // and stay in their (already sequential) push order.
+        // and stay in their (already sequential) push order. Packets are
+        // batched into one inbox per destination shard first — the sort
+        // order survives the stable partition, so each crossbar sees the
+        // identical per-port injection sequence — and every shard's
+        // crossbars are then filled in one contiguous drain instead of
+        // per-message hops between shards.
         self.merge_replies
             .sort_by_key(|r| (r.cycle, r.phase, r.unit));
         self.merge_reqs.sort_by_key(|q| (q.cycle, q.sm));
-        let stamp_of = |cycle: u64| self.stamps[(cycle - plan.t_start) as usize];
+        let stamps = &self.stamps;
+        let stamp_of = |cycle: u64| stamps[(cycle - plan.t_start) as usize];
         for i in 0..self.merge_replies.len() {
             let r = self.merge_replies[i];
             let rec = *guards[TxnTable::namespace_of(r.txn)].txns.get(r.txn);
             let (ds, dl) = self.sm_map[rec.sm as usize];
-            guards[ds as usize].reply_ports.inject(Packet {
+            self.reply_inbox[ds as usize].push(Packet {
                 payload: rec.origin,
                 src: rec.slice as usize,
                 dst: dl as usize,
@@ -921,7 +1109,7 @@ impl<'a> Coordinator<'a> {
             let rec = *guards[TxnTable::namespace_of(q.txn)].txns.get(q.txn);
             let (ds, dl) = self.slice_map[rec.slice as usize];
             let copy = guards[ds as usize].txns.alloc_copy(rec, q.txn);
-            guards[ds as usize].req_ports.inject(Packet {
+            self.req_inbox[ds as usize].push(Packet {
                 payload: copy,
                 src: rec.sm as usize,
                 dst: dl as usize,
@@ -929,6 +1117,18 @@ impl<'a> Coordinator<'a> {
                 injected_at: stamp_of(q.cycle),
             });
         }
+        for (s, g) in guards.iter_mut().enumerate() {
+            for pkt in self.reply_inbox[s].drain(..) {
+                g.reply_ports.inject(pkt);
+            }
+            for pkt in self.req_inbox[s].drain(..) {
+                g.req_ports.inject(pkt);
+            }
+        }
+
+        // ---- Epoch telemetry ----
+        self.epoch_hist
+            .record(plan.t_end - plan.t_start, self.plan_replies_busy);
 
         // ---- TB scheduler (the sequential loop's gate, verbatim) ----
         debug_assert!(
@@ -943,9 +1143,8 @@ impl<'a> Coordinator<'a> {
             self.sched
                 .run(&mut pool, self.workload, self.env.cfg, plan.t_end - 1);
             self.sched_quiet = false;
-            for g in guards.iter_mut() {
-                g.sms_next = 0;
-            }
+            // The pool lowered the wake gates of exactly the SMs it
+            // assigned to; no blanket invalidation is needed.
         }
 
         self.cycle = plan.t_end;
@@ -1004,6 +1203,7 @@ impl<'a> Coordinator<'a> {
             req,
             rep,
             memory_transactions: txn_count,
+            epoch_hist: self.epoch_hist,
         })
     }
 }

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use valley_cache::CacheStats;
 use valley_dram::DramStats;
-use valley_sim::{SimReport, REPORT_SCHEMA_VERSION};
+use valley_sim::{EpochHist, SimReport, REPORT_SCHEMA_VERSION};
 
 fn report(
     cycles: u64,
@@ -56,6 +56,19 @@ fn report(
         dram_clock_ghz: 0.924,
         num_sms: 12,
         sm_busy_fraction: frac,
+        epoch_hist: EpochHist {
+            lengths: [
+                cycles,
+                big / 7,
+                cycles / 3,
+                1,
+                0,
+                2,
+                big / 11,
+                u64::from(truncated),
+            ],
+            in_flight_multi: cycles / 5,
+        },
     }
 }
 
@@ -71,6 +84,9 @@ proptest! {
     ) {
         let r = report(cycles, big, frac, truncated, "MT".into(), "PAE".into());
         let back = SimReport::from_json(&r.to_json()).unwrap();
+        // `PartialEq` deliberately ignores the engine diagnostics, so
+        // the histogram round trip is pinned separately.
+        prop_assert_eq!(back.epoch_hist, r.epoch_hist);
         prop_assert_eq!(back, r);
     }
 
@@ -91,7 +107,7 @@ proptest! {
 
     /// Dropping any field fails loudly (no defaulting of missing data).
     #[test]
-    fn missing_fields_fail_loudly(idx in 0usize..22) {
+    fn missing_fields_fail_loudly(idx in 0usize..23) {
         let r = report(12, 1 << 57, 0.25, true, "LU".into(), "PM".into());
         let json = r.to_json();
         // Strip the idx-th top-level member by rebuilding the object.

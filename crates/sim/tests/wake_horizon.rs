@@ -1,0 +1,86 @@
+//! Regression tests for the per-unit wake-gate safe horizon: the
+//! phase-parallel engine must run multi-cycle epochs in memory-saturated
+//! phases — the regime where the old global-minimum gating (`sms_next` /
+//! reply-net flit-movement minima) pinned every epoch at one cycle as
+//! soon as any reply was in flight anywhere.
+
+use std::sync::Arc;
+use valley_core::{AddressMapper, GddrMap, SchemeKind};
+use valley_sim::{GpuConfig, GpuSim, Instruction, LaneAddrs, Parallelism};
+use valley_workloads::{KernelSpec, Workload};
+
+/// A memory-saturating micro workload: every warp issues a burst of
+/// strided loads (uncoalescable — one transaction per lane group) and
+/// then stalls on them, so the machine spends nearly all of its time
+/// with SMs parked on MSHRs while the LLC/DRAM side stays busy and
+/// replies stream back — the paper's entropy-valley regime in miniature.
+fn memory_saturated_workload() -> Workload {
+    let gen = Arc::new(move |tb: u64, warp: usize| {
+        let base = (tb * 8 + warp as u64) << 14;
+        (0..12)
+            .map(|i| Instruction::Load(LaneAddrs::strided(base + i * 32, 16, 512)))
+            .collect()
+    });
+    Workload::new("wake-saturate", vec![KernelSpec::new("k0", 24, 2, gen)])
+}
+
+fn build() -> GpuSim {
+    let map = GddrMap::baseline();
+    let mapper = AddressMapper::build(SchemeKind::Base, &map, 1);
+    GpuSim::new(
+        GpuConfig::table1(),
+        mapper,
+        map,
+        Box::new(memory_saturated_workload()),
+    )
+}
+
+/// Multi-cycle epochs must occur *while replies are in flight* — before
+/// the per-port delivery gates this was structurally (near) impossible:
+/// a streaming reply moved a flit every NoC cycle, so the global
+/// reply-net movement minimum clamped the horizon of every shard —
+/// including shards none of whose SMs the reply could wake — to one
+/// cycle for the whole saturated phase.
+#[test]
+fn saturated_phase_runs_multi_cycle_epochs_with_replies_in_flight() {
+    let seq = build().run_with(Parallelism::Off);
+    assert!(!seq.truncated);
+    for shards in [2, 4] {
+        let par = build().run_sharded(shards, 1);
+        assert_eq!(
+            par.results_json(),
+            seq.results_json(),
+            "parallel({shards}) diverged from sequential"
+        );
+        let h = &par.epoch_hist;
+        assert!(h.epochs() > 0, "parallel({shards}): no epochs recorded");
+        assert!(
+            h.multi_cycle() > 0,
+            "parallel({shards}): every epoch was one cycle — the wake \
+             gates are not extending the horizon: {h:?}"
+        );
+        // The headline regression: a reply in flight on one shard's
+        // reply ports no longer collapses every other shard's horizon.
+        assert!(
+            h.in_flight_multi > 0,
+            "parallel({shards}): no multi-cycle epoch overlapped an \
+             in-flight reply — the delivery gates are not being used: {h:?}"
+        );
+    }
+}
+
+/// The histogram is engine telemetry: sequential runs report none, and
+/// it must never leak into result equality or the results JSON.
+#[test]
+fn histogram_is_telemetry_not_a_result() {
+    let seq = build().run_with(Parallelism::Off);
+    assert_eq!(seq.epoch_hist.epochs(), 0);
+    let par = build().run_sharded(2, 1);
+    assert_ne!(par.epoch_hist.epochs(), 0);
+    // Result equality and canonical result bytes agree across engines…
+    assert_eq!(seq, par);
+    assert_eq!(seq.results_json(), par.results_json());
+    // …while the full serialization carries the diagnostics.
+    assert_ne!(seq.to_json(), par.to_json());
+    assert!(par.to_json().contains("epoch_hist"));
+}
