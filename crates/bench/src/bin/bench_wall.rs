@@ -28,11 +28,12 @@ use valley_harness::{execute_job, pool, run_sweep, ResultStore, SweepOptions, Sw
 use valley_sim::json::{self, Json};
 use valley_workloads::{Benchmark, Scale};
 
-/// Reads the committed snapshot's per-job smoke wall times, if present.
-fn committed_smoke_walls() -> Option<Vec<(String, f64)>> {
+/// Reads a section's per-job smoke wall times from the committed
+/// snapshot, if present.
+fn committed_smoke_walls(section: &str) -> Option<Vec<(String, f64)>> {
     let text = std::fs::read_to_string("BENCH_suite.json").ok()?;
     let v = json::parse(&text).ok()?;
-    let walls = v.get("harness_smoke")?.get("job_wall_ms")?;
+    let walls = v.get(section)?.get("job_wall_ms")?;
     match walls {
         Json::Obj(entries) => Some(
             entries
@@ -70,7 +71,8 @@ fn main() {
         }
         other => panic!("unknown arguments {other:?} (usage: bench_wall [--gate PCT])"),
     };
-    let committed = gate_pct.and_then(|_| committed_smoke_walls());
+    let committed = gate_pct.and_then(|_| committed_smoke_walls("harness_smoke"));
+    let committed_batched = gate_pct.and_then(|_| committed_smoke_walls("harness_smoke_batched"));
     // The sequential rows (and the --gate comparison against committed
     // sequential baselines) must run on the sequential engine even when
     // the caller's environment sets VALLEY_SIM_THREADS; snapshot the
@@ -113,10 +115,14 @@ fn main() {
     // Harness smoke slice at Ref scale: cold sweep, then resumed sweep.
     let store = ResultStore::open(&scratch).expect("scratch store opens");
     let spec = SweepSpec::new(&benches, &schemes, Scale::Ref);
+    // `batch: 1` pins the per-job sequential path even when the caller's
+    // environment sets VALLEY_SIM_BATCH (the option, when non-zero, wins
+    // over the knob).
     let quiet = SweepOptions {
         workers: None,
         verbose: false,
         force: false,
+        batch: 1,
     };
     let cold = run_sweep(&spec, &store, &quiet).expect("cold smoke sweep");
     let warm = run_sweep(&spec, &store, &quiet).expect("warm smoke sweep");
@@ -181,6 +187,80 @@ fn main() {
     );
     std::fs::remove_dir_all(&par_scratch).ok();
 
+    // Batched-engine smoke row: the Ref slice widened to a same-config
+    // multi-seed group (seeds 1–3 — the paper's best-of-3 shape), cold,
+    // through the lockstep batched engine. `--batch 9` makes each
+    // scheme's nine jobs (3 benches × 3 seeds) one batch: the BASE
+    // group's seeds collapse to one simulation per bench (deterministic
+    // schemes never read the seed — see `execute_batch`), the PAE group
+    // runs all nine lanes in lockstep. Per-lane results are
+    // bit-identical to the sequential rows by the engine's contract;
+    // the wall times track what batching buys on ONE worker, where
+    // lane dedupe and amortization — shared fast-forward, shared config
+    // and map, resident hot-loop state — are the only levers, not pool
+    // parallelism. Sequential and batched runs interleave and the
+    // medians are compared, so drift in machine load hits both
+    // measurements evenly.
+    const BATCH_ROUNDS: usize = 3;
+    const BATCH_WIDTH: usize = 9;
+    let seeds_spec = spec.clone().with_seeds(&[1, 2, 3]);
+    let one_seq = SweepOptions {
+        workers: Some(1),
+        verbose: false,
+        force: true,
+        batch: 1,
+    };
+    let one_bat = SweepOptions {
+        workers: Some(1),
+        verbose: false,
+        force: true,
+        batch: BATCH_WIDTH,
+    };
+    let bat_scratch =
+        std::env::temp_dir().join(format!("valley-bench-wall-bat-{}", std::process::id()));
+    std::fs::remove_dir_all(&bat_scratch).ok();
+    let bat_store = ResultStore::open(&bat_scratch).expect("batched scratch store opens");
+    let seq1_scratch =
+        std::env::temp_dir().join(format!("valley-bench-wall-seq1-{}", std::process::id()));
+    std::fs::remove_dir_all(&seq1_scratch).ok();
+    let seq1_store = ResultStore::open(&seq1_scratch).expect("1-worker scratch store opens");
+    let mut seq_walls = Vec::new();
+    let mut bat_walls = Vec::new();
+    let mut seq_cold = None;
+    let mut bat_cold = None;
+    for _ in 0..BATCH_ROUNDS {
+        let s = run_sweep(&seeds_spec, &seq1_store, &one_seq).expect("1-worker sequential sweep");
+        seq_walls.push(s.wall.as_secs_f64());
+        seq_cold = Some(s);
+        let b = run_sweep(&seeds_spec, &bat_store, &one_bat).expect("batched smoke sweep");
+        bat_walls.push(b.wall.as_secs_f64());
+        bat_cold = Some(b);
+    }
+    let seq_cold = seq_cold.expect("at least one sequential round ran");
+    let bat_cold = bat_cold.expect("at least one batched round ran");
+    std::fs::remove_dir_all(&bat_scratch).ok();
+    std::fs::remove_dir_all(&seq1_scratch).ok();
+    for (seq, bat) in seq_cold.jobs.iter().zip(&bat_cold.jobs) {
+        assert_eq!(
+            seq.report, bat.report,
+            "batched engine diverged on {} — bit-identity broken",
+            seq.spec
+        );
+    }
+    let median = |xs: &mut Vec<f64>| {
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
+        xs[xs.len() / 2]
+    };
+    let seq_median = median(&mut seq_walls);
+    let bat_median = median(&mut bat_walls);
+    let batch_speedup = seq_median / bat_median;
+    println!(
+        "harness smoke batched (seeds 1-3, --batch {BATCH_WIDTH}, 1 worker, median of \
+         {BATCH_ROUNDS}): cold {:.0} ms vs sequential {:.0} ms — {batch_speedup:.2}x",
+        bat_median * 1e3,
+        seq_median * 1e3,
+    );
+
     let cycles_per_job = test_jobs
         .iter()
         .zip(&reports)
@@ -202,6 +282,16 @@ fn main() {
         .map(|j| {
             (
                 format!("{}/{}", j.spec.bench, j.spec.scheme),
+                Json::Num((j.wall_ms * 1e3).round() / 1e3),
+            )
+        })
+        .collect();
+    let bat_smoke_walls = bat_cold
+        .jobs
+        .iter()
+        .map(|j| {
+            (
+                format!("{}/{}/s{}", j.spec.bench, j.spec.scheme, j.spec.seed),
                 Json::Num((j.wall_ms * 1e3).round() / 1e3),
             )
         })
@@ -261,6 +351,33 @@ fn main() {
                 ),
             ]),
         ),
+        (
+            "harness_smoke_batched".into(),
+            Json::Obj(vec![
+                (
+                    "slice".into(),
+                    Json::Str(
+                        "mt+sp+mum x base+pae x seeds 1-3 @ ref scale, --batch 9, 1 worker".into(),
+                    ),
+                ),
+                ("batch".into(), Json::UInt(BATCH_WIDTH as u64)),
+                ("jobs".into(), Json::UInt(bat_cold.jobs.len() as u64)),
+                ("rounds".into(), Json::UInt(BATCH_ROUNDS as u64)),
+                (
+                    "cold_wall_seconds_median".into(),
+                    Json::Num((bat_median * 1e6).round() / 1e6),
+                ),
+                (
+                    "sequential_wall_seconds_median".into(),
+                    Json::Num((seq_median * 1e6).round() / 1e6),
+                ),
+                (
+                    "speedup_vs_sequential".into(),
+                    Json::Num((batch_speedup * 1e3).round() / 1e3),
+                ),
+                ("job_wall_ms".into(), Json::Obj(bat_smoke_walls)),
+            ]),
+        ),
     ]);
     let mut json = snapshot.to_json_string();
     json.push('\n');
@@ -294,6 +411,41 @@ fn main() {
             None => println!(
                 "smoke gate: no comparable committed BENCH_suite.json — gate skipped \
                  (first run on this branch?)"
+            ),
+        }
+        // The batched row gates the same way against its own committed
+        // baseline: per-lane wall shares regressing past the threshold
+        // mean the lockstep engine itself got slower.
+        let fresh_batched: Vec<(String, f64)> = bat_cold
+            .jobs
+            .iter()
+            .map(|j| {
+                (
+                    format!("{}/{}/s{}", j.spec.bench, j.spec.scheme, j.spec.seed),
+                    j.wall_ms,
+                )
+            })
+            .collect();
+        match committed_batched
+            .as_deref()
+            .and_then(|c| smoke_regression_ratio(c, &fresh_batched))
+        {
+            Some(ratio) => {
+                println!(
+                    "batched smoke gate: per-lane cold wall geomean is {ratio:.3}x the \
+                     committed BENCH_suite.json (threshold {:.3}x)",
+                    1.0 + pct / 100.0
+                );
+                assert!(
+                    ratio <= 1.0 + pct / 100.0,
+                    "batched Ref-scale smoke slice regressed {:.1}% (> {pct}%) vs committed \
+                     BENCH_suite.json",
+                    (ratio - 1.0) * 100.0
+                );
+            }
+            None => println!(
+                "batched smoke gate: no comparable committed BENCH_suite.json — gate skipped \
+                 (first batched run on this branch?)"
             ),
         }
     }

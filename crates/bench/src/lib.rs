@@ -131,10 +131,13 @@ pub fn run_spec_with_store(
     spec: &SweepSpec,
     store: &ResultStore,
 ) -> Vec<valley_harness::JobOutcome> {
+    // batch: 0 defers to $VALLEY_SIM_BATCH — figure-driving sweeps
+    // batch when the environment asks, exactly like VALLEY_SIM_THREADS.
     let opts = SweepOptions {
         workers: None,
         verbose: true,
         force: false,
+        batch: 0,
     };
     match run_sweep(spec, store, &opts) {
         Ok(outcome) => outcome.jobs,
@@ -154,10 +157,13 @@ pub fn run_suite_with_store(
     store: &ResultStore,
 ) -> Suite {
     let spec = SweepSpec::new(benches, schemes, scale);
+    // batch: 0 defers to $VALLEY_SIM_BATCH — figure-driving sweeps
+    // batch when the environment asks, exactly like VALLEY_SIM_THREADS.
     let opts = SweepOptions {
         workers: None,
         verbose: true,
         force: false,
+        batch: 0,
     };
     match run_sweep(&spec, store, &opts) {
         Ok(outcome) => outcome

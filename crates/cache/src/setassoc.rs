@@ -96,6 +96,48 @@ impl CacheStats {
     }
 }
 
+/// The immutable side of a set-associative cache: the configured
+/// [`CacheConfig`] plus the derived indexing constants (line shift, set
+/// mask), computed once. [`SetAssocCache`] holds one of these next to
+/// its mutable state (tags, LRU order, counters) — the config/state
+/// split that lets many same-config caches (the batched engine's lanes,
+/// one L1 per SM) derive their geometry from a single precomputed
+/// value instead of each redoing the arithmetic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheGeometry {
+    cfg: CacheConfig,
+    line_shift: u32,
+    set_mask: u64,
+}
+
+impl CacheGeometry {
+    /// Precomputes the indexing constants for `cfg`.
+    pub fn new(cfg: CacheConfig) -> Self {
+        CacheGeometry {
+            cfg,
+            line_shift: cfg.line_bytes().trailing_zeros(),
+            set_mask: cfg.sets() as u64 - 1,
+        }
+    }
+
+    /// The source configuration.
+    pub fn config(&self) -> CacheConfig {
+        self.cfg
+    }
+
+    /// The line-aligned address containing `addr`.
+    #[inline]
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr >> self.line_shift << self.line_shift
+    }
+
+    /// The set index of a line-aligned address.
+    #[inline]
+    pub fn set_index(&self, line: u64) -> usize {
+        ((line >> self.line_shift) & self.set_mask) as usize
+    }
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct Line {
     addr: u64,
@@ -132,9 +174,8 @@ pub struct Eviction {
 /// ```
 #[derive(Clone, Debug)]
 pub struct SetAssocCache {
-    cfg: CacheConfig,
-    line_shift: u32,
-    set_mask: u64,
+    /// Immutable geometry (see [`CacheGeometry`]).
+    geom: CacheGeometry,
     /// Per set: resident lines in LRU order (front = MRU).
     sets: Vec<Vec<Line>>,
     stats: CacheStats,
@@ -143,10 +184,17 @@ pub struct SetAssocCache {
 impl SetAssocCache {
     /// Creates an empty cache with the given geometry.
     pub fn new(cfg: CacheConfig) -> Self {
+        Self::with_geometry(CacheGeometry::new(cfg))
+    }
+
+    /// Creates an empty cache over a precomputed [`CacheGeometry`] —
+    /// builders constructing many identical caches (per-SM L1s, the
+    /// batched engine's lanes) derive the geometry once and stamp out
+    /// state-only instances.
+    pub fn with_geometry(geom: CacheGeometry) -> Self {
+        let cfg = geom.config();
         SetAssocCache {
-            cfg,
-            line_shift: cfg.line_bytes().trailing_zeros(),
-            set_mask: cfg.sets() as u64 - 1,
+            geom,
             sets: vec![Vec::with_capacity(cfg.assoc()); cfg.sets()],
             stats: CacheStats::default(),
         }
@@ -154,18 +202,23 @@ impl SetAssocCache {
 
     /// The configured geometry.
     pub fn config(&self) -> CacheConfig {
-        self.cfg
+        self.geom.config()
+    }
+
+    /// The precomputed geometry.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geom
     }
 
     /// The line-aligned address containing `addr`.
     #[inline]
     pub fn line_addr(&self, addr: u64) -> u64 {
-        addr >> self.line_shift << self.line_shift
+        self.geom.line_addr(addr)
     }
 
     #[inline]
     fn set_index(&self, line: u64) -> usize {
-        ((line >> self.line_shift) & self.set_mask) as usize
+        self.geom.set_index(line)
     }
 
     /// Looks up `addr`; on a hit the line becomes most-recently used.
@@ -225,7 +278,7 @@ impl SetAssocCache {
     pub fn fill_with(&mut self, addr: u64, dirty: bool) -> Option<Eviction> {
         let line = self.line_addr(addr);
         let set = self.set_index(line);
-        let assoc = self.cfg.assoc();
+        let assoc = self.geom.config().assoc();
         let ways = &mut self.sets[set];
         if let Some(pos) = ways.iter().position(|l| l.addr == line) {
             ways[..=pos].rotate_right(1);

@@ -4,6 +4,7 @@
 use crate::channel::{DramChannel, DramCompletion, DramRequest};
 use crate::config::DramConfig;
 use crate::stats::DramStats;
+use std::sync::Arc;
 use valley_core::{DramAddressMap, PhysAddr};
 
 /// A multi-controller DRAM system (4 GDDR5 channels in the baseline;
@@ -20,7 +21,7 @@ use valley_core::{DramAddressMap, PhysAddr};
 /// use valley_dram::{DramConfig, DramSystem};
 /// use valley_core::PhysAddr;
 ///
-/// let mut sys = DramSystem::new(Box::new(GddrMap::baseline()), DramConfig::gddr5());
+/// let mut sys = DramSystem::new(std::sync::Arc::new(GddrMap::baseline()), DramConfig::gddr5());
 /// assert!(sys.try_enqueue(PhysAddr::new(0x1234_5678 & 0x3fff_ffff), 1, false, 0));
 /// let mut done = Vec::new();
 /// for cycle in 0..200 {
@@ -30,7 +31,11 @@ use valley_core::{DramAddressMap, PhysAddr};
 /// ```
 #[derive(Debug)]
 pub struct DramSystem {
-    map: Box<dyn DramAddressMap + Send>,
+    /// The (immutable) address map, shared by reference: every shard of
+    /// the phase-parallel engine and every lane of the batched engine
+    /// decodes through the *same* map object instead of a per-system
+    /// clone.
+    map: Arc<dyn DramAddressMap + Send + Sync>,
     channels: Vec<DramChannel>,
     /// Global controller index of each owned channel, ascending. For a
     /// full system this is the identity; a subset system (see
@@ -48,7 +53,7 @@ pub struct DramSystem {
 
 impl DramSystem {
     /// Creates a system with one channel per controller of `map`.
-    pub fn new(map: Box<dyn DramAddressMap + Send>, cfg: DramConfig) -> Self {
+    pub fn new(map: Arc<dyn DramAddressMap + Send + Sync>, cfg: DramConfig) -> Self {
         let all: Vec<usize> = (0..map.num_controllers()).collect();
         Self::for_controllers(map, cfg, &all)
     }
@@ -57,14 +62,15 @@ impl DramSystem {
     /// ascending) controllers of `map`. Each channel behaves exactly as
     /// the corresponding channel of a full system; the phase-parallel
     /// simulation engine uses this to give every shard its own
-    /// independent slice of the memory system.
+    /// independent slice of the memory system, all decoding through one
+    /// shared address map.
     ///
     /// # Panics
     ///
     /// Panics if the bank counts disagree, `ctrls` is empty, unsorted or
     /// out of range.
     pub fn for_controllers(
-        map: Box<dyn DramAddressMap + Send>,
+        map: Arc<dyn DramAddressMap + Send + Sync>,
         cfg: DramConfig,
         ctrls: &[usize],
     ) -> Self {
@@ -335,7 +341,7 @@ mod tests {
     use valley_core::GddrMap;
 
     fn sys() -> DramSystem {
-        DramSystem::new(Box::new(GddrMap::baseline()), DramConfig::gddr5())
+        DramSystem::new(Arc::new(GddrMap::baseline()), DramConfig::gddr5())
     }
 
     #[test]
@@ -390,6 +396,6 @@ mod tests {
     fn config_mismatch_is_rejected() {
         let mut bad = DramConfig::gddr5();
         bad.banks = 8;
-        let _ = DramSystem::new(Box::new(GddrMap::baseline()), bad);
+        let _ = DramSystem::new(Arc::new(GddrMap::baseline()), bad);
     }
 }

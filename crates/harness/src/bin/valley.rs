@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! valley sweep   [--scale S] [--benches B] [--schemes C] [--seeds N,..]
-//!                [--configs K,..] [--workers N] [--results DIR]
+//!                [--configs K,..] [--workers N] [--batch N] [--results DIR]
 //!                [--force] [--quiet] [--expect-cached PCT]
 //! valley status  [--results DIR]
 //! valley query   [--bench B] [--scheme C] [--scale S] [--seed N]
@@ -39,8 +39,8 @@ valley — sharded, resumable sweep engine for the Valley reproduction
 USAGE:
   valley sweep   [--scale test|small|ref] [--benches all|valley|nonvalley|MT,LU,..]
                  [--schemes all|BASE,PAE,..] [--seeds 1,2,3] [--configs table1,stacked,sms24]
-                 [--workers N] [--sim-threads N] [--results DIR] [--force] [--quiet]
-                 [--expect-cached PCT] [--max-shard-bytes N]
+                 [--workers N] [--sim-threads N] [--batch N] [--results DIR]
+                 [--force] [--quiet] [--expect-cached PCT] [--max-shard-bytes N]
   valley status  [--results DIR]
   valley query   [--bench MT] [--scheme PAE] [--scale ref] [--seed 1] [--config table1]
                  [--results DIR]
@@ -54,7 +54,11 @@ the invocation if fewer than 95% of the jobs were cache hits (CI uses
 this to prove the resume path works). `--sim-threads N` runs each
 simulation on the phase-parallel engine with N shards (bit-identical to
 sequential for every N — also settable via $VALLEY_SIM_THREADS).
-`--max-shard-bytes N` auto-compacts the store at open when any shard
+`--batch N` runs pending jobs that share a machine configuration through
+the lockstep batched engine, up to N simulations per batch (bit-identical
+per lane for every N — also settable via $VALLEY_SIM_BATCH; batch width
+is never part of a job key). `--max-shard-bytes N` auto-compacts the
+store at open when any shard
 file exceeds N bytes. `figures` reads the store only — run the matching
 sweep first. `gc` compacts the shards: duplicate keys left behind by
 `sweep --force` (only the newest survives a load anyway) and records
@@ -169,6 +173,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
             "configs",
             "workers",
             "sim-threads",
+            "batch",
             "results",
             "force",
             "quiet",
@@ -209,6 +214,18 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
                 .map_err(|_| format!("bad worker count '{w}'"))
         })
         .transpose()?;
+    // 0 defers to $VALLEY_SIM_BATCH inside run_sweep (mirroring how
+    // --sim-threads and $VALLEY_SIM_THREADS compose): the flag, when
+    // given, wins over the environment.
+    let batch = flags
+        .get("batch")
+        .map(|n| {
+            n.parse::<usize>()
+                .map_err(|_| format!("bad batch width '{n}' for --batch"))
+                .map(|n| n.max(1))
+        })
+        .transpose()?
+        .unwrap_or(0);
     let expect_cached: Option<f64> = flags
         .get("expect-cached")
         .map(|p| p.parse().map_err(|_| format!("bad percentage '{p}'")))
@@ -226,6 +243,7 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         workers,
         verbose: !flags.contains_key("quiet"),
         force: flags.contains_key("force"),
+        batch,
     };
     let outcome = run_sweep(&spec, &store, &opts).map_err(|e| e.to_string())?;
 
@@ -296,6 +314,26 @@ fn cmd_status(args: &[String]) -> Result<(), String> {
         for ((scale, config), n) in &by_group {
             println!("{scale:<10}{config:<12}{n:>8}");
         }
+    }
+
+    // Batched-run telemetry, from wall times alone (the record schema
+    // deliberately has no batch field — batch width is pure scheduling
+    // and never part of a job key): the batch executor attributes the
+    // identical per-lane share of one batch's wall to every lane, so
+    // records whose exact wall_ms bits recur in the store were almost
+    // surely produced by one batch. Sequential wall times are
+    // high-resolution timer readings; exact f64 collisions between
+    // independent runs are negligible.
+    let mut wall_counts: BTreeMap<u64, usize> = BTreeMap::new();
+    for e in &scan.records {
+        *wall_counts.entry(e.wall_ms.to_bits()).or_insert(0) += 1;
+    }
+    let batched: usize = wall_counts.values().filter(|&&n| n > 1).copied().sum();
+    if batched > 0 {
+        println!(
+            "\nbatched runs: {batched} of {} result(s) share a batch wall time",
+            scan.records.len()
+        );
     }
 
     let total: u64 = scan.shard_bytes.iter().sum();

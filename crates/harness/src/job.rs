@@ -8,8 +8,10 @@
 //! stored result can be reused by any future sweep, figure or ablation
 //! that asks for the same point of the grid.
 
-use valley_core::{AddressMapper, GddrMap, SchemeKind, StackedMap};
-use valley_sim::{GpuConfig, GpuSim, SimReport};
+use std::collections::HashMap;
+use std::sync::Arc;
+use valley_core::{AddressMapper, DramAddressMap, GddrMap, SchemeKind, StackedMap};
+use valley_sim::{BatchSim, GpuConfig, GpuSim, SimReport};
 use valley_workloads::{Benchmark, Scale};
 
 /// Version of the job-key schema. Bump when the canonical key format,
@@ -257,6 +259,71 @@ pub fn execute_job(spec: &JobSpec) -> SimReport {
         let mapper = AddressMapper::build(spec.scheme, &map, spec.seed);
         GpuSim::new(cfg, mapper, map, workload).run()
     }
+}
+
+/// Runs a batch of same-machine jobs through the lockstep batched
+/// engine ([`BatchSim`]) and returns their reports in `specs` order —
+/// each bit-identical to what [`execute_job`] would have produced for
+/// that spec alone. The lanes share one config and one address-map
+/// allocation; batch width is pure scheduling and is deliberately not
+/// part of any job key.
+///
+/// Lanes that are the *same simulation* run once: BASE/PM/RMP build the
+/// same BIM for every seed (the seed is part of the job key because keys
+/// describe the request, but the deterministic schemes never read it),
+/// so a multi-seed sweep slice collapses those lanes to one and clones
+/// the report. This is where the batch engine wins big on multi-seed
+/// groups — N seeds of a deterministic scheme cost one simulation.
+///
+/// All specs must share the same [`ConfigId`] (the sweep batcher groups
+/// on (config, scale, scheme)); [`BatchSim::new`] enforces the clock
+/// agreement that actually matters.
+pub fn execute_batch(specs: &[JobSpec]) -> Vec<SimReport> {
+    if specs.len() == 1 {
+        return vec![execute_job(&specs[0])];
+    }
+    debug_assert!(
+        specs.iter().all(|s| s.config == specs[0].config),
+        "batched jobs must share a machine configuration"
+    );
+    // Seed only reaches the simulation through the randomized schemes'
+    // BIM construction; two lanes agreeing on everything else are
+    // identical runs.
+    let identity = |s: &JobSpec| {
+        let effective_seed = if s.scheme.is_randomized() { s.seed } else { 0 };
+        (s.bench, s.scheme, effective_seed, s.scale, s.config)
+    };
+    let mut seen: HashMap<_, usize> = HashMap::new();
+    let mut unique: Vec<&JobSpec> = Vec::new();
+    let lane_of: Vec<usize> = specs
+        .iter()
+        .map(|s| {
+            *seen.entry(identity(s)).or_insert_with(|| {
+                unique.push(s);
+                unique.len() - 1
+            })
+        })
+        .collect();
+    if unique.len() == 1 {
+        let report = execute_job(unique[0]);
+        return vec![report; specs.len()];
+    }
+    let cfg = Arc::new(specs[0].config.gpu_config());
+    let map: Arc<dyn DramAddressMap + Send + Sync> = if specs[0].config.is_stacked() {
+        Arc::new(StackedMap::baseline())
+    } else {
+        Arc::new(GddrMap::baseline())
+    };
+    let sims = unique
+        .iter()
+        .map(|spec| {
+            let mapper = AddressMapper::build(spec.scheme, &*map, spec.seed);
+            let workload = Box::new(spec.bench.workload(spec.scale));
+            GpuSim::with_shared(Arc::clone(&cfg), mapper, Arc::clone(&map), workload)
+        })
+        .collect();
+    let reports = BatchSim::new(sims).run();
+    lane_of.into_iter().map(|l| reports[l].clone()).collect()
 }
 
 /// Parses a scheme label (case-insensitive) — the inverse of

@@ -2,11 +2,12 @@
 //! already has, run the rest on the work-stealing pool, persist every
 //! fresh result, and hand back the full grid in deterministic order.
 
-use crate::job::{execute_job, JobSpec, SweepSpec};
+use crate::job::{execute_batch, execute_job, JobSpec, SweepSpec};
 use crate::pool;
 use crate::store::{ResultStore, StoreError};
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
-use valley_sim::SimReport;
+use valley_sim::{Batching, SimReport};
 
 /// Options controlling one sweep run.
 #[derive(Clone, Debug, Default)]
@@ -19,6 +20,14 @@ pub struct SweepOptions {
     /// Re-run every job even if a stored result exists (the fresh result
     /// overwrites the stored one).
     pub force: bool,
+    /// Batch width for the lockstep many-sim engine: pending jobs that
+    /// share a machine (config, scale, scheme) run through one
+    /// [`valley_sim::BatchSim`] in groups of up to this many lanes.
+    /// `0` defers to the `VALLEY_SIM_BATCH` environment knob; a width
+    /// of 1 (either way) keeps the per-job sequential path. Batch width
+    /// is pure scheduling — per-lane results are bit-identical to
+    /// unbatched runs — so it is deliberately not part of job keys.
+    pub batch: usize,
 }
 
 /// One job's outcome within a sweep.
@@ -102,9 +111,39 @@ impl From<StoreError> for SweepError {
     }
 }
 
+/// Persists one freshly computed report and slots its outcome; a store
+/// write error becomes that job's failure.
+#[allow(clippy::too_many_arguments)]
+fn record_fresh(
+    store: &ResultStore,
+    opts: &SweepOptions,
+    idx: usize,
+    report: SimReport,
+    wall_ms: f64,
+    jobs: &[JobSpec],
+    outcomes: &mut [Option<JobOutcome>],
+    failures: &mut Vec<(JobSpec, String)>,
+) {
+    let job = jobs[idx];
+    if let Err(e) = store.put(&job, &report, wall_ms) {
+        failures.push((job, format!("result store write failed: {e}")));
+        return;
+    }
+    if opts.verbose && report.truncated {
+        eprintln!("  WARNING: {job} hit the cycle limit");
+    }
+    outcomes[idx] = Some(JobOutcome {
+        spec: job,
+        report,
+        wall_ms,
+        cached: false,
+    });
+}
+
 /// Runs a sweep against a store: cache hits are served without
-/// simulation, misses run in parallel with per-job panic isolation, and
-/// every fresh result is persisted before the function returns.
+/// simulation, misses run in parallel with per-job panic isolation
+/// (per-batch when batching via [`SweepOptions::batch`]), and every
+/// fresh result is persisted before the function returns.
 pub fn run_sweep(
     spec: &SweepSpec,
     store: &ResultStore,
@@ -132,73 +171,180 @@ pub fn run_sweep(
     }
     let cache_hits = jobs.len() - todo.len();
 
-    // Phase 2: execute the misses on the work-stealing pool.
-    let workers = opts
-        .workers
-        .unwrap_or_else(|| pool::default_workers(todo.len()));
-    if opts.verbose && !todo.is_empty() {
-        eprintln!(
-            "sweep: {} jobs, {} cached, running {} on {} worker(s)",
-            jobs.len(),
-            cache_hits,
-            todo.len(),
-            workers.clamp(1, todo.len()),
-        );
-    }
-    let results = pool::run_jobs(
-        todo.len(),
-        workers,
-        |k| {
-            let job = jobs[todo[k]];
-            let t = Instant::now();
-            let report = execute_job(&job);
-            (report, t.elapsed())
-        },
-        |done| {
-            if opts.verbose {
-                let job = &jobs[todo[done.index]];
-                let stolen = if done.stolen { ", stolen" } else { "" };
-                match done.error {
-                    None => eprintln!(
-                        "  [{}/{}] {job}: {:.2?} (worker {}{stolen})",
-                        done.completed, done.total, done.elapsed, done.worker
-                    ),
-                    Some(msg) => eprintln!(
-                        "  [{}/{}] {job}: PANIC after {:.2?}: {msg}",
-                        done.completed, done.total, done.elapsed
-                    ),
-                }
-            }
-        },
-    );
-
-    // Phase 3: persist and assemble; collect failures for a loud, full
-    // report (a suite with holes would silently skew every figure). A
-    // store write error becomes that job's failure rather than aborting
-    // the drain: the remaining computed results still get persisted and
-    // every failure is reported together.
+    // Phase 2: execute the misses on the work-stealing pool — one pool
+    // unit per job when unbatched, one per same-machine batch through
+    // the lockstep engine when batching is on. Phase 3 persists and
+    // assembles; failures are collected for a loud, full report (a
+    // suite with holes would silently skew every figure). A store write
+    // error becomes that job's failure rather than aborting the drain:
+    // the remaining computed results still get persisted and every
+    // failure is reported together.
+    let width = if opts.batch == 0 {
+        Batching::from_env().width()
+    } else {
+        opts.batch
+    };
     let mut failures = Vec::new();
-    for (k, result) in results.into_iter().enumerate() {
-        let idx = todo[k];
-        let job = jobs[idx];
-        match result {
-            Ok((report, elapsed)) => {
-                let wall_ms = elapsed.as_secs_f64() * 1e3;
-                if let Err(e) = store.put(&job, &report, wall_ms) {
-                    failures.push((job, format!("result store write failed: {e}")));
-                    continue;
+    if width <= 1 {
+        let workers = opts
+            .workers
+            .unwrap_or_else(|| pool::default_workers(todo.len()));
+        if opts.verbose && !todo.is_empty() {
+            eprintln!(
+                "sweep: {} jobs, {} cached, running {} on {} worker(s)",
+                jobs.len(),
+                cache_hits,
+                todo.len(),
+                workers.clamp(1, todo.len()),
+            );
+        }
+        let results = pool::run_jobs(
+            todo.len(),
+            workers,
+            |k| {
+                let job = jobs[todo[k]];
+                let t = Instant::now();
+                let report = execute_job(&job);
+                (report, t.elapsed())
+            },
+            |done| {
+                if opts.verbose {
+                    let job = &jobs[todo[done.index]];
+                    let stolen = if done.stolen { ", stolen" } else { "" };
+                    match done.error {
+                        None => eprintln!(
+                            "  [{}/{}] {job}: {:.2?} (worker {}{stolen})",
+                            done.completed, done.total, done.elapsed, done.worker
+                        ),
+                        Some(msg) => eprintln!(
+                            "  [{}/{}] {job}: PANIC after {:.2?}: {msg}",
+                            done.completed, done.total, done.elapsed
+                        ),
+                    }
                 }
-                if opts.verbose && report.truncated {
-                    eprintln!("  WARNING: {job} hit the cycle limit");
+            },
+        );
+        for (k, result) in results.into_iter().enumerate() {
+            let idx = todo[k];
+            match result {
+                Ok((report, elapsed)) => {
+                    let wall_ms = elapsed.as_secs_f64() * 1e3;
+                    record_fresh(
+                        store,
+                        opts,
+                        idx,
+                        report,
+                        wall_ms,
+                        &jobs,
+                        &mut outcomes,
+                        &mut failures,
+                    );
                 }
-                outcomes[idx] = Some(JobOutcome {
-                    spec: job,
-                    report,
-                    wall_ms,
-                    cached: false,
-                });
+                Err(msg) => failures.push((jobs[idx], msg)),
             }
-            Err(msg) => failures.push((job, msg)),
+        }
+    } else {
+        // Group the pending jobs into same-machine batches: an
+        // order-preserving group-by on (config, scale, scheme), each
+        // group chunked to at most `width` lanes. Benchmarks and seeds
+        // may mix freely within a batch — only the clocks must agree,
+        // and those are fixed by the config.
+        let mut batches: Vec<Vec<usize>> = Vec::new();
+        let mut open: HashMap<
+            (
+                crate::job::ConfigId,
+                valley_workloads::Scale,
+                valley_core::SchemeKind,
+            ),
+            usize,
+        > = HashMap::new();
+        for &idx in &todo {
+            let job = &jobs[idx];
+            let key = (job.config, job.scale, job.scheme);
+            match open.get(&key) {
+                Some(&b) if batches[b].len() < width => batches[b].push(idx),
+                _ => {
+                    open.insert(key, batches.len());
+                    batches.push(vec![idx]);
+                }
+            }
+        }
+        let workers = opts
+            .workers
+            .unwrap_or_else(|| pool::default_workers(batches.len()));
+        if opts.verbose && !todo.is_empty() {
+            eprintln!(
+                "sweep: {} jobs, {} cached, running {} in {} batch(es) of <= {} on {} worker(s)",
+                jobs.len(),
+                cache_hits,
+                todo.len(),
+                batches.len(),
+                width,
+                workers.clamp(1, batches.len()),
+            );
+        }
+        let results = pool::run_jobs(
+            batches.len(),
+            workers,
+            |b| {
+                let specs: Vec<JobSpec> = batches[b].iter().map(|&i| jobs[i]).collect();
+                let t = Instant::now();
+                let reports = execute_batch(&specs);
+                (reports, t.elapsed())
+            },
+            |done| {
+                if opts.verbose {
+                    let batch = &batches[done.index];
+                    let lead = &jobs[batch[0]];
+                    let stolen = if done.stolen { ", stolen" } else { "" };
+                    match done.error {
+                        None => eprintln!(
+                            "  [{}/{}] batch x{} ({lead}, ...): {:.2?} (worker {}{stolen})",
+                            done.completed,
+                            done.total,
+                            batch.len(),
+                            done.elapsed,
+                            done.worker
+                        ),
+                        Some(msg) => eprintln!(
+                            "  [{}/{}] batch x{} ({lead}, ...): PANIC after {:.2?}: {msg}",
+                            done.completed,
+                            done.total,
+                            batch.len(),
+                            done.elapsed
+                        ),
+                    }
+                }
+            },
+        );
+        for (b, result) in results.into_iter().enumerate() {
+            match result {
+                Ok((reports, elapsed)) => {
+                    // A lane's individual wall time is unobservable
+                    // inside a lockstep batch; attribute an equal share
+                    // of the batch's wall to each lane.
+                    let wall_ms = elapsed.as_secs_f64() * 1e3 / batches[b].len() as f64;
+                    for (&idx, report) in batches[b].iter().zip(reports) {
+                        record_fresh(
+                            store,
+                            opts,
+                            idx,
+                            report,
+                            wall_ms,
+                            &jobs,
+                            &mut outcomes,
+                            &mut failures,
+                        );
+                    }
+                }
+                Err(msg) => {
+                    // The whole batch shares one panic: every lane in it
+                    // needs a re-run, so every lane reports the failure.
+                    for &idx in &batches[b] {
+                        failures.push((jobs[idx], format!("batched lane: {msg}")));
+                    }
+                }
+            }
         }
     }
     if !failures.is_empty() {

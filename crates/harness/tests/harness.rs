@@ -114,6 +114,69 @@ fn results_are_deterministic_across_worker_counts() {
 }
 
 #[test]
+fn batched_sweep_matches_sequential_results_and_store_state() {
+    // Batch width is pure scheduling: a batched sweep must produce the
+    // same reports under the same job keys as a sequential one, and a
+    // later unbatched sweep over the batched store must be all cache
+    // hits (the keys deliberately carry no batch width).
+    let seq_tmp = TempStore::new("batch-seq");
+    let bat_tmp = TempStore::new("batch-bat");
+    // Two configs and seeds so the batcher has to group: same-machine
+    // jobs batch together, different machines never share a batch.
+    let spec = SweepSpec::new(
+        &[Benchmark::Sp, Benchmark::Mt, Benchmark::Mum],
+        &[SchemeKind::Base, SchemeKind::Pae],
+        Scale::Test,
+    )
+    .with_seeds(&[1, 2])
+    .with_configs(&[ConfigId::Table1, ConfigId::Stacked]);
+    let sequential = run_sweep(
+        &spec,
+        &seq_tmp.open(),
+        &SweepOptions {
+            batch: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let bat_store = bat_tmp.open();
+    for width in [2, 3, 5] {
+        let batched = run_sweep(
+            &spec,
+            &bat_store,
+            &SweepOptions {
+                batch: width,
+                force: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(batched.executed, sequential.jobs.len());
+        for (a, b) in sequential.jobs.iter().zip(&batched.jobs) {
+            assert_eq!(a.spec, b.spec, "job order depends on batching");
+            assert_eq!(
+                a.report.results_json(),
+                b.report.results_json(),
+                "{}: batch({width}) report differs from sequential",
+                a.spec
+            );
+        }
+    }
+    // Resume from the batched store without batching: all hits.
+    let resumed = run_sweep(
+        &spec,
+        &bat_store,
+        &SweepOptions {
+            batch: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(resumed.cache_hits, sequential.jobs.len());
+    assert_eq!(resumed.executed, 0);
+}
+
+#[test]
 fn scales_do_not_shadow_each_other_in_the_store() {
     let tmp = TempStore::new("scales");
     let store = tmp.open();

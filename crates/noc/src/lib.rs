@@ -75,6 +75,21 @@ impl NocStats {
     }
 }
 
+/// The immutable geometry of a [`Crossbar`]: port counts and router
+/// latency. Split out from the crossbar's mutable queue/calendar state
+/// so builders stamping out many identical networks (the batched
+/// engine's lanes, the phase-parallel engine's per-shard sub-crossbars)
+/// describe the geometry once and share it by value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrossbarConfig {
+    /// Number of input ports.
+    pub num_src: usize,
+    /// Number of output ports.
+    pub num_dst: usize,
+    /// Fixed pipeline-traversal latency added to every packet.
+    pub router_latency: u64,
+}
+
 /// A `sources × destinations` crossbar with output-port queuing.
 ///
 /// Each output port moves one flit per NoC cycle. Input contention is
@@ -98,8 +113,8 @@ impl NocStats {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Crossbar {
-    num_src: usize,
-    router_latency: u64,
+    /// Immutable geometry (see [`CrossbarConfig`]).
+    cfg: CrossbarConfig,
     /// Per destination: queued packets (front is in service).
     outputs: Vec<VecDeque<Packet>>,
     /// Flits remaining for the packet in service at each output.
@@ -141,10 +156,19 @@ impl Crossbar {
     /// ports and a fixed `router_latency` (cycles of pipeline traversal
     /// added to every packet).
     pub fn new(num_src: usize, num_dst: usize, router_latency: u64) -> Self {
-        assert!(num_src > 0 && num_dst > 0);
-        Crossbar {
+        Self::with_config(CrossbarConfig {
             num_src,
+            num_dst,
             router_latency,
+        })
+    }
+
+    /// [`Crossbar::new`] over a pre-built [`CrossbarConfig`] geometry.
+    pub fn with_config(cfg: CrossbarConfig) -> Self {
+        assert!(cfg.num_src > 0 && cfg.num_dst > 0);
+        let num_dst = cfg.num_dst;
+        Crossbar {
+            cfg,
             // Sized for steady state: output queues grow from zero on
             // every fresh crossbar otherwise (one realloc ladder per run).
             outputs: vec![VecDeque::with_capacity(32); num_dst],
@@ -161,9 +185,14 @@ impl Crossbar {
         }
     }
 
+    /// The immutable geometry.
+    pub fn config(&self) -> CrossbarConfig {
+        self.cfg
+    }
+
     /// Number of input ports.
     pub fn num_sources(&self) -> usize {
-        self.num_src
+        self.cfg.num_src
     }
 
     /// Number of output ports.
@@ -180,7 +209,7 @@ impl Crossbar {
     /// Panics if the source or destination port is out of range or the
     /// packet has zero flits.
     pub fn inject(&mut self, pkt: Packet) {
-        assert!(pkt.src < self.num_src, "source port out of range");
+        assert!(pkt.src < self.cfg.num_src, "source port out of range");
         assert!(
             pkt.dst < self.outputs.len(),
             "destination port out of range"
@@ -205,7 +234,7 @@ impl Crossbar {
             // schedule is unchanged (this packet waits its turn; its
             // start time is computed when it reaches the head).
             debug_assert_eq!(self.port_next[dst], u64::MAX);
-            let start = pkt.injected_at + self.router_latency;
+            let start = pkt.injected_at + self.cfg.router_latency;
             self.port_next[dst] = start;
             self.events.push(Reverse((start, dst)));
             if start < self.cached_next {
@@ -233,7 +262,7 @@ impl Crossbar {
         let mut next: Option<u64> = None;
         for queue in &self.outputs {
             let Some(head) = queue.front() else { continue };
-            let at = (head.injected_at + self.router_latency).max(now);
+            let at = (head.injected_at + self.cfg.router_latency).max(now);
             next = Some(next.map_or(at, |n| n.min(at)));
             if at == now {
                 break;
@@ -322,7 +351,7 @@ impl Crossbar {
             let next = match self.outputs[dst].front() {
                 None => u64::MAX,
                 Some(_) if self.in_service[dst] > 0 => cycle,
-                Some(head) => (head.injected_at + self.router_latency).max(cycle),
+                Some(head) => (head.injected_at + self.cfg.router_latency).max(cycle),
             };
             self.port_next[dst] = next;
             if next == u64::MAX {
@@ -379,7 +408,7 @@ impl Crossbar {
         };
         // Router pipeline: a packet only starts moving flits after
         // router_latency cycles from injection.
-        if cycle < head.injected_at + self.router_latency {
+        if cycle < head.injected_at + self.cfg.router_latency {
             return;
         }
         self.transfer_flit(dst, cycle, done);
@@ -391,7 +420,7 @@ impl Crossbar {
     fn transfer_flit(&mut self, dst: usize, cycle: u64, done: &mut Vec<Delivery>) {
         let queue = &mut self.outputs[dst];
         let head = queue.front().expect("due port has a head packet");
-        debug_assert!(cycle >= head.injected_at + self.router_latency);
+        debug_assert!(cycle >= head.injected_at + self.cfg.router_latency);
         if self.in_service[dst] == 0 {
             self.in_service[dst] = head.flits;
         }
@@ -426,7 +455,7 @@ impl Crossbar {
             Some(_) if self.in_service[dst] > 0 => cycle + 1,
             // Fresh head: next cycle at the earliest, later if its router
             // pipeline has not been traversed yet.
-            Some(head) => (head.injected_at + self.router_latency).max(cycle + 1),
+            Some(head) => (head.injected_at + self.cfg.router_latency).max(cycle + 1),
         };
         self.port_next[dst] = next;
         if next == cycle + 1 && dst < 64 {

@@ -1,0 +1,632 @@
+//! The batched many-sim engine: N independent simulations ("lanes")
+//! advanced through the sequential evented tick discipline in lockstep.
+//!
+//! # Why batch
+//!
+//! A sweep grid's dominant axis is seeds × benchmarks over *identical*
+//! machine configurations: every job replays the same control flow over
+//! different data. Run one job at a time and each pays the full
+//! instruction-stream, branch-history and config-cache-line cost from
+//! cold. [`BatchSim`] amortizes those: all lanes share one
+//! [`GpuConfig`](crate::GpuConfig) allocation and one address map (see
+//! [`GpuSim::with_shared`]), and the driver walks the *same* engine code
+//! across the lanes cycle by cycle, so the hot loop's code and the
+//! shared immutable state stay resident while only the per-lane SoA
+//! state differs — the CPU analogue of dispatch-wide data parallelism.
+//!
+//! # Lockstep discipline
+//!
+//! All lanes agree on the three clock ratios and the cycle safety limit
+//! (enforced by [`BatchSim::new`]), so one shared set of clock
+//! accumulators — replaying exactly the dense loop's arithmetic — serves
+//! every lane. The driver alternates two phases:
+//!
+//! * **Shared fast-forward** — when *every* active lane is provably
+//!   quiet (its wake gates, NoC/DRAM next-event caches and TB scheduler
+//!   all agree nothing can happen), the clocks skip to the earliest
+//!   event over all lanes, exactly like the sequential engine's
+//!   `fast_forward` with the minima taken across lanes.
+//! * **Lockstep epochs** — when some lane has work, the batch advances
+//!   one fixed-size epoch of core cycles. Lanes are mutually
+//!   independent and the clock trajectory is a pure function of the
+//!   cycle index, so within the epoch each lane runs *alone* on a local
+//!   clock cursor (bit-exact replay of the shared arithmetic): its own
+//!   dense/skip loop, re-checking its quiet conditions per cycle (the
+//!   same four the sequential fast-forward uses: NoC window, DRAM
+//!   window, core-domain [`WakeGate`]s, scheduler verdict). This keeps
+//!   a dense lane's working set cache-hot for a whole epoch instead of
+//!   evicting it every cycle. A lane that is provably quiet for the
+//!   entire epoch is skipped in O(1) — the quiet predicate is monotone
+//!   in the clock windows, so holding at the epoch-end horizons covers
+//!   every cycle in it. Frozen metric samples of quiet spans are
+//!   accounted lazily on wake, with the same `sample_n` bulk form the
+//!   sequential engine uses.
+//! * **Early exit** — a lane whose workload completes builds its
+//!   [`SimReport`] immediately (with the clock values at that instant,
+//!   which equal its solo run's) and drops out of the active set;
+//!   remaining lanes keep ticking.
+//!
+//! A lane executes a cycle body if and only if its solo sequential run
+//! would have executed that cycle densely — the quiet predicate is the
+//! sequential fast-forward's skip predicate evaluated per lane — so
+//! every lane's state trajectory, and therefore its report, is
+//! **bit-identical** to [`GpuSim::run`] on the sequential evented
+//! engine (pinned by `tests/event_driven_equivalence.rs` and the
+//! randomized battery in `crates/sim/tests/batch_equivalence.rs`).
+//! Batch width is pure scheduling: it trades wall time, never results,
+//! which is why the harness keeps it out of job keys.
+
+use crate::gpu::{domain_ticks, GpuSim, Parallelism, TbScheduler, METRIC_SAMPLE_INTERVAL};
+use crate::metrics::{ParallelismIntegrator, SimReport};
+use crate::sm::SmOutbound;
+use crate::wake::WakeGate;
+use std::sync::Arc;
+use valley_core::PhysAddr;
+use valley_noc::Packet;
+
+/// Batch-width knob for the harness's sweep executor (see
+/// [`BatchSim`]): how many same-config jobs to drive through one
+/// lockstep batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Batching(pub usize);
+
+impl Batching {
+    /// Reads `VALLEY_SIM_BATCH`: unset, empty, `0` or `1` mean no
+    /// batching (width 1); `n > 1` means lockstep batches of up to `n`
+    /// lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a value that is not a non-negative integer, so a typo'd
+    /// environment cannot silently fall back to unbatched runs.
+    pub fn from_env() -> Self {
+        match std::env::var("VALLEY_SIM_BATCH") {
+            Err(_) => Batching(1),
+            Ok(s) if s.is_empty() => Batching(1),
+            Ok(s) => {
+                let n: usize = s
+                    .parse()
+                    .unwrap_or_else(|_| panic!("VALLEY_SIM_BATCH={s} is not an integer"));
+                Batching(n.max(1))
+            }
+        }
+    }
+
+    /// The batch width this knob requests (1 = unbatched).
+    pub fn width(self) -> usize {
+        self.0.max(1)
+    }
+}
+
+/// N simulations advanced in lockstep — see the module docs.
+///
+/// Lanes may differ in mapper, seed and workload; they must agree on
+/// the clock ratios and cycle limit (the shared clock state). Build the
+/// lanes with [`GpuSim::with_shared`] so the config and address map are
+/// genuinely shared allocations.
+///
+/// ```no_run
+/// use valley_sim::BatchSim;
+/// # fn sims() -> Vec<valley_sim::GpuSim> { unimplemented!() }
+/// let reports = BatchSim::new(sims()).run();
+/// ```
+pub struct BatchSim {
+    sims: Vec<GpuSim>,
+}
+
+impl BatchSim {
+    /// Wraps `sims` as the lanes of one lockstep batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sims` is empty or the lanes disagree on a clock or on
+    /// `max_cycles` (the shared lockstep state).
+    pub fn new(sims: Vec<GpuSim>) -> Self {
+        assert!(!sims.is_empty(), "a batch needs at least one lane");
+        let first = Arc::clone(&sims[0].cfg);
+        for s in &sims[1..] {
+            assert!(
+                s.cfg.core_clock_ghz == first.core_clock_ghz
+                    && s.cfg.noc_clock_ghz == first.noc_clock_ghz
+                    && s.cfg.dram.clock_ghz == first.dram.clock_ghz
+                    && s.cfg.max_cycles == first.max_cycles,
+                "batch lanes must agree on clocks and the cycle limit"
+            );
+        }
+        BatchSim { sims }
+    }
+
+    /// Number of lanes.
+    pub fn width(&self) -> usize {
+        self.sims.len()
+    }
+
+    /// Runs every lane to completion and returns the per-lane reports in
+    /// lane order — each bit-identical to what that lane's
+    /// [`GpuSim::run`] would have produced on the sequential evented
+    /// engine.
+    pub fn run(self) -> Vec<SimReport> {
+        let cfg = Arc::clone(&self.sims[0].cfg);
+        // One lane has nothing to amortize; a clock envelope outside the
+        // evented discipline (a domain faster than the core clock) is
+        // handled by the sequential engine's own dense fallback. Either
+        // way: per-lane sequential runs, bit-identical by definition.
+        if self.sims.len() == 1 || cfg.noc_per_core() > 1.0 || cfg.dram_per_core() > 1.0 {
+            return self
+                .sims
+                .into_iter()
+                .map(|s| s.run_with(Parallelism::Off))
+                .collect();
+        }
+        run_lockstep(self.sims)
+    }
+}
+
+/// Reusable hot-loop buffers, shared by every lane (each use fully
+/// drains or clears them, so nothing leaks across lanes).
+struct Scratch {
+    deliveries: Vec<valley_noc::Delivery>,
+    completions: Vec<valley_dram::DramCompletion>,
+    replies: Vec<u64>,
+    outbound: Vec<SmOutbound>,
+    banks_buf: Vec<usize>,
+}
+
+/// One lane: a full simulator plus the per-run state the sequential
+/// engine keeps in locals (scheduler, metric integrator, wake gates,
+/// the cached scheduler verdict) and the lazy-sample watermark.
+struct Lane {
+    sim: GpuSim,
+    sched: TbScheduler,
+    parallelism: ParallelismIntegrator,
+    sms_next: WakeGate,
+    slices_next: WakeGate,
+    /// Cached negative `can_progress` verdict (see the sequential
+    /// engine's `sched_quiet`): exact until the lane body runs the TB
+    /// scheduler again, because quiet cycles touch no lane state.
+    sched_quiet: bool,
+    /// First cycle whose metric sample is not yet accounted: every
+    /// cycle in `[idle_from, now)` was lane-quiet, so all elapsed
+    /// sampling points see the identical frozen state and are accounted
+    /// in bulk when the lane next wakes (or terminates).
+    idle_from: u64,
+    /// Cached event horizons, valid while the lane is untouched (quiet
+    /// cycles mutate nothing, so the cached values stay *identical* to
+    /// a fresh read — this is pure driver economics, not an
+    /// approximation). Refreshed after every cycle body. The driver
+    /// consults these every shared cycle for every lane; reading three
+    /// plain words here beats chasing into the nets, the DRAM system
+    /// and the wake gates each time.
+    ev_noc: u64,
+    ev_dram: u64,
+    ev_core: u64,
+}
+
+impl Lane {
+    /// Earliest NoC-domain event over both nets.
+    #[inline]
+    fn noc_next(&self) -> u64 {
+        self.sim
+            .req_net
+            .cached_next_event()
+            .min(self.sim.reply_net.cached_next_event())
+    }
+
+    /// Earliest core-domain event over the SM and slice wake gates.
+    #[inline]
+    fn core_next(&self) -> u64 {
+        self.sms_next.get().min(self.slices_next.get())
+    }
+
+    /// Recomputes the cached event horizons from the lane's live state.
+    fn refresh_events(&mut self) {
+        self.ev_noc = self.noc_next();
+        self.ev_dram = self.sim.dram.cached_next_event();
+        self.ev_core = self.core_next();
+    }
+
+    /// The sequential fast-forward's skip predicate, evaluated for this
+    /// lane at the shared cycle: `true` iff executing the cycle body
+    /// would provably do nothing. Caches a negative scheduler verdict
+    /// exactly like the sequential engine (only after every clock
+    /// condition passed, mirroring its early-return order).
+    fn is_quiet(&mut self, cycle: u64, noc_cycle: u64, nt: u64, dram_cycle: u64, dt: u64) -> bool {
+        if noc_cycle + nt > self.ev_noc {
+            return false;
+        }
+        if dram_cycle + dt > self.ev_dram {
+            return false;
+        }
+        if self.ev_core <= cycle {
+            return false;
+        }
+        if !self.sched_quiet {
+            if self.sim.sched_can_progress(&self.sched) {
+                return false;
+            }
+            self.sched_quiet = true;
+        }
+        true
+    }
+
+    /// Accounts the frozen-state metric samples for the quiet span
+    /// `[idle_from, up_to)` — the batched analogue of the sequential
+    /// fast-forward's `sample_n` bulk accounting.
+    fn catch_up_samples(&mut self, up_to: u64, banks_buf: &mut Vec<usize>) {
+        if self.idle_from >= up_to {
+            // Consecutive dense cycles — the common case — have an
+            // empty quiet span; skip the divisions.
+            return;
+        }
+        let samples = up_to.div_ceil(METRIC_SAMPLE_INTERVAL)
+            - self.idle_from.div_ceil(METRIC_SAMPLE_INTERVAL);
+        if samples > 0 {
+            let busy_slices = self.sim.slices.iter().filter(|s| !s.is_idle()).count();
+            let busy_channels = self.sim.dram.busy_channels();
+            self.sim.dram.busy_banks_per_busy_channel_into(banks_buf);
+            self.parallelism
+                .sample_n(busy_slices, busy_channels, banks_buf, samples);
+        }
+        self.idle_from = up_to;
+    }
+
+    /// Executes one core cycle of this lane — the sequential engine's
+    /// evented cycle body verbatim, over the shared clock windows
+    /// (`nt` NoC ticks from `noc_cycle`, `dt` DRAM ticks from
+    /// `dram_cycle`). Returns `true` when the lane's workload finished
+    /// and drained this cycle.
+    fn run_cycle(
+        &mut self,
+        cycle: u64,
+        noc_cycle: u64,
+        nt: u64,
+        dram_cycle: u64,
+        dt: u64,
+        scratch: &mut Scratch,
+    ) -> bool {
+        let sim = &mut self.sim;
+        let noc_end = noc_cycle + nt;
+        let dram_end = dram_cycle + dt;
+        let mut sm_activity = false;
+
+        // ---- NoC clock domain ----
+        for nc in noc_cycle..noc_end {
+            scratch.deliveries.clear();
+            sim.req_net.tick_evented(nc, &mut scratch.deliveries);
+            for d in &scratch.deliveries {
+                sim.slices[d.dst].deliver(d.payload);
+                self.slices_next.wake_now();
+            }
+            scratch.deliveries.clear();
+            sim.reply_net.tick_evented(nc, &mut scratch.deliveries);
+            for d in &scratch.deliveries {
+                sim.sms[d.dst].on_reply(d.payload, &sim.txns, cycle);
+                sm_activity = true;
+                self.sms_next.wake_now();
+            }
+        }
+
+        // ---- DRAM clock domain ----
+        for dc in dram_cycle..dram_end {
+            scratch.completions.clear();
+            sim.dram.tick_evented(dc, &mut scratch.completions);
+            for c in &scratch.completions {
+                let t = sim.txns.get(c.id);
+                if !t.is_store {
+                    let slice = t.slice as usize;
+                    sim.slices[slice].on_dram_completion(
+                        c.id,
+                        cycle,
+                        &mut sim.txns,
+                        &sim.mapper,
+                        &mut scratch.replies,
+                    );
+                    self.slices_next.wake_now();
+                }
+            }
+        }
+
+        // ---- LLC slices ----
+        if cycle >= self.slices_next.get() {
+            let mut next = u64::MAX;
+            for s in &mut sim.slices {
+                s.tick_evented(
+                    cycle,
+                    dram_end,
+                    &sim.cfg,
+                    &mut sim.dram,
+                    &mut sim.txns,
+                    &sim.mapper,
+                    &mut scratch.replies,
+                );
+                next = next.min(s.cached_next_event());
+            }
+            self.slices_next.rebuild(next);
+        }
+        for txn in scratch.replies.drain(..) {
+            let t = sim.txns.get(txn);
+            sim.reply_net.inject(Packet {
+                payload: txn,
+                src: t.slice as usize,
+                dst: t.sm as usize,
+                flits: valley_noc::DATA_FLITS,
+                injected_at: noc_end,
+            });
+        }
+
+        // ---- SMs ----
+        {
+            let map = sim.map.as_ref();
+            let llc_slices = sim.cfg.llc_slices;
+            let slicer = move |addr: PhysAddr| GpuSim::slice_of(map, llc_slices, addr);
+            if cycle >= self.sms_next.get() {
+                let mut next = u64::MAX;
+                for sm in &mut sim.sms {
+                    sm_activity |= sm.tick_evented(
+                        cycle,
+                        &sim.cfg,
+                        &sim.mapper,
+                        &mut sim.txns,
+                        &slicer,
+                        &mut scratch.outbound,
+                    );
+                    next = next.min(sm.cached_next_event());
+                }
+                self.sms_next.rebuild(next);
+            }
+        }
+        for o in scratch.outbound.drain(..) {
+            let t = sim.txns.get(o.txn);
+            sim.req_net.inject(Packet {
+                payload: o.txn,
+                src: t.sm as usize,
+                dst: t.slice as usize,
+                flits: o.flits,
+                injected_at: noc_end,
+            });
+        }
+
+        // ---- TB scheduler ----
+        if sm_activity || self.sched.kernel.is_none() {
+            sim.schedule_tbs(&mut self.sched, cycle);
+            self.sched_quiet = false;
+            self.sms_next.wake_now();
+        }
+
+        // ---- Metrics ----
+        if cycle.is_multiple_of(METRIC_SAMPLE_INTERVAL) {
+            let busy_slices = sim.slices.iter().filter(|s| !s.is_idle()).count();
+            let busy_channels = sim.dram.busy_channels();
+            sim.dram
+                .busy_banks_per_busy_channel_into(&mut scratch.banks_buf);
+            self.parallelism
+                .sample(busy_slices, busy_channels, &scratch.banks_buf);
+        }
+
+        self.idle_from = cycle + 1;
+        self.sched.finished() && sim.is_drained()
+    }
+
+    /// Settles deferred counters and builds the lane's report, exactly
+    /// as the sequential engine does after its run loop.
+    fn finish(
+        &mut self,
+        end_cycle: u64,
+        noc_end: u64,
+        dram_end: u64,
+        truncated: bool,
+    ) -> SimReport {
+        let sim = &mut self.sim;
+        sim.req_net.flush_deferred(noc_end);
+        sim.reply_net.flush_deferred(noc_end);
+        sim.dram.flush_deferred(dram_end);
+        for sm in &mut sim.sms {
+            sm.flush_idle(end_cycle);
+        }
+        for s in &mut sim.slices {
+            s.flush_stall(end_cycle);
+        }
+        sim.report(
+            end_cycle,
+            dram_end,
+            truncated,
+            &self.parallelism,
+            &self.sched,
+        )
+    }
+}
+
+/// Core cycles per lockstep epoch: within an epoch each lane advances
+/// alone on a local clock cursor, so a dense lane's working set stays
+/// cache-hot for this many cycles at a stretch. Any value yields
+/// bit-identical results (lanes share nothing mutable and the clock
+/// trajectory is a pure function of the cycle index); the size only
+/// trades locality against how promptly an all-quiet batch reaches the
+/// shared fast-forward.
+const EPOCH_CYCLES: u64 = 32768;
+
+/// The lockstep driver — see the module docs for the discipline.
+fn run_lockstep(sims: Vec<GpuSim>) -> Vec<SimReport> {
+    let n = sims.len();
+    let cfg = Arc::clone(&sims[0].cfg);
+    let noc_per_core = cfg.noc_per_core();
+    let dram_per_core = cfg.dram_per_core();
+    let max_cycles = cfg.max_cycles;
+
+    let mut lanes: Vec<Lane> = sims
+        .into_iter()
+        .map(|sim| {
+            let mut lane = Lane {
+                sched: TbScheduler::new(sim.workload.num_kernels()),
+                sim,
+                parallelism: ParallelismIntegrator::new(),
+                sms_next: WakeGate::new(),
+                slices_next: WakeGate::new(),
+                sched_quiet: false,
+                idle_from: 0,
+                ev_noc: 0,
+                ev_dram: 0,
+                ev_core: 0,
+            };
+            lane.refresh_events();
+            lane
+        })
+        .collect();
+
+    let num_channels = lanes[0].sim.dram.num_channels();
+    let mut scratch = Scratch {
+        deliveries: Vec::with_capacity(64),
+        completions: Vec::with_capacity(64),
+        replies: Vec::new(),
+        outbound: Vec::new(),
+        banks_buf: Vec::with_capacity(num_channels),
+    };
+
+    let mut reports: Vec<Option<SimReport>> = (0..n).map(|_| None).collect();
+    // Active lane indices in lane order: finished lanes drop out, the
+    // rest keep their relative order (the walk order never affects
+    // results — lanes share nothing mutable — only cache locality).
+    let mut active: Vec<usize> = (0..n).collect();
+
+    // Shared clock state, replaying exactly the dense loop's arithmetic.
+    let mut cycle: u64 = 0;
+    let mut noc_acc = 0.0f64;
+    let mut dram_acc = 0.0f64;
+    let mut noc_cycle: u64 = 0;
+    let mut dram_cycle: u64 = 0;
+
+    'outer: while !active.is_empty() {
+        // ---- Shared fast-forward ----
+        // The scheduler verdicts are evaluated first (and cached — a
+        // lane untouched since the evaluation cannot change its
+        // verdict); the clock horizons are the minima over the active
+        // lanes, so a skipped cycle is provably quiet for *every* lane.
+        let mut all_sched_quiet = true;
+        let mut noc_next = u64::MAX;
+        let mut dram_next = u64::MAX;
+        let mut core_next = u64::MAX;
+        for &i in &active {
+            let lane = &mut lanes[i];
+            if !lane.sched_quiet {
+                if lane.sim.sched_can_progress(&lane.sched) {
+                    all_sched_quiet = false;
+                    break;
+                }
+                lane.sched_quiet = true;
+            }
+            noc_next = noc_next.min(lane.ev_noc);
+            dram_next = dram_next.min(lane.ev_dram);
+            core_next = core_next.min(lane.ev_core);
+        }
+        if all_sched_quiet {
+            loop {
+                if core_next <= cycle {
+                    break;
+                }
+                let (na, nt) = domain_ticks(noc_acc, noc_per_core);
+                if noc_cycle + nt > noc_next {
+                    break;
+                }
+                let (da, dt) = domain_ticks(dram_acc, dram_per_core);
+                if dram_cycle + dt > dram_next {
+                    break;
+                }
+                noc_acc = na;
+                noc_cycle += nt;
+                dram_acc = da;
+                dram_cycle += dt;
+                cycle += 1;
+                if cycle >= max_cycles {
+                    break 'outer;
+                }
+            }
+        }
+
+        // ---- One lockstep epoch ----
+        // Lanes are mutually independent and the clock trajectory is a
+        // pure function of the cycle index (skipped and dense cycles
+        // advance the accumulators identically), so lockstep does not
+        // require per-cycle interleaving: each lane advances the whole
+        // epoch on its own local clock cursor — replaying bit-exactly
+        // the arithmetic the shared commit below performs — before the
+        // next lane starts. That keeps a dense lane's working set hot
+        // for `EPOCH_CYCLES` at a stretch instead of evicting it every
+        // cycle, which is where naive cycle-interleaved batching loses
+        // to sequential runs.
+        let epoch_end = (cycle + EPOCH_CYCLES).min(max_cycles);
+        let (mut e_nacc, mut e_ncyc) = (noc_acc, noc_cycle);
+        let (mut e_dacc, mut e_dcyc) = (dram_acc, dram_cycle);
+        for _ in cycle..epoch_end {
+            let (na, nt) = domain_ticks(e_nacc, noc_per_core);
+            e_nacc = na;
+            e_ncyc += nt;
+            let (da, dt) = domain_ticks(e_dacc, dram_per_core);
+            e_dacc = da;
+            e_dcyc += dt;
+        }
+        active.retain(|&i| {
+            let lane = &mut lanes[i];
+            // Whole-epoch quiet in O(1): the per-cycle quiet predicate
+            // is monotone in the clock windows, so holding at the
+            // epoch's end horizons covers every cycle in it, and a
+            // quiet lane's verdict and horizons cannot change.
+            if !lane.sched_quiet && !lane.sim.sched_can_progress(&lane.sched) {
+                lane.sched_quiet = true;
+            }
+            if lane.sched_quiet
+                && e_ncyc <= lane.ev_noc
+                && e_dcyc <= lane.ev_dram
+                && lane.ev_core >= epoch_end
+            {
+                return true;
+            }
+            // Per-cycle walk with a local clock cursor — the lane's own
+            // solo dense/skip loop clamped to this epoch.
+            let (mut c, mut nacc, mut ncyc) = (cycle, noc_acc, noc_cycle);
+            let (mut dacc, mut dcyc) = (dram_acc, dram_cycle);
+            while c < epoch_end {
+                let (na, nt) = domain_ticks(nacc, noc_per_core);
+                let (da, dt) = domain_ticks(dacc, dram_per_core);
+                if !lane.is_quiet(c, ncyc, nt, dcyc, dt) {
+                    lane.catch_up_samples(c, &mut scratch.banks_buf);
+                    let finished = lane.run_cycle(c, ncyc, nt, dcyc, dt, &mut scratch);
+                    if finished {
+                        // The local clocks at this instant equal the
+                        // lane's solo-run clocks at its termination
+                        // (same arithmetic, same executed-cycle set).
+                        reports[i] = Some(lane.finish(c + 1, ncyc + nt, dcyc + dt, false));
+                        return false;
+                    }
+                    lane.refresh_events();
+                }
+                nacc = na;
+                ncyc += nt;
+                dacc = da;
+                dcyc += dt;
+                c += 1;
+            }
+            true
+        });
+        noc_acc = e_nacc;
+        noc_cycle = e_ncyc;
+        dram_acc = e_dacc;
+        dram_cycle = e_dcyc;
+        cycle = epoch_end;
+        if cycle >= max_cycles {
+            break;
+        }
+    }
+
+    // Cycle safety limit: every still-active lane truncates with the
+    // identical clock state its solo run would have truncated with.
+    for &i in &active {
+        let lane = &mut lanes[i];
+        lane.catch_up_samples(cycle, &mut scratch.banks_buf);
+        reports[i] = Some(lane.finish(cycle, noc_cycle, dram_cycle, true));
+    }
+
+    reports
+        .into_iter()
+        .map(|r| r.expect("every lane reported"))
+        .collect()
+}

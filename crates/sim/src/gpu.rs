@@ -9,9 +9,10 @@ use crate::sm::{Sm, SmOutbound};
 use crate::trace::{KernelSource, WorkloadSource};
 use crate::txn::TxnTable;
 use crate::wake::WakeGate;
+use std::sync::Arc;
 use valley_cache::CacheStats;
 use valley_core::{AddressMapper, DramAddressMap, PhysAddr};
-use valley_dram::{DramConfig, DramStats, DramSystem};
+use valley_dram::{DramStats, DramSystem};
 use valley_noc::{Crossbar, NocStats, Packet};
 
 /// How often (in core cycles) the parallelism metrics are sampled.
@@ -67,10 +68,6 @@ impl Parallelism {
     }
 }
 
-/// Builds a shard's [`DramSystem`] over a controller subset (captures
-/// its own clone of the address map).
-pub(crate) type ShardDramBuilder = Box<dyn Fn(&[usize]) -> DramSystem + Send>;
-
 /// The complete simulated GPU.
 ///
 /// Build one with [`GpuSim::new`], then call [`GpuSim::run`] to execute the
@@ -92,22 +89,21 @@ pub(crate) type ShardDramBuilder = Box<dyn Fn(&[usize]) -> DramSystem + Send>;
 /// println!("{} cycles", report.cycles);
 /// ```
 pub struct GpuSim {
-    pub(crate) cfg: GpuConfig,
+    /// The immutable machine description, shared by reference: the
+    /// batched engine's lanes and the harness's batch executor all point
+    /// at one `GpuConfig` allocation instead of carrying per-sim copies.
+    pub(crate) cfg: Arc<GpuConfig>,
     pub(crate) mapper: AddressMapper,
-    /// A second copy of the address map for slice routing (the other copy
-    /// lives inside the DRAM system for coordinate decoding).
-    pub(crate) map: Box<dyn DramAddressMap + Send + Sync>,
-    dram: DramSystem,
-    req_net: Crossbar,
-    reply_net: Crossbar,
-    sms: Vec<Sm>,
-    slices: Vec<LlcSlice>,
-    txns: TxnTable,
+    /// The (immutable) address map for slice routing — the *same*
+    /// allocation the DRAM system decodes coordinates through.
+    pub(crate) map: Arc<dyn DramAddressMap + Send + Sync>,
+    pub(crate) dram: DramSystem,
+    pub(crate) req_net: Crossbar,
+    pub(crate) reply_net: Crossbar,
+    pub(crate) sms: Vec<Sm>,
+    pub(crate) slices: Vec<LlcSlice>,
+    pub(crate) txns: TxnTable,
     pub(crate) workload: Box<dyn WorkloadSource>,
-    /// Builds a DRAM system over a controller subset with its own copy
-    /// of the address map — how the phase-parallel engine gives each
-    /// shard an independent slice of the memory system.
-    pub(crate) shard_dram: ShardDramBuilder,
 }
 
 /// Uniform access to the SM population for the TB scheduler, so the
@@ -295,15 +291,27 @@ impl GpuSim {
         workload: Box<dyn WorkloadSource>,
     ) -> Self
     where
-        M: DramAddressMap + Clone + Send + Sync + 'static,
+        M: DramAddressMap + Send + Sync + 'static,
     {
-        let dram = DramSystem::new(Box::new(map.clone()), cfg.dram);
+        Self::with_shared(Arc::new(cfg), mapper, Arc::new(map), workload)
+    }
+
+    /// [`GpuSim::new`] over pre-shared immutable parts: the harness's
+    /// batch executor builds N same-config lanes pointing at *one*
+    /// `GpuConfig` and *one* address-map allocation, so the config cache
+    /// lines are genuinely shared across lanes instead of duplicated
+    /// per simulation.
+    pub fn with_shared(
+        cfg: Arc<GpuConfig>,
+        mapper: AddressMapper,
+        map: Arc<dyn DramAddressMap + Send + Sync>,
+        workload: Box<dyn WorkloadSource>,
+    ) -> Self {
+        let dram = DramSystem::new(Arc::clone(&map), cfg.dram);
         let sms = (0..cfg.num_sms).map(|i| Sm::new(i as u32, &cfg)).collect();
         let slices = (0..cfg.llc_slices)
             .map(|i| LlcSlice::new(i as u16, &cfg))
             .collect();
-        let shard_map = map.clone();
-        let dram_cfg: DramConfig = cfg.dram;
         GpuSim {
             req_net: Crossbar::new(cfg.num_sms, cfg.llc_slices, cfg.noc_router_latency),
             reply_net: Crossbar::new(cfg.llc_slices, cfg.num_sms, cfg.noc_router_latency),
@@ -312,11 +320,8 @@ impl GpuSim {
             txns: TxnTable::new(),
             workload,
             mapper,
-            map: Box::new(map),
+            map,
             dram,
-            shard_dram: Box::new(move |ctrls| {
-                DramSystem::for_controllers(Box::new(shard_map.clone()), dram_cfg, ctrls)
-            }),
             cfg,
         }
     }
@@ -642,7 +647,7 @@ impl GpuSim {
 
     /// Whether the TB scheduler could make progress this cycle (see
     /// [`TbScheduler::can_progress`]).
-    fn sched_can_progress(&mut self, sched: &TbScheduler) -> bool {
+    pub(crate) fn sched_can_progress(&mut self, sched: &TbScheduler) -> bool {
         sched.can_progress(&SliceSmPool(&mut self.sms), &self.cfg)
     }
 
@@ -753,7 +758,7 @@ impl GpuSim {
         }
     }
 
-    fn is_drained(&self) -> bool {
+    pub(crate) fn is_drained(&self) -> bool {
         self.sms.iter().all(Sm::is_idle)
             && self.slices.iter().all(LlcSlice::is_idle)
             && !self.dram.is_busy()
@@ -761,7 +766,7 @@ impl GpuSim {
             && !self.reply_net.is_busy()
     }
 
-    fn schedule_tbs(&mut self, sched: &mut TbScheduler, cycle: u64) {
+    pub(crate) fn schedule_tbs(&mut self, sched: &mut TbScheduler, cycle: u64) {
         sched.run(
             &mut SliceSmPool(&mut self.sms),
             self.workload.as_ref(),
@@ -770,7 +775,7 @@ impl GpuSim {
         );
     }
 
-    fn report(
+    pub(crate) fn report(
         &self,
         cycles: u64,
         dram_cycles: u64,

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod batch;
 mod coalesce;
 mod config;
 mod gpu;
@@ -31,6 +32,7 @@ mod trace;
 mod txn;
 mod wake;
 
+pub use batch::{BatchSim, Batching};
 pub use coalesce::{coalesce, coalesce_into};
 pub use config::{GpuConfig, LlcWritePolicy, WarpScheduler};
 pub use gpu::{GpuSim, Parallelism};

@@ -439,7 +439,7 @@ mod tests {
             let mut dram_cfg: DramConfig = cfg.dram;
             dram_cfg.queue_capacity = 4;
             let mut dram = DramSystem::for_controllers(
-                Box::new(map),
+                std::sync::Arc::new(map),
                 dram_cfg,
                 &(0..4).collect::<Vec<_>>(),
             );

@@ -76,7 +76,7 @@ use crate::trace::KernelSource;
 use crate::txn::TxnTable;
 use crate::wake::WakeGate;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use valley_core::{AddressMapper, DramAddressMap, PhysAddr};
 use valley_dram::{DramCompletion, DramSystem};
 use valley_noc::{Crossbar, Delivery, NocStats, Packet};
@@ -564,7 +564,6 @@ pub(crate) fn run_sharded(sim: GpuSim, num_shards: usize, threads: usize) -> Sim
         mapper,
         map,
         workload,
-        shard_dram,
         ..
     } = sim;
 
@@ -597,7 +596,10 @@ pub(crate) fn run_sharded(sim: GpuSim, num_shards: usize, threads: usize) -> Sim
         }
         let sms = sm_ids.iter().map(|&i| Sm::new(i, &cfg)).collect();
         let slices: Vec<LlcSlice> = slice_ids.iter().map(|&i| LlcSlice::new(i, &cfg)).collect();
-        let dram = (!ctrls.is_empty()).then(|| shard_dram(&ctrls));
+        // Every shard's DRAM subset borrows the one shared address map —
+        // the config/state split's payoff: no per-shard map clones.
+        let dram = (!ctrls.is_empty())
+            .then(|| DramSystem::for_controllers(Arc::clone(&map), cfg.dram, &ctrls));
         shards.push(Mutex::new(Shard {
             req_ports: Crossbar::new(cfg.num_sms, slice_ids.len().max(1), cfg.noc_router_latency),
             reply_ports: Crossbar::new(cfg.llc_slices, sm_ids.len().max(1), cfg.noc_router_latency),

@@ -10,13 +10,18 @@
 //! `crates/sim/tests/parallel_equivalence.rs`.
 
 use valley::core::{AddressMapper, GddrMap, SchemeKind};
-use valley::sim::{GpuConfig, GpuSim, SimReport};
+use valley::sim::{BatchSim, GpuConfig, GpuSim, SimReport};
 use valley::workloads::{Benchmark, Scale};
 
 /// The shard counts the battery pins: even/odd splits of the 12 SMs and
 /// 4 memory groups, plus one (7) that leaves some shards without any
 /// memory group.
 const SHARD_COUNTS: [usize; 4] = [2, 3, 4, 7];
+
+/// The batch widths the battery pins: the minimal batch, odd widths, and
+/// one wide enough that early-finishing lanes drop out well before the
+/// batch drains.
+const BATCH_WIDTHS: [usize; 4] = [2, 3, 5, 8];
 
 fn build(bench: Benchmark, scheme: SchemeKind) -> GpuSim {
     let map = GddrMap::baseline();
@@ -102,6 +107,19 @@ fn assert_equivalent(bench: Benchmark, scheme: SchemeKind) {
             "{tag}: parallel({shards}) recorded no epochs"
         );
     }
+
+    // Batched lockstep engine: every lane of every batch width must
+    // reproduce the sequential report byte for byte.
+    for width in BATCH_WIDTHS {
+        let sims = (0..width).map(|_| build(bench, scheme)).collect();
+        for (lane, report) in BatchSim::new(sims).run().into_iter().enumerate() {
+            assert_eq!(
+                report.results_json(),
+                golden,
+                "{tag}: batch({width}) lane {lane} report JSON diverged from sequential"
+            );
+        }
+    }
 }
 
 #[test]
@@ -165,6 +183,17 @@ fn fcfs_scheduling_policy_equivalence() {
         fast.results_json(),
         "fcfs: parallel(4) diverged"
     );
+    for (lane, report) in BatchSim::new((0..3).map(|_| build()).collect())
+        .run()
+        .into_iter()
+        .enumerate()
+    {
+        assert_eq!(
+            report.results_json(),
+            fast.results_json(),
+            "fcfs: batch(3) lane {lane} diverged"
+        );
+    }
 }
 
 #[test]
@@ -193,6 +222,56 @@ fn stacked_memory_equivalence() {
             par.results_json(),
             fast.results_json(),
             "stacked: parallel({shards}) diverged"
+        );
+    }
+    for (lane, report) in BatchSim::new((0..4).map(|_| build()).collect())
+        .run()
+        .into_iter()
+        .enumerate()
+    {
+        assert_eq!(
+            report.results_json(),
+            fast.results_json(),
+            "stacked: batch(4) lane {lane} diverged"
+        );
+    }
+}
+
+#[test]
+fn mixed_lane_batch_is_bit_identical() {
+    // The harness batches by (config, scale, scheme) but nothing in the
+    // engine requires lanes to share a workload or mapper — pin the
+    // general case: one batch mixing benchmarks, schemes and seeds, each
+    // lane byte-identical to its solo sequential run. The lanes finish
+    // at different cycles, exercising early drop-out from the active
+    // set.
+    let cases: Vec<(Benchmark, SchemeKind, u64)> = vec![
+        (Benchmark::Mt, SchemeKind::Base, 1),
+        (Benchmark::Sp, SchemeKind::Pae, 1),
+        (Benchmark::Mum, SchemeKind::Fae, 7),
+        (Benchmark::Mt, SchemeKind::All, 3),
+    ];
+    let build_one = |&(bench, scheme, seed): &(Benchmark, SchemeKind, u64)| {
+        let map = GddrMap::baseline();
+        let mapper = AddressMapper::build(scheme, &map, seed);
+        GpuSim::new(
+            GpuConfig::table1(),
+            mapper,
+            map,
+            Box::new(bench.workload(Scale::Test)),
+        )
+    };
+    let goldens: Vec<String> = cases
+        .iter()
+        .map(|c| build_one(c).run().results_json())
+        .collect();
+    let sims = cases.iter().map(build_one).collect();
+    for (lane, report) in BatchSim::new(sims).run().into_iter().enumerate() {
+        let (bench, scheme, seed) = cases[lane];
+        assert_eq!(
+            report.results_json(),
+            goldens[lane],
+            "mixed batch lane {lane} ({bench:?}/{scheme:?}/seed {seed}) diverged"
         );
     }
 }
