@@ -1,36 +1,55 @@
-//! The `valley` CLI: drive the sweep engine and its content-addressed
-//! result store from the command line.
+//! The `valley` CLI: drive the sweep engine, its content-addressed
+//! result store, and the distributed sweep fabric from the command line.
 //!
 //! ```text
 //! valley sweep   [--scale S] [--benches B] [--schemes C] [--seeds N,..]
 //!                [--configs K,..] [--workers N] [--batch N] [--results DIR]
 //!                [--force] [--quiet] [--expect-cached PCT]
-//! valley status  [--results DIR]
+//! valley status  [--results DIR] [--fabric HOST:PORT]
 //! valley query   [--bench B] [--scheme C] [--scale S] [--seed N]
 //!                [--config K] [--results DIR]
 //! valley figures [--scale S] [--seed N] [--set valley|nonvalley|all]
 //!                [--results DIR]
 //! valley gc      [--results DIR] [--expect-clean]
+//! valley serve   --addr HOST:PORT [grid flags] [--results DIR]
+//!                [--lease-ms N] [--max-attempts N] [--linger] [--quiet]
+//! valley work    --addr HOST:PORT [--name W] [--batch N] [--sim-threads N]
+//!                [--quiet]
+//! valley fetch   --addr HOST:PORT [grid flags] [--figures]
+//!                [--expect-cached PCT] [--shutdown]
 //! ```
 //!
 //! `sweep` runs the grid (resuming from the store), `status` summarizes
 //! the store (including `--force` duplicates and orphaned-schema records
-//! awaiting `gc`), `query` prints matching stored results, `figures`
-//! renders the headline tables — speedup, row-buffer hit rate, channel
-//! parallelism, and the Figure 11/16 DRAM power tables (the power model
-//! is a pure function of the stored report) — *exclusively* from stored
-//! results; it never simulates. `gc` compacts the shards, dropping
-//! superseded duplicates and schema orphans.
+//! awaiting `gc`) or, with `--fabric`, a live coordinator's telemetry,
+//! `query` prints matching stored results, `figures` renders the
+//! headline tables — speedup, row-buffer hit rate, channel parallelism,
+//! and the Figure 11/16 DRAM power tables (the power model is a pure
+//! function of the stored report) — *exclusively* from stored results;
+//! it never simulates. `gc` compacts the shards, dropping superseded
+//! duplicates and schema orphans.
+//!
+//! The fabric trio: `serve` leases a sweep's uncached jobs to remote
+//! workers with crash-tolerant deadlines and merges results into the
+//! store in grid order; `work` executes leases via the unchanged local
+//! engines; `fetch` is the read-side network endpoint — query and
+//! figure tables straight from the coordinator's store, never
+//! simulating.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::process::ExitCode;
 use valley_core::SchemeKind;
+use valley_fabric::{
+    fabric_status, fetch, run_worker, shutdown, ClientOptions, CoordOptions, Coordinator,
+    QueryFilters, WorkerOptions,
+};
 use valley_harness::util::{amean, hmean, row, scheme_header};
 use valley_harness::{
-    default_results_dir, parse_scheme, run_sweep, ConfigId, ResultStore, StoreOptions,
+    default_results_dir, parse_scheme, run_sweep, ConfigId, JobSpec, ResultStore, StoreOptions,
     StoredResult, SweepOptions, SweepSpec, DEFAULT_SEED,
 };
 use valley_power::DramPowerModel;
+use valley_sim::Batching;
 use valley_workloads::{Benchmark, Scale};
 
 const USAGE: &str = "\
@@ -47,6 +66,15 @@ USAGE:
   valley figures [--scale test|small|ref] [--seed N] [--set valley|nonvalley|all]
                  [--results DIR]
   valley gc      [--results DIR] [--expect-clean]
+  valley serve   --addr HOST:PORT [--scale S] [--benches B] [--schemes C]
+                 [--seeds N,..] [--configs K,..] [--results DIR] [--lease-ms N]
+                 [--retry-ms N] [--max-attempts N] [--linger] [--quiet]
+                 [--max-shard-bytes N]
+  valley work    --addr HOST:PORT [--name W] [--batch N] [--sim-threads N]
+                 [--connect-attempts N] [--backoff-ms N] [--quiet]
+  valley fetch   --addr HOST:PORT [--scale S] [--benches B] [--schemes C]
+                 [--seeds N,..] [--configs K,..] [--figures]
+                 [--expect-cached PCT] [--shutdown] [--quiet]
 
 The store defaults to $VALLEY_RESULTS_DIR, else ./results. A sweep skips
 every job already in the store; `--expect-cached 95` additionally fails
@@ -64,7 +92,22 @@ sweep first. `gc` compacts the shards: duplicate keys left behind by
 `sweep --force` (only the newest survives a load anyway) and records
 orphaned by a schema change are dropped; `--expect-clean` fails if
 anything had to be removed (CI runs it after the double sweep to prove a
-clean store stays clean).";
+clean store stays clean).
+
+Fabric: `serve` expands the grid, skips stored keys, and leases the rest
+to connecting workers over std-TCP with `--lease-ms` deadlines — a
+worker that panics, stalls, or disconnects mid-job loses nothing (the
+job is re-leased; duplicate completions are dropped idempotently), and
+results are committed to the store in grid order, so the distributed
+store matches a local sequential sweep. `--linger` keeps the read side
+up after the grid completes, until `fetch --shutdown`. `work` executes
+leases with the unchanged local engines (`--batch`/$VALLEY_SIM_BATCH
+asks for lockstep-batchable leases, `--sim-threads`/$VALLEY_SIM_THREADS
+picks the intra-sim engine). `fetch` is the read-side endpoint: it
+prints the grid's stored results (or `--figures` tables) fetched from
+the coordinator — never simulating — and `--expect-cached PCT` fails
+unless at least PCT% of the requested grid was already served from the
+store (CI uses it to prove the read path is a pure cache read).";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -78,6 +121,9 @@ fn main() -> ExitCode {
         "query" => cmd_query(rest),
         "figures" => cmd_figures(rest),
         "gc" => cmd_gc(rest),
+        "serve" => cmd_serve(rest),
+        "work" => cmd_work(rest),
+        "fetch" => cmd_fetch(rest),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -106,7 +152,10 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<BTreeMap<String, Str
             return Err(format!("unknown flag '--{name}'"));
         }
         // Boolean flags take no value.
-        if name == "force" || name == "quiet" || name == "expect-clean" {
+        if matches!(
+            name,
+            "force" | "quiet" | "expect-clean" | "linger" | "figures" | "shutdown"
+        ) {
             flags.insert(name.to_string(), String::new());
             continue;
         }
@@ -145,6 +194,38 @@ fn parse_schemes(flags: &BTreeMap<String, String>) -> Result<Vec<SchemeKind>, St
             .map(|s| parse_scheme(s).ok_or_else(|| format!("unknown scheme '{s}'")))
             .collect(),
     }
+}
+
+fn parse_seeds(flags: &BTreeMap<String, String>) -> Result<Vec<u64>, String> {
+    match flags.get("seeds") {
+        None => Ok(vec![DEFAULT_SEED]),
+        Some(csv) => csv
+            .split(',')
+            .map(|s| s.parse().map_err(|_| format!("bad seed '{s}'")))
+            .collect(),
+    }
+}
+
+fn parse_configs(flags: &BTreeMap<String, String>) -> Result<Vec<ConfigId>, String> {
+    match flags.get("configs") {
+        None => Ok(vec![ConfigId::Table1]),
+        Some(csv) => csv
+            .split(',')
+            .map(|s| ConfigId::parse(s).ok_or_else(|| format!("unknown config '{s}'")))
+            .collect(),
+    }
+}
+
+/// Expands the sweep-shaped grid flags shared by `sweep`, `serve` and
+/// `fetch`.
+fn parse_grid(flags: &BTreeMap<String, String>) -> Result<SweepSpec, String> {
+    Ok(SweepSpec {
+        benches: parse_benches(flags)?,
+        schemes: parse_schemes(flags)?,
+        seeds: parse_seeds(flags)?,
+        scale: parse_scale(flags)?,
+        configs: parse_configs(flags)?,
+    })
 }
 
 fn open_store(flags: &BTreeMap<String, String>) -> Result<ResultStore, String> {
@@ -190,23 +271,8 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         // valid).
         std::env::set_var("VALLEY_SIM_THREADS", n);
     }
-    let scale = parse_scale(&flags)?;
-    let benches = parse_benches(&flags)?;
-    let schemes = parse_schemes(&flags)?;
-    let seeds: Vec<u64> = match flags.get("seeds") {
-        None => vec![DEFAULT_SEED],
-        Some(csv) => csv
-            .split(',')
-            .map(|s| s.parse().map_err(|_| format!("bad seed '{s}'")))
-            .collect::<Result<_, _>>()?,
-    };
-    let configs: Vec<ConfigId> = match flags.get("configs") {
-        None => vec![ConfigId::Table1],
-        Some(csv) => csv
-            .split(',')
-            .map(|s| ConfigId::parse(s).ok_or_else(|| format!("unknown config '{s}'")))
-            .collect::<Result<_, _>>()?,
-    };
+    let spec = parse_grid(&flags)?;
+    let scale = spec.scale;
     let workers = flags
         .get("workers")
         .map(|w| {
@@ -232,13 +298,6 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
         .transpose()?;
 
     let store = open_store(&flags)?;
-    let spec = SweepSpec {
-        benches,
-        schemes,
-        seeds,
-        scale,
-        configs,
-    };
     let opts = SweepOptions {
         workers,
         verbose: !flags.contains_key("quiet"),
@@ -292,7 +351,10 @@ fn results_dir(flags: &BTreeMap<String, String>) -> std::path::PathBuf {
 }
 
 fn cmd_status(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["results"])?;
+    let flags = parse_flags(args, &["results", "fabric"])?;
+    if let Some(addr) = flags.get("fabric") {
+        return fabric_status_report(addr);
+    }
     let dir = results_dir(&flags);
     // A lenient scan instead of a strict open: a store full of schema
     // orphans should *report* its state (and point at `gc`), not error.
@@ -408,11 +470,18 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         .into_iter()
         .filter(|e| matches_filters(e, &flags))
         .collect();
+    print_result_table(&matching);
+    println!("{} result(s)", matching.len());
+    Ok(())
+}
+
+/// The shared result table (`query` locally, `fetch` over the wire).
+fn print_result_table<'a>(rows: impl IntoIterator<Item = &'a StoredResult>) {
     println!(
         "{:<8}{:<8}{:>6}  {:<7}{:<9}{:>12}{:>8}{:>10}{:>10}",
         "bench", "scheme", "seed", "scale", "config", "cycles", "ipc", "rbhit%", "wall_ms"
     );
-    for e in &matching {
+    for e in rows {
         println!(
             "{:<8}{:<8}{:>6}  {:<7}{:<9}{:>12}{:>8.3}{:>10.1}{:>10.1}",
             e.spec.bench.label(),
@@ -426,8 +495,6 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             e.wall_ms,
         );
     }
-    println!("{} result(s)", matching.len());
-    Ok(())
 }
 
 fn cmd_figures(args: &[String]) -> Result<(), String> {
@@ -447,11 +514,37 @@ fn cmd_figures(args: &[String]) -> Result<(), String> {
 
     // Pure cache read: collect every (bench, scheme) report or fail with
     // the exact sweep command that would fill the gap.
-    let mut suite: BTreeMap<(Benchmark, SchemeKind), StoredResult> = BTreeMap::new();
+    let suite = collect_suite(
+        &benches,
+        scale,
+        seed,
+        |job| store.get(job),
+        &format!("run `valley sweep --scale {scale}` first — figures never simulate"),
+    )?;
+    println!(
+        "figures from store {} (scale {scale}, seed {seed}; pure cache read)",
+        store.dir().display()
+    );
+    render_figures(&suite, &benches);
+    Ok(())
+}
+
+/// Collects the complete (bench × scheme) suite the figure tables need,
+/// from any result source — the local store for `figures`, a fetched
+/// record set for `fetch --figures`. Fails with the first gap and the
+/// caller's hint for filling it.
+fn collect_suite(
+    benches: &[Benchmark],
+    scale: Scale,
+    seed: u64,
+    get: impl Fn(&JobSpec) -> Option<StoredResult>,
+    hint: &str,
+) -> Result<BTreeMap<(Benchmark, SchemeKind), StoredResult>, String> {
+    let mut suite = BTreeMap::new();
     let mut missing = Vec::new();
-    let spec = SweepSpec::new(&benches, &SchemeKind::ALL_SCHEMES, scale).with_seeds(&[seed]);
+    let spec = SweepSpec::new(benches, &SchemeKind::ALL_SCHEMES, scale).with_seeds(&[seed]);
     for job in spec.expand() {
-        match store.get(&job) {
+        match get(&job) {
             Some(e) => {
                 suite.insert((job.bench, job.scheme), e);
             }
@@ -460,14 +553,18 @@ fn cmd_figures(args: &[String]) -> Result<(), String> {
     }
     if !missing.is_empty() {
         return Err(format!(
-            "{} of {} results missing from the store (e.g. {}); \
-             run `valley sweep --scale {scale}` first — figures never simulate",
+            "{} of {} results missing (e.g. {}); {hint}",
             missing.len(),
             benches.len() * SchemeKind::ALL_SCHEMES.len(),
             missing[0],
         ));
     }
+    Ok(suite)
+}
 
+/// Renders the headline figure tables from a complete suite (shared by
+/// `figures` and `fetch --figures` — neither ever simulates).
+fn render_figures(suite: &BTreeMap<(Benchmark, SchemeKind), StoredResult>, benches: &[Benchmark]) {
     let schemes = SchemeKind::ALL_SCHEMES;
     let table = |title: &str,
                  metric: &dyn Fn(&StoredResult) -> f64,
@@ -477,7 +574,7 @@ fn cmd_figures(args: &[String]) -> Result<(), String> {
         println!("\n{title}");
         println!("{}", scheme_header("bench", &schemes, 8));
         let mut cols: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
-        for &b in &benches {
+        for &b in benches {
             let vals: Vec<f64> = schemes.iter().map(|&s| metric(&suite[&(b, s)])).collect();
             for (c, v) in vals.iter().enumerate() {
                 cols[c].push(*v);
@@ -488,10 +585,6 @@ fn cmd_figures(args: &[String]) -> Result<(), String> {
         println!("{}", row(agg_label, &aggs, 8, precision));
     };
 
-    println!(
-        "figures from store {} (scale {scale}, seed {seed}; pure cache read)",
-        store.dir().display()
-    );
     table(
         "Speedup over BASE (Figure 12/20)",
         &|e| {
@@ -530,7 +623,7 @@ fn cmd_figures(args: &[String]) -> Result<(), String> {
     for &s in &schemes {
         let mut times = Vec::new();
         let mut powers = Vec::new();
-        for &b in &benches {
+        for &b in benches {
             let base = &suite[&(b, SchemeKind::Base)].report;
             let r = &suite[&(b, s)].report;
             times.push(r.cycles as f64 / base.cycles as f64);
@@ -550,7 +643,7 @@ fn cmd_figures(args: &[String]) -> Result<(), String> {
     );
     for &s in &schemes {
         let (mut bg, mut act, mut rd, mut wr) = (Vec::new(), Vec::new(), Vec::new(), Vec::new());
-        for &b in &benches {
+        for &b in benches {
             let p = model.evaluate(&suite[&(b, s)].report);
             bg.push(p.background);
             act.push(p.activate);
@@ -567,6 +660,264 @@ fn cmd_figures(args: &[String]) -> Result<(), String> {
             wr,
             bg + act + rd + wr
         );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fabric subcommands
+// ---------------------------------------------------------------------
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(
+        args,
+        &[
+            "addr",
+            "scale",
+            "benches",
+            "schemes",
+            "seeds",
+            "configs",
+            "results",
+            "lease-ms",
+            "retry-ms",
+            "max-attempts",
+            "linger",
+            "quiet",
+            "max-shard-bytes",
+        ],
+    )?;
+    let addr = flags
+        .get("addr")
+        .ok_or("serve needs --addr HOST:PORT (use port 0 for an ephemeral port)")?;
+    let spec = parse_grid(&flags)?;
+    let store = open_store(&flags)?;
+    let parse_u64 = |key: &str, default: u64| -> Result<u64, String> {
+        flags
+            .get(key)
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("bad value '{v}' for --{key}"))
+            })
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let defaults = CoordOptions::default();
+    let opts = CoordOptions {
+        lease_ms: parse_u64("lease-ms", defaults.lease_ms)?.max(1),
+        retry_ms: parse_u64("retry-ms", defaults.retry_ms)?.max(1),
+        max_attempts: u32::try_from(parse_u64("max-attempts", u64::from(defaults.max_attempts))?)
+            .map_err(|_| "bad value for --max-attempts".to_string())?
+            .max(1),
+        linger: flags.contains_key("linger"),
+        verbose: !flags.contains_key("quiet"),
+    };
+    let coordinator =
+        Coordinator::bind(addr.as_str()).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let local = coordinator.local_addr().map_err(|e| e.to_string())?;
+    println!(
+        "serve: listening on {local} — {} job(s) at scale {}{}",
+        spec.expand().len(),
+        spec.scale,
+        if opts.linger {
+            " (lingering until `valley fetch --shutdown`)"
+        } else {
+            ""
+        },
+    );
+    let summary = coordinator
+        .run(&spec, &store, &opts)
+        .map_err(|e| e.to_string())?;
+    let t = &summary.telemetry;
+    println!(
+        "serve: {} job(s) — {} cache hit(s), {} executed by {} worker(s), \
+         {} re-lease(s), {} duplicate completion(s) in {:.2?}",
+        t.jobs_total,
+        t.cache_hits,
+        t.executed,
+        t.workers.len(),
+        t.releases,
+        t.duplicates,
+        summary.wall,
+    );
+    println!(
+        "store: {} result(s) in {}",
+        store.len(),
+        store.dir().display()
+    );
+    if !summary.complete() {
+        let mut msg = format!(
+            "{} job(s) died after exhausting their attempts:",
+            summary.dead.len()
+        );
+        for f in &summary.dead {
+            msg.push_str(&format!("\n  {f}"));
+        }
+        return Err(msg);
+    }
+    Ok(())
+}
+
+fn cmd_work(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(
+        args,
+        &[
+            "addr",
+            "name",
+            "batch",
+            "sim-threads",
+            "connect-attempts",
+            "backoff-ms",
+            "quiet",
+        ],
+    )?;
+    let addr = flags.get("addr").ok_or("work needs --addr HOST:PORT")?;
+    if let Some(n) = flags.get("sim-threads") {
+        n.parse::<usize>()
+            .map_err(|_| format!("bad thread count '{n}' for --sim-threads"))?;
+        // Same contract as `sweep --sim-threads`: the intra-sim engine is
+        // bit-identical for every thread count, so it is pure scheduling
+        // and never widens a job key.
+        std::env::set_var("VALLEY_SIM_THREADS", n);
+    }
+    // The lease capacity mirrors `sweep --batch`: the flag wins, else
+    // $VALLEY_SIM_BATCH, else single-job leases.
+    let capacity = match flags.get("batch") {
+        Some(n) => n
+            .parse::<usize>()
+            .map_err(|_| format!("bad batch width '{n}' for --batch"))?
+            .max(1),
+        None => Batching::from_env().width().max(1),
+    };
+    let defaults = WorkerOptions::default();
+    let opts = WorkerOptions {
+        name: flags.get("name").cloned().unwrap_or(defaults.name),
+        capacity,
+        connect_attempts: flags
+            .get("connect-attempts")
+            .map(|v| {
+                v.parse::<u32>()
+                    .map_err(|_| format!("bad value '{v}' for --connect-attempts"))
+            })
+            .transpose()?
+            .unwrap_or(defaults.connect_attempts)
+            .max(1),
+        backoff_ms: flags
+            .get("backoff-ms")
+            .map(|v| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("bad value '{v}' for --backoff-ms"))
+            })
+            .transpose()?
+            .unwrap_or(defaults.backoff_ms)
+            .max(1),
+        verbose: !flags.contains_key("quiet"),
+    };
+    let summary = run_worker(addr, &opts).map_err(|e| e.to_string())?;
+    println!(
+        "work: drained — {} lease(s), {} job(s) completed, {} failed",
+        summary.leases, summary.completed, summary.failed
+    );
+    Ok(())
+}
+
+fn cmd_fetch(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(
+        args,
+        &[
+            "addr",
+            "scale",
+            "benches",
+            "schemes",
+            "seeds",
+            "configs",
+            "figures",
+            "expect-cached",
+            "shutdown",
+            "quiet",
+        ],
+    )?;
+    let addr = flags.get("addr").ok_or("fetch needs --addr HOST:PORT")?;
+    let spec = parse_grid(&flags)?;
+    let grid = spec.expand();
+    let copts = ClientOptions::default();
+    // One coarse scale filter on the wire, exact grid intersection here:
+    // the coordinator's read side stays a dumb store scan.
+    let filters = QueryFilters {
+        scale: Some(spec.scale),
+        ..QueryFilters::default()
+    };
+    let records = fetch(addr, &filters, &copts).map_err(|e| e.to_string())?;
+    let by_spec: HashMap<JobSpec, StoredResult> =
+        records.into_iter().map(|r| (r.spec, r)).collect();
+    let have: Vec<&StoredResult> = grid.iter().filter_map(|j| by_spec.get(j)).collect();
+    if !flags.contains_key("quiet") {
+        print_result_table(have.iter().copied());
+    }
+    println!(
+        "fetch: {}/{} of the requested grid served from the coordinator's store",
+        have.len(),
+        grid.len()
+    );
+    if let Some(p) = flags.get("expect-cached") {
+        let pct: f64 = p.parse().map_err(|_| format!("bad percentage '{p}'"))?;
+        let actual = have.len() as f64 * 100.0 / grid.len().max(1) as f64;
+        if actual < pct {
+            return Err(format!(
+                "expected ≥ {pct}% of the grid stored but measured {actual:.1}% — \
+                 the fetch path did not serve stored results"
+            ));
+        }
+        println!("cache check passed: {actual:.1}% ≥ {pct}%");
+    }
+    if flags.contains_key("figures") {
+        let [seed] = spec.seeds[..] else {
+            return Err("`fetch --figures` needs exactly one seed (--seeds N)".into());
+        };
+        let suite = collect_suite(
+            &spec.benches,
+            spec.scale,
+            seed,
+            |job| by_spec.get(job).cloned(),
+            "run the distributed sweep first — fetch never simulates",
+        )?;
+        println!(
+            "figures fetched from {addr} (scale {}, seed {seed}; pure cache read)",
+            spec.scale
+        );
+        render_figures(&suite, &spec.benches);
+    }
+    if flags.contains_key("shutdown") {
+        shutdown(addr, &copts).map_err(|e| e.to_string())?;
+        println!("fetch: coordinator acknowledged shutdown");
+    }
+    Ok(())
+}
+
+/// Renders live coordinator telemetry (`valley status --fabric`).
+fn fabric_status_report(addr: &str) -> Result<(), String> {
+    let t = fabric_status(addr, &ClientOptions::default()).map_err(|e| e.to_string())?;
+    println!(
+        "fabric {addr}: {}/{} job(s) stored ({} cache hit(s), {} executed)",
+        t.cache_hits + t.executed,
+        t.jobs_total,
+        t.cache_hits,
+        t.executed
+    );
+    println!(
+        "leases: {} active, {} re-lease(s), {} duplicate completion(s)",
+        t.active_leases, t.releases, t.duplicates
+    );
+    if !t.workers.is_empty() {
+        println!("\n{:<24}{:>10}{:>8}", "worker", "completed", "failed");
+        for w in &t.workers {
+            println!("{:<24}{:>10}{:>8}", w.name, w.completed, w.failed);
+        }
+    }
+    if !t.failures.is_empty() {
+        println!("\nfailures ({}):", t.failures.len());
+        for f in &t.failures {
+            println!("  {} [{}]: {}", f.job, f.kind, f.message);
+        }
     }
     Ok(())
 }

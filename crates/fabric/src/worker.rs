@@ -1,0 +1,272 @@
+//! The fabric worker: lease, execute, report, repeat.
+//!
+//! A worker is a thin network shell around the harness's existing
+//! executors — [`execute_job`] for single-job leases and
+//! [`execute_batch`] for same-machine batches — so every local engine
+//! knob composes with remote execution: `VALLEY_SIM_THREADS` picks the
+//! phase-parallel engine inside each simulation, and the worker's
+//! `--batch` capacity asks the coordinator for lockstep-batchable
+//! leases. Panics are caught per lease and reported as structured
+//! [`JobFailure`]s, so a crashed job is re-leased with its reason
+//! attached instead of silently vanishing.
+
+use crate::proto::{Msg, Role, PROTOCOL_VERSION};
+use crate::wire::{read_frame, write_frame, WireError};
+use crate::FabricError;
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+use valley_harness::{execute_batch, JobFailure, JobSpec, StoredResult};
+
+/// Options controlling one worker run.
+#[derive(Clone, Debug)]
+pub struct WorkerOptions {
+    /// Telemetry name (stable across reconnects).
+    pub name: String,
+    /// Widest same-machine batch to accept per lease (the distributed
+    /// analogue of `valley sweep --batch`).
+    pub capacity: usize,
+    /// Connection attempts before giving up (the coordinator may start
+    /// after the worker).
+    pub connect_attempts: u32,
+    /// Base reconnect backoff in milliseconds (doubles per attempt,
+    /// capped at 5 s).
+    pub backoff_ms: u64,
+    /// Print per-lease progress to stderr.
+    pub verbose: bool,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            name: format!("worker-{}", std::process::id()),
+            capacity: 1,
+            connect_attempts: 25,
+            backoff_ms: 200,
+            verbose: false,
+        }
+    }
+}
+
+/// What one worker run accomplished.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Leases completed successfully.
+    pub leases: u64,
+    /// Jobs executed and reported.
+    pub completed: u64,
+    /// Jobs whose execution panicked (reported as structured failures).
+    pub failed: u64,
+}
+
+/// One framed connection to the coordinator (shared with the read-side
+/// clients in [`crate::client`]).
+pub(crate) struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Conn {
+    fn open(addr: &str, name: &str, role: Role) -> Result<Conn, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut conn = Conn {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+        };
+        match conn.roundtrip(&Msg::Hello {
+            version: PROTOCOL_VERSION,
+            role,
+            name: name.to_string(),
+        })? {
+            Msg::Ack { .. } => Ok(conn),
+            other => Err(WireError::Protocol(format!(
+                "coordinator answered hello with {other:?}"
+            ))),
+        }
+    }
+
+    pub(crate) fn roundtrip(&mut self, msg: &Msg) -> Result<Msg, WireError> {
+        write_frame(&mut self.writer, &msg.to_json())?;
+        let reply = read_frame(&mut self.reader)?;
+        Msg::from_json(&reply).map_err(WireError::Protocol)
+    }
+}
+
+/// Connects with exponential backoff — the coordinator may not be up
+/// yet (CI starts both concurrently).
+pub(crate) fn connect_with_backoff(
+    addr: &str,
+    name: &str,
+    role: Role,
+    attempts: u32,
+    backoff_ms: u64,
+) -> Result<Conn, FabricError> {
+    let mut delay = Duration::from_millis(backoff_ms.max(1));
+    let mut last: Option<WireError> = None;
+    for attempt in 0..attempts.max(1) {
+        match Conn::open(addr, name, role) {
+            Ok(conn) => return Ok(conn),
+            Err(e @ WireError::Protocol(_)) => return Err(e.into()),
+            Err(e) => {
+                last = Some(e);
+                if attempt + 1 < attempts.max(1) {
+                    std::thread::sleep(delay);
+                    delay = (delay * 2).min(Duration::from_secs(5));
+                }
+            }
+        }
+    }
+    Err(last.expect("at least one connection attempt").into())
+}
+
+/// Runs a worker against the coordinator at `addr` until the grid is
+/// drained. Connection loss mid-lease is survivable by design: the
+/// coordinator re-leases the jobs, and any results this worker manages
+/// to deliver late are dropped idempotently.
+pub fn run_worker(addr: &str, opts: &WorkerOptions) -> Result<WorkerSummary, FabricError> {
+    let mut summary = WorkerSummary::default();
+    let mut reconnects_left = opts.connect_attempts;
+    let mut ever_connected = false;
+    'session: loop {
+        // Reconnects after a successful session get a short budget: an
+        // unreachable coordinator then means it exited — and it only
+        // exits once the grid is complete (or an admin shut it down) —
+        // so the worker is done, not broken.
+        let attempts = if ever_connected {
+            reconnects_left.min(3)
+        } else {
+            reconnects_left
+        };
+        let mut conn =
+            match connect_with_backoff(addr, &opts.name, Role::Worker, attempts, opts.backoff_ms) {
+                Ok(conn) => conn,
+                Err(FabricError::Wire(WireError::Io(_))) if ever_connected => {
+                    if opts.verbose {
+                        eprintln!(
+                            "work: coordinator gone after {} lease(s) — serve complete",
+                            summary.leases
+                        );
+                    }
+                    return Ok(summary);
+                }
+                Err(e) => return Err(e),
+            };
+        ever_connected = true;
+        loop {
+            let reply = match conn.roundtrip(&Msg::Request {
+                capacity: opts.capacity.max(1) as u64,
+            }) {
+                Ok(reply) => reply,
+                Err(WireError::Io(_)) if reconnects_left > 1 => {
+                    // The coordinator went away mid-conversation; any
+                    // lease we held will be re-issued. Try again.
+                    reconnects_left -= 1;
+                    continue 'session;
+                }
+                Err(e) => return Err(e.into()),
+            };
+            match reply {
+                Msg::Drained => {
+                    if opts.verbose {
+                        eprintln!("work: drained after {} lease(s)", summary.leases);
+                    }
+                    return Ok(summary);
+                }
+                Msg::Wait { retry_ms } => {
+                    std::thread::sleep(Duration::from_millis(retry_ms.clamp(10, 10_000)));
+                }
+                Msg::Lease { lease, jobs, .. } => {
+                    let report = execute_lease(lease, &jobs, opts, &mut summary);
+                    match conn.roundtrip(&report) {
+                        Ok(Msg::Ack { .. }) => {}
+                        Ok(other) => {
+                            return Err(WireError::Protocol(format!(
+                                "coordinator answered a lease report with {other:?}"
+                            ))
+                            .into())
+                        }
+                        Err(WireError::Io(_)) if reconnects_left > 1 => {
+                            reconnects_left -= 1;
+                            continue 'session;
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                other => {
+                    return Err(WireError::Protocol(format!(
+                        "coordinator answered a work request with {other:?}"
+                    ))
+                    .into())
+                }
+            }
+        }
+    }
+}
+
+/// Executes one lease with panic isolation and builds the report frame.
+fn execute_lease(
+    lease: u64,
+    jobs: &[JobSpec],
+    opts: &WorkerOptions,
+    summary: &mut WorkerSummary,
+) -> Msg {
+    if opts.verbose {
+        eprintln!(
+            "work: lease {lease}: {} job(s) ({}, ...)",
+            jobs.len(),
+            jobs[0]
+        );
+    }
+    let start = Instant::now();
+    let outcome = catch_unwind(AssertUnwindSafe(|| execute_batch(jobs)));
+    let elapsed = start.elapsed();
+    match outcome {
+        Ok(reports) => {
+            // Same attribution rule as the local batched sweep: a
+            // lane's individual wall time is unobservable inside a
+            // lockstep batch, so each lane gets an equal share.
+            let wall_ms = elapsed.as_secs_f64() * 1e3 / jobs.len() as f64;
+            summary.leases += 1;
+            summary.completed += jobs.len() as u64;
+            if opts.verbose {
+                eprintln!("work: lease {lease} done in {elapsed:.2?}");
+            }
+            Msg::Done {
+                lease,
+                results: jobs
+                    .iter()
+                    .zip(reports)
+                    .map(|(&spec, report)| StoredResult {
+                        spec,
+                        report,
+                        wall_ms,
+                    })
+                    .collect(),
+            }
+        }
+        Err(panic) => {
+            let message = panic_message(panic.as_ref());
+            summary.failed += jobs.len() as u64;
+            if opts.verbose {
+                eprintln!("work: lease {lease} PANICKED: {message}");
+            }
+            Msg::Failed {
+                lease,
+                failures: jobs
+                    .iter()
+                    .map(|&spec| JobFailure::panic(spec, message.clone()))
+                    .collect(),
+            }
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    panic
+        .downcast_ref::<&str>()
+        .map(|m| (*m).to_string())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}

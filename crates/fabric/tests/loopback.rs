@@ -1,0 +1,389 @@
+//! End-to-end fabric tests over 127.0.0.1: a coordinator and in-process
+//! workers exercising the real TCP protocol. Pins the two headline
+//! guarantees — a distributed sweep's store is identical to a local
+//! sequential sweep's (shard-for-shard, modulo only the measured
+//! `wall_ms`), and a worker killed mid-job loses nothing: its lease is
+//! re-issued and the grid completes with zero lost and zero duplicated
+//! results.
+
+use std::io::{BufReader, BufWriter};
+use std::net::TcpStream;
+use valley_core::SchemeKind;
+use valley_fabric::{
+    read_frame, run_worker, write_frame, CoordOptions, Coordinator, Msg, Role, ServeSummary,
+    WorkerOptions, PROTOCOL_VERSION,
+};
+use valley_harness::{
+    execute_batch, run_sweep, JobFailure, ResultStore, StoredResult, SweepOptions, SweepSpec,
+};
+use valley_workloads::{Benchmark, Scale};
+
+/// A fresh store directory that cleans itself up.
+struct TempStore(std::path::PathBuf);
+
+impl TempStore {
+    fn new(tag: &str) -> TempStore {
+        let dir =
+            std::env::temp_dir().join(format!("valley-fabric-test-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        TempStore(dir)
+    }
+
+    fn open(&self) -> ResultStore {
+        ResultStore::open(&self.0).expect("store opens")
+    }
+}
+
+impl Drop for TempStore {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+/// Four test-scale jobs in two same-machine groups (config × scale ×
+/// scheme), so `--batch 2` leases exercise the grouped path.
+fn grid() -> SweepSpec {
+    SweepSpec::new(
+        &[Benchmark::Sp, Benchmark::Mt],
+        &[SchemeKind::Base, SchemeKind::Pae],
+        Scale::Test,
+    )
+}
+
+fn quiet(worker: &str) -> WorkerOptions {
+    WorkerOptions {
+        name: worker.to_string(),
+        verbose: false,
+        ..WorkerOptions::default()
+    }
+}
+
+fn coord_opts() -> CoordOptions {
+    CoordOptions {
+        verbose: false,
+        ..CoordOptions::default()
+    }
+}
+
+/// A hand-driven protocol peer for fault injection: speaks real frames
+/// over a real socket but does exactly (and only) what each test says.
+struct RawPeer {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl RawPeer {
+    fn connect(addr: &str, name: &str) -> RawPeer {
+        let stream = TcpStream::connect(addr).expect("raw peer connects");
+        let mut peer = RawPeer {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: BufWriter::new(stream),
+        };
+        let ack = peer.roundtrip(&Msg::Hello {
+            version: PROTOCOL_VERSION,
+            role: Role::Worker,
+            name: name.to_string(),
+        });
+        assert!(matches!(ack, Msg::Ack { .. }), "hello rejected: {ack:?}");
+        peer
+    }
+
+    fn roundtrip(&mut self, msg: &Msg) -> Msg {
+        write_frame(&mut self.writer, &msg.to_json()).expect("raw peer writes");
+        let reply = read_frame(&mut self.reader).expect("raw peer reads");
+        Msg::from_json(&reply).expect("raw peer decodes")
+    }
+
+    fn lease(&mut self, capacity: u64) -> (u64, Vec<valley_harness::JobSpec>) {
+        match self.roundtrip(&Msg::Request { capacity }) {
+            Msg::Lease { lease, jobs, .. } => (lease, jobs),
+            other => panic!("expected a lease, got {other:?}"),
+        }
+    }
+}
+
+/// Runs a coordinator over `spec`/`store` while `drive` injects faults
+/// and workers; returns the serve summary.
+fn serve_while(
+    spec: &SweepSpec,
+    store: &ResultStore,
+    opts: &CoordOptions,
+    drive: impl FnOnce(&str) + Send,
+) -> ServeSummary {
+    let coordinator = Coordinator::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = coordinator.local_addr().expect("local addr").to_string();
+    std::thread::scope(|s| {
+        let serve = s.spawn(move || coordinator.run(spec, store, opts));
+        drive(&addr);
+        serve.join().expect("serve thread").expect("serve succeeds")
+    })
+}
+
+/// Replaces the measured `wall_ms` value — the single nondeterministic
+/// field of a stored record — with `0`.
+fn normalize_wall(line: &str) -> String {
+    let field = "\"wall_ms\":";
+    let start = line.find(field).expect("record has wall_ms") + field.len();
+    let end = start + line[start..].find(',').expect("wall_ms is not last");
+    format!("{}0{}", &line[..start], &line[end..])
+}
+
+/// Both stores' shard files, as (file name → wall-normalized contents).
+fn normalized_shards(dir: &std::path::Path) -> std::collections::BTreeMap<String, Vec<String>> {
+    let mut shards = std::collections::BTreeMap::new();
+    for entry in std::fs::read_dir(dir).expect("store dir lists") {
+        let entry = entry.expect("dir entry");
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(entry.path()).expect("shard reads");
+        shards.insert(name, text.lines().map(normalize_wall).collect());
+    }
+    shards
+}
+
+/// Tentpole acceptance: a sweep distributed over two loopback workers
+/// produces shard files identical to a local sequential sweep's — same
+/// file names, same records, same order — modulo only `wall_ms`.
+#[test]
+fn distributed_store_matches_local_sequential_sweep() {
+    let spec = grid();
+
+    let local = TempStore::new("local");
+    run_sweep(
+        &spec,
+        &local.open(),
+        &SweepOptions {
+            workers: Some(1),
+            verbose: false,
+            ..SweepOptions::default()
+        },
+    )
+    .expect("local sweep");
+
+    let remote = TempStore::new("remote");
+    let store = remote.open();
+    let summary = serve_while(&spec, &store, &coord_opts(), |addr| {
+        std::thread::scope(|s| {
+            s.spawn(|| run_worker(addr, &quiet("w1")).expect("worker 1"));
+            s.spawn(|| run_worker(addr, &quiet("w2")).expect("worker 2"));
+        });
+    });
+
+    assert!(summary.complete(), "grid incomplete: {summary:?}");
+    assert_eq!(summary.telemetry.executed, 4);
+    assert_eq!(summary.telemetry.cache_hits, 0);
+    assert_eq!(summary.telemetry.duplicates, 0);
+    assert_eq!(normalized_shards(&local.0), normalized_shards(&remote.0));
+
+    // Resume: a second serve over the full store completes without any
+    // worker connecting at all.
+    let resumed = {
+        let coordinator = Coordinator::bind("127.0.0.1:0").expect("bind loopback");
+        coordinator
+            .run(&spec, &store, &coord_opts())
+            .expect("resumed serve")
+    };
+    assert!(resumed.complete());
+    assert_eq!(resumed.telemetry.cache_hits, 4);
+    assert_eq!(resumed.telemetry.executed, 0);
+}
+
+/// Batched leases (`capacity > 1`) group same-machine jobs and produce
+/// the same store as single-job leases.
+#[test]
+fn batched_leases_match_unbatched_store() {
+    let spec = grid();
+    let single = TempStore::new("single-lease");
+    let store = single.open();
+    serve_while(&spec, &store, &coord_opts(), |addr| {
+        run_worker(addr, &quiet("solo")).expect("worker");
+    });
+
+    let batched = TempStore::new("batched-lease");
+    let bstore = batched.open();
+    let summary = serve_while(&spec, &bstore, &coord_opts(), |addr| {
+        run_worker(
+            addr,
+            &WorkerOptions {
+                capacity: 2,
+                ..quiet("wide")
+            },
+        )
+        .expect("batched worker");
+    });
+    assert!(summary.complete());
+    assert_eq!(
+        normalized_shards(&single.0),
+        normalized_shards(&batched.0),
+        "lease batching changed the stored results"
+    );
+}
+
+/// A worker killed mid-job loses nothing: the dropped connection's
+/// lease is re-issued to a healthy worker and the grid completes with
+/// zero lost and zero duplicated results.
+#[test]
+fn killed_worker_mid_job_loses_nothing() {
+    let spec = grid();
+    let tmp = TempStore::new("killed");
+    let store = tmp.open();
+    let summary = serve_while(&spec, &store, &coord_opts(), |addr| {
+        // The victim takes a lease and dies without reporting.
+        let mut victim = RawPeer::connect(addr, "victim");
+        let (_lease, jobs) = victim.lease(1);
+        assert_eq!(jobs.len(), 1);
+        drop(victim);
+        // A healthy worker drains the whole grid, including the
+        // re-leased job.
+        run_worker(addr, &quiet("healthy")).expect("healthy worker");
+    });
+    assert!(summary.complete(), "grid incomplete: {summary:?}");
+    assert_eq!(summary.telemetry.executed, 4, "a result was lost");
+    assert_eq!(summary.telemetry.duplicates, 0, "a result was duplicated");
+    assert!(
+        summary.telemetry.releases >= 1,
+        "the victim's lease was never re-issued"
+    );
+    assert_eq!(store.len(), 4);
+    let healthy = summary
+        .telemetry
+        .workers
+        .iter()
+        .find(|w| w.name == "healthy")
+        .expect("healthy worker in telemetry");
+    assert_eq!(healthy.completed, 4);
+}
+
+/// A worker that stalls past its lease deadline is reaped: the job is
+/// re-leased, and the stale worker's late completion is dropped
+/// idempotently.
+#[test]
+fn expired_lease_is_reaped_and_late_completion_is_idempotent() {
+    let spec = grid();
+    let tmp = TempStore::new("expired");
+    let store = tmp.open();
+    // Linger keeps the coordinator answering after the grid completes,
+    // so the stale worker's late `Done` is deterministically processed
+    // (and then `Shutdown` ends the serve).
+    let opts = CoordOptions {
+        lease_ms: 50,
+        linger: true,
+        ..coord_opts()
+    };
+    let summary = serve_while(&spec, &store, &opts, |addr| {
+        let mut stalled = RawPeer::connect(addr, "stalled");
+        let (lease, jobs) = stalled.lease(1);
+        // Outlive the deadline, then let a healthy worker drain the
+        // grid (re-leasing our job on its first request).
+        std::thread::sleep(std::time::Duration::from_millis(120));
+        run_worker(addr, &quiet("healthy")).expect("healthy worker");
+        // The stale completion arrives after the job is already done:
+        // dropped idempotently, reported in the ack.
+        let results = execute_batch(&jobs)
+            .into_iter()
+            .zip(&jobs)
+            .map(|(report, &spec)| StoredResult {
+                spec,
+                report,
+                wall_ms: 1.0,
+            })
+            .collect();
+        match stalled.roundtrip(&Msg::Done { lease, results }) {
+            Msg::Ack { stored, duplicates } => {
+                assert_eq!(stored, 0, "a stale result was stored twice");
+                assert_eq!(duplicates, 1);
+            }
+            other => panic!("expected an ack, got {other:?}"),
+        }
+        match stalled.roundtrip(&Msg::Shutdown) {
+            Msg::Ack { .. } => {}
+            other => panic!("expected a shutdown ack, got {other:?}"),
+        }
+    });
+    assert!(summary.complete(), "grid incomplete: {summary:?}");
+    assert_eq!(summary.telemetry.executed, 4);
+    assert_eq!(summary.telemetry.duplicates, 1);
+    assert!(
+        summary.telemetry.releases >= 1,
+        "expired lease never reaped"
+    );
+    assert_eq!(store.len(), 4);
+}
+
+/// A worker-reported panic re-leases the job with the structured reason
+/// attached to telemetry; the grid still completes.
+#[test]
+fn structured_failure_is_re_leased_with_reason() {
+    let spec = grid();
+    let tmp = TempStore::new("failure");
+    let store = tmp.open();
+    let summary = serve_while(&spec, &store, &coord_opts(), |addr| {
+        let mut flaky = RawPeer::connect(addr, "flaky");
+        let (lease, jobs) = flaky.lease(1);
+        let failures = jobs
+            .iter()
+            .map(|&spec| JobFailure::panic(spec, "injected crash".to_string()))
+            .collect();
+        match flaky.roundtrip(&Msg::Failed { lease, failures }) {
+            Msg::Ack { .. } => {}
+            other => panic!("expected an ack, got {other:?}"),
+        }
+        run_worker(addr, &quiet("healthy")).expect("healthy worker");
+    });
+    assert!(summary.complete(), "the failed job was never re-leased");
+    assert_eq!(summary.telemetry.executed, 4);
+    assert_eq!(store.len(), 4);
+    let note = summary
+        .telemetry
+        .failures
+        .iter()
+        .find(|f| f.message == "injected crash")
+        .expect("structured failure reason in telemetry");
+    assert_eq!(note.kind, valley_harness::FailureKind::Panic);
+    let flaky = summary
+        .telemetry
+        .workers
+        .iter()
+        .find(|w| w.name == "flaky")
+        .expect("flaky worker in telemetry");
+    assert_eq!(flaky.failed, 1);
+}
+
+/// A job that fails deterministically on every attempt is declared dead
+/// after `max_attempts` instead of re-leasing forever; the rest of the
+/// grid still completes and the serve reports the dead job.
+#[test]
+fn deterministic_failure_dies_after_max_attempts() {
+    let spec = grid();
+    let tmp = TempStore::new("dead");
+    let store = tmp.open();
+    let opts = CoordOptions {
+        max_attempts: 2,
+        ..coord_opts()
+    };
+    let summary = serve_while(&spec, &store, &opts, |addr| {
+        let mut flaky = RawPeer::connect(addr, "flaky");
+        let (mut lease, jobs) = flaky.lease(1);
+        let poisoned = jobs[0];
+        for attempt in 0..2 {
+            let failures = vec![JobFailure::panic(poisoned, "always crashes".to_string())];
+            match flaky.roundtrip(&Msg::Failed { lease, failures }) {
+                Msg::Ack { .. } => {}
+                other => panic!("expected an ack, got {other:?}"),
+            }
+            if attempt == 0 {
+                // Re-lease the same job (it went back to the queue
+                // front) and fail it a second, final time.
+                let (release, rejobs) = flaky.lease(1);
+                assert_eq!(rejobs, jobs, "the failed job was not re-leased first");
+                lease = release;
+            }
+        }
+        run_worker(addr, &quiet("healthy")).expect("healthy worker");
+    });
+    assert!(!summary.complete(), "a dead job must fail the serve");
+    assert_eq!(summary.dead.len(), 1);
+    assert_eq!(summary.dead[0].message, "always crashes");
+    // The other three jobs all made it into the store.
+    assert_eq!(summary.telemetry.executed, 3);
+    assert_eq!(store.len(), 3);
+}

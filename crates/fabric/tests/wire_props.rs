@@ -1,0 +1,272 @@
+//! Property tests for the fabric wire format: every protocol message —
+//! and in particular the [`JobSpec`] and [`StoredResult`] payloads that
+//! carry the science — must survive encode → frame → decode
+//! bit-identically. A fleet whose frames drift even one bit would store
+//! results under the wrong keys, so these properties are the fabric's
+//! foundation.
+
+use proptest::prelude::*;
+use valley_cache::CacheStats;
+use valley_core::SchemeKind;
+use valley_dram::DramStats;
+use valley_fabric::proto::{
+    job_from_json, job_to_json, record_from_json, record_to_json, Msg, QueryFilters, Role,
+    Telemetry, WorkerStat, PROTOCOL_VERSION,
+};
+use valley_fabric::wire::{read_frame, write_frame, WireError};
+use valley_fabric::{FailureNote, WorkerOptions};
+use valley_harness::{ConfigId, FailureKind, JobFailure, JobSpec, StoredResult};
+use valley_sim::json::Json;
+use valley_sim::{EpochHist, SimReport};
+use valley_workloads::{Benchmark, Scale};
+
+const SCALES: [Scale; 3] = [Scale::Test, Scale::Small, Scale::Ref];
+const CONFIGS: [ConfigId; 4] = [
+    ConfigId::Table1,
+    ConfigId::Stacked,
+    ConfigId::Sms(24),
+    ConfigId::Sms(48),
+];
+
+fn job(bench: usize, scheme: usize, seed: u64, scale: usize, config: usize) -> JobSpec {
+    JobSpec {
+        bench: Benchmark::ALL[bench % Benchmark::ALL.len()],
+        scheme: SchemeKind::ALL_SCHEMES[scheme % SchemeKind::ALL_SCHEMES.len()],
+        seed,
+        scale: SCALES[scale % SCALES.len()],
+        config: CONFIGS[config % CONFIGS.len()],
+    }
+}
+
+/// A synthetic report exercising the full field vocabulary, including
+/// `u64` counters beyond f64's exact integer range.
+fn report(cycles: u64, big: u64, frac: f64, spec: &JobSpec) -> SimReport {
+    SimReport {
+        benchmark: spec.bench.label().to_string(),
+        scheme: spec.scheme.label().to_string(),
+        cycles,
+        truncated: cycles.is_multiple_of(2),
+        warp_instructions: big,
+        thread_instructions: big.wrapping_mul(32),
+        memory_transactions: cycles / 2,
+        l1: CacheStats {
+            hits: big / 3,
+            misses: cycles,
+            evictions: 7,
+        },
+        llc: CacheStats {
+            hits: 1,
+            misses: 2,
+            evictions: 3,
+        },
+        noc_latency: frac * 100.0,
+        llc_parallelism: frac * 8.0,
+        channel_parallelism: frac * 4.0,
+        bank_parallelism: frac * 16.0,
+        dram: DramStats {
+            activates: big,
+            precharges: big / 2,
+            reads: cycles,
+            writes: cycles / 3,
+            row_hits: 5,
+            row_empties: 6,
+            row_conflicts: 7,
+            busy_cycles: big,
+            data_bus_cycles: big / 5,
+            total_cycles: big,
+            total_latency: big,
+        },
+        kernels: (cycles % 97) as usize,
+        dram_cycles: big,
+        dram_channels: 4,
+        core_clock_ghz: 1.4,
+        dram_clock_ghz: 0.924,
+        num_sms: 12,
+        sm_busy_fraction: frac,
+        epoch_hist: EpochHist {
+            lengths: [cycles, big / 7, cycles / 3, 1, 0, 2, big / 11, 8],
+            in_flight_multi: cycles / 5,
+        },
+    }
+}
+
+/// Encode → frame-write → frame-read → decode; returns the decoded
+/// value and asserts the reread frame is byte-identical to the sent one.
+fn frame_round_trip(v: &Json) -> Json {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, v).expect("write_frame to memory");
+    let back = read_frame(&mut buf.as_slice()).expect("read_frame from memory");
+    let mut rebuf = Vec::new();
+    write_frame(&mut rebuf, &back).expect("re-encode");
+    assert_eq!(buf, rebuf, "frame bytes drifted across a round trip");
+    back
+}
+
+proptest! {
+    /// Job specs survive encode → frame → decode exactly, for every
+    /// bench × scheme × scale × config and arbitrary 64-bit seeds.
+    #[test]
+    fn job_spec_round_trip(
+        bench in 0usize..64,
+        scheme in 0usize..64,
+        seed in 0u64..=u64::MAX,
+        scale in 0usize..8,
+        config in 0usize..8,
+    ) {
+        let spec = job(bench, scheme, seed, scale, config);
+        let back = job_from_json(&frame_round_trip(&job_to_json(&spec))).unwrap();
+        prop_assert_eq!(back, spec);
+    }
+
+    /// Stored results (job + report + wall time) survive the frame
+    /// round trip bit-identically — including counters above 2^53 and
+    /// the exact f64 bits of `wall_ms`.
+    #[test]
+    fn stored_result_round_trip(
+        bench in 0usize..64,
+        cycles in 0u64..=u64::MAX,
+        big in (1u64 << 53)..=u64::MAX,
+        frac in 0.0f64..=1.0,
+        wall_ms in 0.0f64..1e9,
+    ) {
+        let spec = job(bench, bench / 7, cycles, bench / 3, bench / 5);
+        let r = StoredResult {
+            spec,
+            report: report(cycles, big, frac, &spec),
+            wall_ms,
+        };
+        let back = record_from_json(&frame_round_trip(&record_to_json(&r))).unwrap();
+        prop_assert_eq!(back.spec, r.spec);
+        prop_assert_eq!(back.wall_ms.to_bits(), r.wall_ms.to_bits());
+        prop_assert_eq!(back.report.epoch_hist, r.report.epoch_hist);
+        prop_assert_eq!(back.report, r.report);
+    }
+
+    /// Every protocol message round-trips exactly through its frame.
+    #[test]
+    fn msg_round_trip(
+        variant in 0usize..13,
+        n in 0u64..=u64::MAX,
+        m in 0u64..1_000_000,
+        bench in 0usize..64,
+        frac in 0.0f64..=1.0,
+    ) {
+        let spec = job(bench, bench / 2, n, bench, bench / 3);
+        let msg = match variant {
+            0 => Msg::Hello {
+                version: PROTOCOL_VERSION,
+                role: if n % 2 == 0 { Role::Worker } else { Role::Client },
+                name: format!("peer-{m} \"quoted\"\n😀"),
+            },
+            1 => Msg::Request { capacity: n },
+            2 => Msg::Lease {
+                lease: n,
+                deadline_ms: m,
+                jobs: vec![spec, job(bench + 1, bench / 2, n ^ 1, bench, bench / 3)],
+            },
+            3 => Msg::Wait { retry_ms: m },
+            4 => Msg::Drained,
+            5 => Msg::Done {
+                lease: n,
+                results: vec![StoredResult {
+                    spec,
+                    report: report(n, (1 << 53) | n, frac, &spec),
+                    wall_ms: frac * 1e4,
+                }],
+            },
+            6 => Msg::Failed {
+                lease: n,
+                failures: vec![JobFailure {
+                    spec,
+                    kind: if n % 2 == 0 { FailureKind::Panic } else { FailureKind::StoreWrite },
+                    message: format!("lane {m} panicked:\n\t\"{frac}\""),
+                }],
+            },
+            7 => Msg::Ack { stored: n, duplicates: m },
+            8 => Msg::Query {
+                filters: QueryFilters {
+                    bench: (n % 2 == 0).then_some(spec.bench),
+                    scheme: (n % 3 == 0).then_some(spec.scheme),
+                    scale: (n % 5 == 0).then_some(spec.scale),
+                    seed: (n % 7 == 0).then_some(m),
+                    config: (n % 11 == 0).then_some(spec.config),
+                },
+            },
+            9 => Msg::Results {
+                records: vec![StoredResult {
+                    spec,
+                    report: report(m, (1 << 54) | m, frac, &spec),
+                    wall_ms: frac,
+                }],
+            },
+            10 => Msg::Status,
+            11 => Msg::Telemetry(Telemetry {
+                jobs_total: n,
+                cache_hits: m,
+                executed: n / 2,
+                active_leases: n % 17,
+                releases: m / 3,
+                duplicates: m % 5,
+                workers: vec![WorkerStat {
+                    name: format!("w{m}"),
+                    completed: n / 3,
+                    failed: m / 7,
+                }],
+                failures: vec![FailureNote {
+                    job: spec.label(),
+                    kind: FailureKind::Panic,
+                    message: "index out of bounds".into(),
+                }],
+            }),
+            _ => Msg::Shutdown,
+        };
+        let back = Msg::from_json(&frame_round_trip(&msg.to_json())).unwrap();
+        prop_assert_eq!(back, msg);
+    }
+}
+
+/// A peer speaking a different protocol version is detectable before
+/// any payload parsing: the version survives the frame exactly.
+#[test]
+fn hello_version_is_exact() {
+    for version in [0, 1, 2, u32::MAX] {
+        let msg = Msg::Hello {
+            version,
+            role: Role::Worker,
+            name: WorkerOptions::default().name,
+        };
+        let Msg::Hello { version: back, .. } =
+            Msg::from_json(&frame_round_trip(&msg.to_json())).unwrap()
+        else {
+            panic!("hello decoded as a different variant");
+        };
+        assert_eq!(back, version);
+    }
+}
+
+/// Frames larger than the protocol cap are refused on read — a
+/// corrupted length prefix cannot make the coordinator allocate
+/// gigabytes.
+#[test]
+fn oversized_frame_is_refused() {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&u32::MAX.to_be_bytes());
+    buf.extend_from_slice(b"junk");
+    match read_frame(&mut buf.as_slice()) {
+        Err(WireError::Protocol(msg)) => assert!(msg.contains("frame"), "{msg}"),
+        other => panic!("oversized frame accepted: {other:?}"),
+    }
+}
+
+/// A frame truncated mid-payload fails as an I/O error (the peer died),
+/// never as a misparse.
+#[test]
+fn truncated_frame_fails_loudly() {
+    let mut buf = Vec::new();
+    write_frame(&mut buf, &Msg::Status.to_json()).unwrap();
+    buf.truncate(buf.len() - 1);
+    assert!(matches!(
+        read_frame(&mut buf.as_slice()),
+        Err(WireError::Io(_))
+    ));
+}

@@ -57,7 +57,9 @@ pub use store::{
     gc, scan, GcReport, ResultStore, StoreError, StoreOptions, StoreScan, StoredResult, NUM_SHARDS,
     STORE_VERSION,
 };
-pub use sweep::{run_sweep, JobOutcome, SweepError, SweepOptions, SweepOutcome};
+pub use sweep::{
+    run_sweep, FailureKind, JobFailure, JobOutcome, SweepError, SweepOptions, SweepOutcome,
+};
 
 use std::path::PathBuf;
 

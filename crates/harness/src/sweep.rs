@@ -77,13 +77,88 @@ impl SweepOutcome {
     }
 }
 
+/// Why one job of a sweep failed — machine-readable, so a consumer (the
+/// distributed-fabric coordinator re-leasing a crashed job, `valley
+/// status` attaching a reason) can act on the kind without parsing the
+/// human message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FailureKind {
+    /// The simulation panicked; the pool's per-job isolation caught it.
+    Panic,
+    /// The simulation finished but the result store rejected the write.
+    StoreWrite,
+}
+
+impl FailureKind {
+    /// Stable identifier, used on the fabric wire and in status output.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::Panic => "panic",
+            FailureKind::StoreWrite => "store-write",
+        }
+    }
+
+    /// Parses a [`FailureKind::name`] string.
+    pub fn parse(s: &str) -> Option<FailureKind> {
+        match s {
+            "panic" => Some(FailureKind::Panic),
+            "store-write" => Some(FailureKind::StoreWrite),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One job's structured failure: which job, what kind of failure, and
+/// the human-readable detail (the panic payload or store error).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobFailure {
+    /// The job that failed.
+    pub spec: JobSpec,
+    /// The failure class.
+    pub kind: FailureKind,
+    /// Human-readable detail (panic message / store error text).
+    pub message: String,
+}
+
+impl JobFailure {
+    /// A panic-isolation failure.
+    pub fn panic(spec: JobSpec, message: impl Into<String>) -> JobFailure {
+        JobFailure {
+            spec,
+            kind: FailureKind::Panic,
+            message: message.into(),
+        }
+    }
+
+    /// A store-write failure.
+    pub fn store_write(spec: JobSpec, message: impl Into<String>) -> JobFailure {
+        JobFailure {
+            spec,
+            kind: FailureKind::StoreWrite,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} [{}]: {}", self.spec, self.kind, self.message)
+    }
+}
+
 /// Errors from running a sweep.
 #[derive(Debug)]
 pub enum SweepError {
-    /// One or more jobs panicked; every failure is listed. The survivors
-    /// were still executed and persisted, so a re-run only retries the
-    /// failures.
-    Failures(Vec<(JobSpec, String)>),
+    /// One or more jobs failed; every failure is listed with a
+    /// structured [`JobFailure`]. The survivors were still executed and
+    /// persisted, so a re-run only retries the failures.
+    Failures(Vec<JobFailure>),
     /// The result store rejected a read or write.
     Store(StoreError),
 }
@@ -92,9 +167,9 @@ impl std::fmt::Display for SweepError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SweepError::Failures(failures) => {
-                writeln!(f, "{} sweep job(s) panicked:", failures.len())?;
-                for (spec, msg) in failures {
-                    writeln!(f, "  {spec}: {msg}")?;
+                writeln!(f, "{} sweep job(s) failed:", failures.len())?;
+                for failure in failures {
+                    writeln!(f, "  {failure}")?;
                 }
                 Ok(())
             }
@@ -122,11 +197,11 @@ fn record_fresh(
     wall_ms: f64,
     jobs: &[JobSpec],
     outcomes: &mut [Option<JobOutcome>],
-    failures: &mut Vec<(JobSpec, String)>,
+    failures: &mut Vec<JobFailure>,
 ) {
     let job = jobs[idx];
     if let Err(e) = store.put(&job, &report, wall_ms) {
-        failures.push((job, format!("result store write failed: {e}")));
+        failures.push(JobFailure::store_write(job, e.to_string()));
         return;
     }
     if opts.verbose && report.truncated {
@@ -240,7 +315,7 @@ pub fn run_sweep(
                         &mut failures,
                     );
                 }
-                Err(msg) => failures.push((jobs[idx], msg)),
+                Err(msg) => failures.push(JobFailure::panic(jobs[idx], msg)),
             }
         }
     } else {
@@ -341,7 +416,7 @@ pub fn run_sweep(
                     // The whole batch shares one panic: every lane in it
                     // needs a re-run, so every lane reports the failure.
                     for &idx in &batches[b] {
-                        failures.push((jobs[idx], format!("batched lane: {msg}")));
+                        failures.push(JobFailure::panic(jobs[idx], format!("batched lane: {msg}")));
                     }
                 }
             }

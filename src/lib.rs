@@ -13,7 +13,10 @@
 //! * [`workloads`] — the 16 synthetic GPU-compute benchmarks;
 //! * [`power`] — DRAM and GPU power models;
 //! * [`harness`] — the sharded, resumable sweep engine and its
-//!   content-addressed result store (see `docs/harness.md`).
+//!   content-addressed result store (see `docs/harness.md`);
+//! * [`fabric`] — the distributed sweep fabric: `valley serve` /
+//!   `valley work` coordinator/worker protocol with crash-tolerant job
+//!   leases and a read-side query endpoint.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
@@ -22,6 +25,7 @@
 pub use valley_cache as cache;
 pub use valley_core as core;
 pub use valley_dram as dram;
+pub use valley_fabric as fabric;
 pub use valley_harness as harness;
 pub use valley_noc as noc;
 pub use valley_power as power;
