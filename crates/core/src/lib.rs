@@ -46,6 +46,7 @@
 
 mod addr;
 mod addrmap;
+pub mod alloc_audit;
 mod bim;
 pub mod entropy;
 pub mod hash;

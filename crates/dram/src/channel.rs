@@ -247,6 +247,10 @@ impl DramChannel {
         if was_empty && self.banks[b].inflight == 0 {
             self.busy_bank_count += 1;
         }
+        // Queue growth is amortized pool growth toward the high-water
+        // mark, not per-tick work; declare it to the allocation audit.
+        let _audit_pause = (self.queues[b].len() == self.queues[b].capacity())
+            .then(valley_core::alloc_audit::pause);
         self.queues[b].push_back(Queued {
             seq,
             req,
@@ -271,12 +275,16 @@ impl DramChannel {
                 };
                 q[t].next_same_row = seq;
             }
-            None => self.row_chains[b].push(RowChain {
-                row: req.row,
-                head: seq,
-                tail: seq,
-                len: 1,
-            }),
+            None => {
+                let _audit_pause = (self.row_chains[b].len() == self.row_chains[b].capacity())
+                    .then(valley_core::alloc_audit::pause);
+                self.row_chains[b].push(RowChain {
+                    row: req.row,
+                    head: seq,
+                    tail: seq,
+                    len: 1,
+                });
+            }
         }
         // Readiness index: a previously empty bank becomes schedulable at
         // its (possibly past) `ready_at`. A bank that is already ready by

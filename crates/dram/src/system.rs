@@ -88,7 +88,7 @@ impl DramSystem {
             "controller subset must be strictly ascending"
         );
         assert!(
-            *ctrls.last().unwrap() < map.num_controllers(),
+            ctrls.last().is_some_and(|&c| c < map.num_controllers()),
             "controller index out of range"
         );
         let mut ctrl_local = vec![usize::MAX; map.num_controllers()];

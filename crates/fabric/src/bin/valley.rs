@@ -5,7 +5,7 @@
 //! valley sweep   [--scale S] [--benches B] [--schemes C] [--seeds N,..]
 //!                [--configs K,..] [--workers N] [--batch N] [--results DIR]
 //!                [--force] [--quiet] [--expect-cached PCT]
-//! valley status  [--results DIR] [--fabric HOST:PORT]
+//! valley status  [--results DIR] [--fabric HOST:PORT] [--lint]
 //! valley query   [--bench B] [--scheme C] [--scale S] [--seed N]
 //!                [--config K] [--results DIR]
 //! valley figures [--scale S] [--seed N] [--set valley|nonvalley|all]
@@ -36,8 +36,9 @@
 //! figure tables straight from the coordinator's store, never
 //! simulating.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::process::ExitCode;
+use valley_core::hash::FastMap;
 use valley_core::SchemeKind;
 use valley_fabric::{
     fabric_status, fetch, run_worker, shutdown, ClientOptions, CoordOptions, Coordinator,
@@ -60,7 +61,7 @@ USAGE:
                  [--schemes all|BASE,PAE,..] [--seeds 1,2,3] [--configs table1,stacked,sms24]
                  [--workers N] [--sim-threads N] [--batch N] [--results DIR]
                  [--force] [--quiet] [--expect-cached PCT] [--max-shard-bytes N]
-  valley status  [--results DIR]
+  valley status  [--results DIR] [--fabric HOST:PORT] [--lint]
   valley query   [--bench MT] [--scheme PAE] [--scale ref] [--seed 1] [--config table1]
                  [--results DIR]
   valley figures [--scale test|small|ref] [--seed N] [--set valley|nonvalley|all]
@@ -154,7 +155,7 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<BTreeMap<String, Str
         // Boolean flags take no value.
         if matches!(
             name,
-            "force" | "quiet" | "expect-clean" | "linger" | "figures" | "shutdown"
+            "force" | "quiet" | "expect-clean" | "linger" | "figures" | "shutdown" | "lint"
         ) {
             flags.insert(name.to_string(), String::new());
             continue;
@@ -351,7 +352,18 @@ fn results_dir(flags: &BTreeMap<String, String>) -> std::path::PathBuf {
 }
 
 fn cmd_status(args: &[String]) -> Result<(), String> {
-    let flags = parse_flags(args, &["results", "fabric"])?;
+    let flags = parse_flags(args, &["results", "fabric", "lint"])?;
+    if flags.contains_key("lint") {
+        // The invariant set this build enforces: lint tool version plus
+        // the fingerprint of the pinned schema manifest. Two deployments
+        // printing the same line run under the same schema contract.
+        println!(
+            "lint: valley-lint {} schema-manifest {:016x}",
+            valley_lint::LINT_VERSION,
+            valley_lint::manifest_hash()
+        );
+        return Ok(());
+    }
     if let Some(addr) = flags.get("fabric") {
         return fabric_status_report(addr);
     }
@@ -847,7 +859,7 @@ fn cmd_fetch(args: &[String]) -> Result<(), String> {
         ..QueryFilters::default()
     };
     let records = fetch(addr, &filters, &copts).map_err(|e| e.to_string())?;
-    let by_spec: HashMap<JobSpec, StoredResult> =
+    let by_spec: FastMap<JobSpec, StoredResult> =
         records.into_iter().map(|r| (r.spec, r)).collect();
     let have: Vec<&StoredResult> = grid.iter().filter_map(|j| by_spec.get(j)).collect();
     if !flags.contains_key("quiet") {

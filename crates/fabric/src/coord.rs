@@ -43,11 +43,12 @@
 use crate::proto::{FailureNote, Msg, QueryFilters, Role, Telemetry, WorkerStat, PROTOCOL_VERSION};
 use crate::wire::{read_frame, write_frame, WireError};
 use crate::FabricError;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+use valley_core::hash::FastMap;
 use valley_harness::{JobFailure, JobSpec, ResultStore, StoredResult, SweepSpec};
 use valley_sim::SimReport;
 
@@ -120,10 +121,12 @@ struct LeaseEntry {
 struct State {
     status: Vec<Slot>,
     pending: VecDeque<usize>,
-    leases: HashMap<u64, LeaseEntry>,
+    // BTreeMap: reap_expired/release_conn iterate these maps and requeue
+    // jobs, so iteration order is scheduling order — keep it ordered.
+    leases: BTreeMap<u64, LeaseEntry>,
     next_lease: u64,
     /// Fresh results awaiting the in-order commit cursor.
-    buffered: HashMap<usize, (SimReport, f64)>,
+    buffered: BTreeMap<usize, (SimReport, f64)>,
     next_commit: usize,
     attempts: Vec<u32>,
     cache_hits: u64,
@@ -168,7 +171,7 @@ impl State {
 
 struct Shared<'a> {
     jobs: Vec<JobSpec>,
-    index_of: HashMap<JobSpec, usize>,
+    index_of: FastMap<JobSpec, usize>,
     state: Mutex<State>,
     store: &'a ResultStore,
     opts: &'a CoordOptions,
@@ -211,15 +214,15 @@ impl Coordinator {
         let start = Instant::now();
         let jobs = spec.expand();
         let n = jobs.len();
-        let index_of: HashMap<JobSpec, usize> =
+        let index_of: FastMap<JobSpec, usize> =
             jobs.iter().enumerate().map(|(i, &j)| (j, i)).collect();
 
         let mut state = State {
             status: vec![Slot::Pending; n],
             pending: VecDeque::new(),
-            leases: HashMap::new(),
+            leases: BTreeMap::new(),
             next_lease: 1,
-            buffered: HashMap::new(),
+            buffered: BTreeMap::new(),
             next_commit: 0,
             attempts: vec![0; n],
             cache_hits: 0,

@@ -8,8 +8,8 @@
 //! stored result can be reused by any future sweep, figure or ablation
 //! that asks for the same point of the grid.
 
-use std::collections::HashMap;
 use std::sync::Arc;
+use valley_core::hash::FastMap;
 use valley_core::{AddressMapper, DramAddressMap, GddrMap, SchemeKind, StackedMap};
 use valley_sim::{BatchSim, GpuConfig, GpuSim, SimReport};
 use valley_workloads::{Benchmark, Scale};
@@ -293,7 +293,7 @@ pub fn execute_batch(specs: &[JobSpec]) -> Vec<SimReport> {
         let effective_seed = if s.scheme.is_randomized() { s.seed } else { 0 };
         (s.bench, s.scheme, effective_seed, s.scale, s.config)
     };
-    let mut seen: HashMap<_, usize> = HashMap::new();
+    let mut seen: FastMap<_, usize> = FastMap::default();
     let mut unique: Vec<&JobSpec> = Vec::new();
     let lane_of: Vec<usize> = specs
         .iter()

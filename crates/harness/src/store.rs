@@ -32,10 +32,10 @@
 //! compacts them away; `valley status` / `valley gc` expose them.
 
 use crate::job::{parse_scheme, ConfigId, JobKey, JobSpec};
-use std::collections::HashMap;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
+use valley_core::hash::FastMap;
 use valley_sim::json::{self, Json};
 use valley_sim::SimReport;
 use valley_workloads::{Benchmark, Scale};
@@ -91,7 +91,7 @@ impl From<std::io::Error> for StoreError {
 #[derive(Debug)]
 pub struct ResultStore {
     dir: PathBuf,
-    index: Mutex<HashMap<u64, StoredResult>>,
+    index: Mutex<FastMap<u64, StoredResult>>,
     shard_locks: Vec<Mutex<()>>,
 }
 
@@ -143,7 +143,7 @@ impl ResultStore {
                 }
             }
         }
-        let mut index = HashMap::new();
+        let mut index = FastMap::default();
         for shard in 0..NUM_SHARDS {
             load_shard(&shard_path(&dir, shard), &mut index)?;
         }
@@ -247,7 +247,7 @@ fn record_json(spec: &JobSpec, key: &JobKey, report: &SimReport, wall_ms: f64) -
     ])
 }
 
-fn load_shard(path: &Path, index: &mut HashMap<u64, StoredResult>) -> Result<(), StoreError> {
+fn load_shard(path: &Path, index: &mut FastMap<u64, StoredResult>) -> Result<(), StoreError> {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
@@ -332,7 +332,7 @@ pub struct StoreScan {
 /// would paper over real corruption.
 pub fn scan(dir: &Path) -> Result<StoreScan, StoreError> {
     let mut out = StoreScan::default();
-    let mut index: HashMap<u64, StoredResult> = HashMap::new();
+    let mut index: FastMap<u64, StoredResult> = FastMap::default();
     for shard in 0..NUM_SHARDS {
         let path = shard_path(dir, shard);
         let (records, stats) = scan_shard(&path)?;
@@ -367,7 +367,7 @@ fn scan_shard(path: &Path) -> Result<(Vec<(u64, StoredResult)>, StoreScan), Stor
     };
     let lines: Vec<&str> = text.lines().collect();
     let mut order: Vec<u64> = Vec::new();
-    let mut latest: HashMap<u64, StoredResult> = HashMap::new();
+    let mut latest: FastMap<u64, StoredResult> = FastMap::default();
     for (n, line) in lines.iter().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -446,7 +446,7 @@ pub fn gc(dir: &Path) -> Result<GcReport, StoreError> {
     let mut texts: Vec<Option<String>> = Vec::with_capacity(NUM_SHARDS);
     let mut classes: Vec<Vec<Option<u64>>> = Vec::with_capacity(NUM_SHARDS);
     let mut dirty: Vec<bool> = vec![false; NUM_SHARDS];
-    let mut last_of: HashMap<u64, (usize, usize)> = HashMap::new();
+    let mut last_of: FastMap<u64, (usize, usize)> = FastMap::default();
     for shard in 0..NUM_SHARDS {
         let path = shard_path(dir, shard);
         let text = match std::fs::read_to_string(&path) {

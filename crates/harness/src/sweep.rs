@@ -5,8 +5,8 @@
 use crate::job::{execute_batch, execute_job, JobSpec, SweepSpec};
 use crate::pool;
 use crate::store::{ResultStore, StoreError};
-use std::collections::HashMap;
 use std::time::{Duration, Instant};
+use valley_core::hash::FastMap;
 use valley_sim::{Batching, SimReport};
 
 /// Options controlling one sweep run.
@@ -325,14 +325,14 @@ pub fn run_sweep(
         // may mix freely within a batch — only the clocks must agree,
         // and those are fixed by the config.
         let mut batches: Vec<Vec<usize>> = Vec::new();
-        let mut open: HashMap<
+        let mut open: FastMap<
             (
                 crate::job::ConfigId,
                 valley_workloads::Scale,
                 valley_core::SchemeKind,
             ),
             usize,
-        > = HashMap::new();
+        > = FastMap::default();
         for &idx in &todo {
             let job = &jobs[idx];
             let key = (job.config, job.scale, job.scheme);

@@ -1,0 +1,248 @@
+//! The checked-in allowlist (`lint.toml` at the workspace root).
+//!
+//! Hand-parsed subset of TOML — `[[allow]]` tables with string values —
+//! so the lint stays std-only. Every entry must carry a written `why`;
+//! entries that stop matching anything become diagnostics themselves so
+//! the allowlist cannot rot.
+//!
+//! Format:
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "default-hasher"          # rule id, or "*" for any rule
+//! path = "crates/harness/src/store.rs"   # suffix match on the repo-relative path
+//! line-contains = "index: Mutex"   # optional substring the source line must contain
+//! why = "lookup-only index; entries() sorts by canonical key before use"
+//! ```
+
+use std::cell::Cell;
+
+/// One `[[allow]]` entry.
+#[derive(Clone, Debug)]
+pub struct AllowEntry {
+    /// Line in `lint.toml` where the entry starts (for diagnostics).
+    pub decl_line: u32,
+    /// Rule id this entry suppresses, or `*` for any rule.
+    pub rule: String,
+    /// Repo-relative path suffix the diagnostic's file must match.
+    pub path: String,
+    /// Optional substring the flagged source line must contain.
+    pub line_contains: Option<String>,
+    /// Mandatory human justification.
+    pub why: String,
+    used: Cell<bool>,
+}
+
+impl AllowEntry {
+    /// Whether this entry suppresses a diagnostic for `rule` at `path`,
+    /// where `src_line` is the text of the flagged source line.
+    pub fn matches(&self, rule: &str, path: &str, src_line: &str) -> bool {
+        if self.rule != "*" && self.rule != rule {
+            return false;
+        }
+        if !path_suffix_matches(path, &self.path) {
+            return false;
+        }
+        if let Some(frag) = &self.line_contains {
+            if !src_line.contains(frag.as_str()) {
+                return false;
+            }
+        }
+        self.used.set(true);
+        true
+    }
+
+    /// Whether any diagnostic matched this entry.
+    pub fn used(&self) -> bool {
+        self.used.get()
+    }
+}
+
+/// Suffix match on `/`-separated path components: `crates/sim/src/gpu.rs`
+/// matches `sim/src/gpu.rs` but not `u.rs`.
+fn path_suffix_matches(path: &str, suffix: &str) -> bool {
+    let path = path.replace('\\', "/");
+    if path == suffix {
+        return true;
+    }
+    path.ends_with(&format!("/{suffix}"))
+}
+
+/// Parse errors carry the `lint.toml` line number.
+#[derive(Debug)]
+pub struct AllowParseError {
+    pub line: u32,
+    pub message: String,
+}
+
+/// Parses the allowlist file contents.
+pub fn parse(src: &str) -> Result<Vec<AllowEntry>, AllowParseError> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    let mut cur: Option<(u32, Vec<(String, String)>)> = None;
+
+    let mut finish =
+        |cur: &mut Option<(u32, Vec<(String, String)>)>| -> Result<(), AllowParseError> {
+            let Some((decl_line, kvs)) = cur.take() else {
+                return Ok(());
+            };
+            let get = |k: &str| kvs.iter().find(|(key, _)| key == k).map(|(_, v)| v.clone());
+            for (key, _) in &kvs {
+                if !matches!(key.as_str(), "rule" | "path" | "line-contains" | "why") {
+                    return Err(AllowParseError {
+                        line: decl_line,
+                        message: format!("unknown key `{key}` in [[allow]] entry"),
+                    });
+                }
+            }
+            let missing = |k: &str| AllowParseError {
+                line: decl_line,
+                message: format!("[[allow]] entry is missing required key `{k}`"),
+            };
+            let why = get("why").ok_or_else(|| missing("why"))?;
+            if why.trim().len() < 10 {
+                return Err(AllowParseError {
+                    line: decl_line,
+                    message: "`why` must be a real justification (≥ 10 chars)".into(),
+                });
+            }
+            entries.push(AllowEntry {
+                decl_line,
+                rule: get("rule").ok_or_else(|| missing("rule"))?,
+                path: get("path").ok_or_else(|| missing("path"))?,
+                line_contains: get("line-contains"),
+                why,
+                used: Cell::new(false),
+            });
+            Ok(())
+        };
+
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            finish(&mut cur)?;
+            cur = Some((lineno, Vec::new()));
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(AllowParseError {
+                line: lineno,
+                message: format!("unsupported table `{line}`; only [[allow]] is recognized"),
+            });
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(AllowParseError {
+                line: lineno,
+                message: format!("expected `key = \"value\"`, got `{line}`"),
+            });
+        };
+        let key = key.trim().to_string();
+        let value = value.trim();
+        let Some(value) = value
+            .strip_prefix('"')
+            .and_then(|v| v.strip_suffix('"'))
+            .map(unescape)
+        else {
+            return Err(AllowParseError {
+                line: lineno,
+                message: format!("value for `{key}` must be a double-quoted string"),
+            });
+        };
+        match &mut cur {
+            Some((_, kvs)) => kvs.push((key, value)),
+            None => {
+                return Err(AllowParseError {
+                    line: lineno,
+                    message: "key outside an [[allow]] entry".into(),
+                });
+            }
+        }
+    }
+    finish(&mut cur)?;
+    Ok(entries)
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries_and_matches() {
+        let src = r#"
+# comment
+[[allow]]
+rule = "default-hasher"
+path = "crates/harness/src/store.rs"
+line-contains = "index: Mutex"
+why = "lookup-only; entries() sorts by canonical key"
+
+[[allow]]
+rule = "*"
+path = "sim/tests/alloc_audit.rs"
+why = "counting allocator requires GlobalAlloc"
+"#;
+        let entries = parse(src).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].matches(
+            "default-hasher",
+            "crates/harness/src/store.rs",
+            "    index: Mutex<HashMap<u64, StoredResult>>,"
+        ));
+        assert!(entries[0].used());
+        assert!(!entries[0].matches(
+            "default-hasher",
+            "crates/harness/src/store.rs",
+            "    latest: HashMap<u64, u64>,"
+        ));
+        assert!(!entries[0].matches("no-unsafe", "crates/harness/src/store.rs", "index: Mutex"));
+        // Wildcard rule + suffix path.
+        assert!(entries[1].matches(
+            "no-unsafe",
+            "crates/sim/tests/alloc_audit.rs",
+            "unsafe impl"
+        ));
+        assert!(!entries[1].matches("no-unsafe", "crates/sim/tests/zalloc_audit.rs", "unsafe"));
+    }
+
+    #[test]
+    fn missing_why_is_rejected() {
+        let src = "[[allow]]\nrule = \"no-unsafe\"\npath = \"x.rs\"\n";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("why"));
+    }
+
+    #[test]
+    fn short_why_is_rejected() {
+        let src = "[[allow]]\nrule = \"no-unsafe\"\npath = \"x.rs\"\nwhy = \"ok\"\n";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("justification"));
+    }
+
+    #[test]
+    fn unknown_key_is_rejected() {
+        let src = "[[allow]]\nrule = \"x\"\npath = \"y\"\nwhy = \"0123456789\"\nextra = \"z\"\n";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("unknown key"));
+    }
+}

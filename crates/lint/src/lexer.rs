@@ -1,0 +1,643 @@
+//! A lightweight hand-rolled Rust lexer for the lint rules.
+//!
+//! This is deliberately **not** a full Rust parser: the rules only need a
+//! token stream with comments, string *contents* and attributes out of
+//! the way, plus two pieces of scope information a plain `grep` cannot
+//! provide — whether a token sits inside test-only code (`#[cfg(test)]`
+//! scopes, `#[test]` functions) and the `mod` path it belongs to. String
+//! literals are kept as opaque `Str` tokens (the schema fingerprints are
+//! built from serialized-field-name literals); everything inside
+//! comments and attribute bodies is stripped.
+
+/// One lexed token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-based source line.
+    pub line: u32,
+    /// Whether the token sits in test-only code: under a `#[cfg(test)]`
+    /// or `#[test]` item, or in a file whose inner attributes gate it on
+    /// `test`.
+    pub in_test: bool,
+    /// Index into [`Lexed::mod_paths`] naming the enclosing module path.
+    pub path_id: u32,
+    /// The token itself.
+    pub kind: TokKind,
+}
+
+/// Token kinds. Multi-character operators appear as consecutive
+/// [`TokKind::Punct`] tokens (`::` is two `:`), which is all the
+/// pattern-matching rules need.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// String literal *content* (regular, raw or byte).
+    Str(String),
+    /// Numeric literal (verbatim, including suffix).
+    Num(String),
+    /// A single punctuation character.
+    Punct(char),
+    /// A lifetime or loop label (`'a`, `'outer`); char literals are
+    /// dropped entirely.
+    Lifetime,
+}
+
+impl TokKind {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        matches!(self, TokKind::Ident(s) if s == name)
+    }
+
+    /// Whether this token is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, TokKind::Punct(p) if *p == c)
+    }
+}
+
+/// A fully lexed file: the attribute-stripped token stream plus the
+/// module-path table the tokens index into.
+#[derive(Clone, Debug)]
+pub struct Lexed {
+    /// The token stream, comments/attributes stripped, test scopes and
+    /// module paths resolved.
+    pub toks: Vec<Tok>,
+    /// Module paths, indexed by [`Tok::path_id`]; entry 0 is the crate
+    /// root (empty path).
+    pub mod_paths: Vec<String>,
+}
+
+// ---------------------------------------------------------------------
+// Pass 1: raw tokens
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct RawTok {
+    line: u32,
+    kind: TokKind,
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl Cursor<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Lexes `src` into raw tokens: comments and char literals dropped,
+/// strings collapsed to content tokens, everything else passed through.
+fn raw_tokens(src: &str) -> Vec<RawTok> {
+    let mut c = Cursor {
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(b) = c.peek() {
+        let line = c.line;
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek_at(1) == Some(b'/') => {
+                while let Some(b) = c.peek() {
+                    if b == b'\n' {
+                        break;
+                    }
+                    c.bump();
+                }
+            }
+            b'/' if c.peek_at(1) == Some(b'*') => {
+                c.bump();
+                c.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (c.peek(), c.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            c.bump();
+                            c.bump();
+                            depth += 1;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            c.bump();
+                            c.bump();
+                            depth -= 1;
+                        }
+                        (Some(_), _) => {
+                            c.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+            }
+            b'"' => {
+                let s = lex_plain_string(&mut c);
+                out.push(RawTok {
+                    line,
+                    kind: TokKind::Str(s),
+                });
+            }
+            b'\'' => lex_quote(&mut c, line, &mut out),
+            b if is_ident_start(b) => {
+                let start = c.pos;
+                while c.peek().is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                let ident = &src[start..c.pos];
+                // String-literal prefixes: r"", r#""#, b"", br#""#, c"".
+                let is_prefix = matches!(ident, "r" | "b" | "c" | "br" | "rb" | "cr");
+                match c.peek() {
+                    Some(b'"') if is_prefix => {
+                        let s = if ident.contains('r') && ident != "b" && ident != "c" {
+                            lex_raw_string(&mut c, 0)
+                        } else {
+                            lex_plain_string(&mut c)
+                        };
+                        out.push(RawTok {
+                            line,
+                            kind: TokKind::Str(s),
+                        });
+                    }
+                    Some(b'#') if is_prefix && ident.contains('r') => {
+                        let mut hashes = 0usize;
+                        while c.peek_at(hashes) == Some(b'#') {
+                            hashes += 1;
+                        }
+                        if c.peek_at(hashes) == Some(b'"') {
+                            for _ in 0..hashes {
+                                c.bump();
+                            }
+                            let s = lex_raw_string(&mut c, hashes);
+                            out.push(RawTok {
+                                line,
+                                kind: TokKind::Str(s),
+                            });
+                        } else {
+                            out.push(RawTok {
+                                line,
+                                kind: TokKind::Ident(ident.to_string()),
+                            });
+                        }
+                    }
+                    _ => out.push(RawTok {
+                        line,
+                        kind: TokKind::Ident(ident.to_string()),
+                    }),
+                }
+            }
+            b if b.is_ascii_digit() => {
+                let start = c.pos;
+                while c.peek().is_some_and(is_ident_continue) {
+                    c.bump();
+                }
+                // Float continuation: `1.5`, but not the range `1..5`.
+                if c.peek() == Some(b'.') && c.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+                    c.bump();
+                    while c.peek().is_some_and(is_ident_continue) {
+                        c.bump();
+                    }
+                }
+                out.push(RawTok {
+                    line,
+                    kind: TokKind::Num(src[start..c.pos].to_string()),
+                });
+            }
+            other => {
+                c.bump();
+                if other.is_ascii() {
+                    out.push(RawTok {
+                        line,
+                        kind: TokKind::Punct(other as char),
+                    });
+                }
+                // Non-ASCII bytes only occur inside strings/comments in
+                // this workspace; stray ones are simply dropped.
+            }
+        }
+    }
+    out
+}
+
+/// Lexes a `"..."` string body (cursor on the opening quote), returning
+/// the raw content with escapes left verbatim minus the backslash
+/// processing needed to find the closing quote.
+fn lex_plain_string(c: &mut Cursor<'_>) -> String {
+    c.bump(); // opening quote
+    let mut s = String::new();
+    while let Some(b) = c.bump() {
+        match b {
+            b'"' => break,
+            b'\\' => {
+                if let Some(e) = c.bump() {
+                    s.push('\\');
+                    s.push(e as char);
+                }
+            }
+            _ => s.push(b as char),
+        }
+    }
+    s
+}
+
+/// Lexes a raw string opened with `hashes` hashes (cursor on the opening
+/// quote).
+fn lex_raw_string(c: &mut Cursor<'_>, hashes: usize) -> String {
+    c.bump(); // opening quote
+    let mut s = String::new();
+    while let Some(b) = c.bump() {
+        if b == b'"' {
+            let mut n = 0usize;
+            while n < hashes && c.peek_at(n) == Some(b'#') {
+                n += 1;
+            }
+            if n == hashes {
+                for _ in 0..hashes {
+                    c.bump();
+                }
+                break;
+            }
+        }
+        s.push(b as char);
+    }
+    s
+}
+
+/// Disambiguates `'` between lifetimes/labels (kept as [`TokKind::Lifetime`])
+/// and char literals (dropped).
+fn lex_quote(c: &mut Cursor<'_>, line: u32, out: &mut Vec<RawTok>) {
+    c.bump(); // the quote
+    match c.peek() {
+        Some(b'\\') => {
+            // Escaped char literal: '\n', '\\', '\u{..}'.
+            c.bump();
+            if c.peek() == Some(b'u') {
+                while c.peek().is_some_and(|b| b != b'\'') {
+                    c.bump();
+                }
+            } else {
+                c.bump();
+            }
+            c.bump(); // closing quote
+        }
+        Some(b) if is_ident_start(b) => {
+            let mut len = 1;
+            while c.peek_at(len).is_some_and(is_ident_continue) {
+                len += 1;
+            }
+            if c.peek_at(len) == Some(b'\'') {
+                // 'a' — char literal; skip body and closing quote.
+                for _ in 0..=len {
+                    c.bump();
+                }
+            } else {
+                // 'a / 'outer — lifetime or label.
+                for _ in 0..len {
+                    c.bump();
+                }
+                out.push(RawTok {
+                    line,
+                    kind: TokKind::Lifetime,
+                });
+            }
+        }
+        Some(_) => {
+            // '.' and friends: char literal.
+            c.bump();
+            c.bump();
+        }
+        None => {}
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 2: attribute stripping, cfg(test) scopes, module paths
+// ---------------------------------------------------------------------
+
+/// Lexes a file: raw tokens, then attribute stripping with `cfg(test)`
+/// scope and module-path resolution.
+pub fn lex(src: &str) -> Lexed {
+    let raw = raw_tokens(src);
+    let mut toks = Vec::with_capacity(raw.len());
+    let mut mod_paths = vec![String::new()];
+    let mut mod_stack: Vec<(String, usize)> = Vec::new(); // (name, close_depth)
+    let mut test_stack: Vec<usize> = Vec::new(); // close depths
+    let mut cur_path_id = 0u32;
+    let mut depth = 0usize;
+    // A `#[cfg(test)]`/`#[test]` attribute was seen and its item's body
+    // has not opened yet.
+    let mut pending_test = false;
+    // Inner `#![cfg(test)]`-style attribute gates the whole file.
+    let mut file_test = false;
+
+    let mut i = 0usize;
+    while i < raw.len() {
+        // Attribute: `#[...]` or `#![...]`.
+        if raw[i].kind.is_punct('#') {
+            let (bracket_at, inner) = match raw.get(i + 1).map(|t| &t.kind) {
+                Some(k) if k.is_punct('[') => (i + 1, false),
+                Some(k)
+                    if k.is_punct('!') && raw.get(i + 2).is_some_and(|t| t.kind.is_punct('[')) =>
+                {
+                    (i + 2, true)
+                }
+                _ => {
+                    push_tok(
+                        &mut toks,
+                        &raw[i],
+                        &test_stack,
+                        pending_test,
+                        file_test,
+                        cur_path_id,
+                    );
+                    i += 1;
+                    continue;
+                }
+            };
+            // Collect the attribute body to the matching `]`.
+            let mut j = bracket_at + 1;
+            let mut brackets = 1usize;
+            let mut idents: Vec<&str> = Vec::new();
+            while j < raw.len() && brackets > 0 {
+                match &raw[j].kind {
+                    TokKind::Punct('[') => brackets += 1,
+                    TokKind::Punct(']') => brackets -= 1,
+                    TokKind::Ident(s) => idents.push(s),
+                    _ => {}
+                }
+                j += 1;
+            }
+            let is_test_attr = idents.first() == Some(&"test")
+                || (idents.first() == Some(&"cfg") && idents.contains(&"test"));
+            if is_test_attr {
+                if inner {
+                    file_test = true;
+                } else {
+                    pending_test = true;
+                }
+            }
+            i = j;
+            continue;
+        }
+
+        match &raw[i].kind {
+            TokKind::Punct('{') => {
+                // `mod NAME {` opens a module scope; the `mod` token was
+                // emitted two tokens back.
+                if i >= 2 && raw[i - 2].kind.is_ident("mod") {
+                    if let TokKind::Ident(name) = &raw[i - 1].kind {
+                        mod_stack.push((name.clone(), depth));
+                        cur_path_id = intern_path(&mut mod_paths, &mod_stack);
+                    }
+                }
+                if pending_test {
+                    test_stack.push(depth);
+                    pending_test = false;
+                }
+                push_tok(
+                    &mut toks,
+                    &raw[i],
+                    &test_stack,
+                    false,
+                    file_test,
+                    cur_path_id,
+                );
+                depth += 1;
+            }
+            TokKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                while test_stack.last() == Some(&depth) {
+                    test_stack.pop();
+                }
+                if mod_stack.last().map(|(_, d)| *d) == Some(depth) {
+                    mod_stack.pop();
+                    cur_path_id = intern_path(&mut mod_paths, &mod_stack);
+                }
+                push_tok(
+                    &mut toks,
+                    &raw[i],
+                    &test_stack,
+                    pending_test,
+                    file_test,
+                    cur_path_id,
+                );
+            }
+            TokKind::Punct(';') if pending_test && test_stack.len() < depth + 1 => {
+                // `#[cfg(test)] use ...;` — the scope was just that item.
+                push_tok(
+                    &mut toks,
+                    &raw[i],
+                    &test_stack,
+                    true,
+                    file_test,
+                    cur_path_id,
+                );
+                pending_test = false;
+            }
+            _ => push_tok(
+                &mut toks,
+                &raw[i],
+                &test_stack,
+                pending_test,
+                file_test,
+                cur_path_id,
+            ),
+        }
+        i += 1;
+    }
+
+    Lexed { toks, mod_paths }
+}
+
+fn push_tok(
+    toks: &mut Vec<Tok>,
+    raw: &RawTok,
+    test_stack: &[usize],
+    pending_test: bool,
+    file_test: bool,
+    path_id: u32,
+) {
+    toks.push(Tok {
+        line: raw.line,
+        in_test: file_test || pending_test || !test_stack.is_empty(),
+        path_id,
+        kind: raw.kind.clone(),
+    });
+}
+
+fn intern_path(paths: &mut Vec<String>, stack: &[(String, usize)]) -> u32 {
+    let path = stack
+        .iter()
+        .map(|(n, _)| n.as_str())
+        .collect::<Vec<_>>()
+        .join("::");
+    if let Some(i) = paths.iter().position(|p| *p == path) {
+        return i as u32;
+    }
+    paths.push(path);
+    (paths.len() - 1) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(lexed: &Lexed) -> Vec<(&str, bool)> {
+        lexed
+            .toks
+            .iter()
+            .filter_map(|t| t.kind.ident().map(|s| (s, t.in_test)))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap /* nested */ still comment */
+            let x = "HashMap in a string";
+            let r = r#"raw HashMap"#;
+            let c = 'H';
+        "##;
+        let lexed = lex(src);
+        assert!(!idents(&lexed).iter().any(|(s, _)| *s == "HashMap"));
+        let strs: Vec<_> = lexed
+            .toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec!["HashMap in a string", "raw HashMap"]);
+    }
+
+    #[test]
+    fn cfg_test_scopes_mark_tokens() {
+        let src = r#"
+            fn live() { HashMap::new(); }
+            #[cfg(test)]
+            mod tests {
+                fn helper() { HashMap::new(); }
+            }
+            fn live_again() { HashSet::new(); }
+            #[test]
+            fn a_test() { HashMap::new(); }
+        "#;
+        let lexed = lex(src);
+        let maps: Vec<bool> = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind.is_ident("HashMap") || t.kind.is_ident("HashSet"))
+            .map(|t| t.in_test)
+            .collect();
+        assert_eq!(maps, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn attributes_are_stripped_but_code_kept() {
+        let src = r#"
+            #[derive(Clone, Hash)]
+            struct X;
+            #[cfg(feature = "alloc-audit")]
+            fn gated() { Instant::now(); }
+        "#;
+        let lexed = lex(src);
+        let ids = idents(&lexed);
+        assert!(!ids.iter().any(|(s, _)| *s == "derive" || *s == "Hash"));
+        // Feature gates are NOT test scopes: the gated body stays live.
+        assert!(ids.iter().any(|(s, t)| *s == "Instant" && !*t));
+    }
+
+    #[test]
+    fn module_paths_are_tracked() {
+        let src = r#"
+            mod outer {
+                mod inner {
+                    fn f() { target(); }
+                }
+            }
+            fn g() { other(); }
+        "#;
+        let lexed = lex(src);
+        let t = lexed
+            .toks
+            .iter()
+            .find(|t| t.kind.is_ident("target"))
+            .unwrap();
+        assert_eq!(lexed.mod_paths[t.path_id as usize], "outer::inner");
+        let g = lexed
+            .toks
+            .iter()
+            .find(|t| t.kind.is_ident("other"))
+            .unwrap();
+        assert_eq!(lexed.mod_paths[g.path_id as usize], "");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { 'outer: loop { break 'outer; } let c = 'x'; }";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 4); // 'a decl, 'a use, 'outer label, break 'outer
+        assert!(!lexed.toks.iter().any(|t| t.kind.is_ident("x'")));
+    }
+
+    #[test]
+    fn cfg_test_on_single_item_does_not_leak() {
+        let src = r#"
+            #[cfg(test)]
+            use std::collections::HashMap;
+            fn live() { HashSet::new(); }
+        "#;
+        let lexed = lex(src);
+        let map = lexed
+            .toks
+            .iter()
+            .find(|t| t.kind.is_ident("HashMap"))
+            .unwrap();
+        assert!(map.in_test);
+        let set = lexed
+            .toks
+            .iter()
+            .find(|t| t.kind.is_ident("HashSet"))
+            .unwrap();
+        assert!(!set.in_test);
+    }
+}

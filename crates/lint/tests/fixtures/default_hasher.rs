@@ -1,0 +1,14 @@
+//! Fixture: a default-`RandomState` `HashMap` in engine code — the
+//! canonical determinism hazard `default-hasher` exists to catch.
+
+use std::collections::HashMap;
+
+pub fn histogram(xs: &[u64]) -> Vec<(u64, u32)> {
+    let mut h: HashMap<u64, u32> = HashMap::new();
+    for &x in xs {
+        *h.entry(x).or_insert(0) += 1;
+    }
+    let mut out: Vec<(u64, u32)> = h.into_iter().collect();
+    out.sort_unstable();
+    out
+}

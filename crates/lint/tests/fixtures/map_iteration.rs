@@ -1,0 +1,17 @@
+//! Fixture: iterating an unordered map straight into serialized output
+//! — deterministic-hasher or not, the *iteration order* is arbitrary.
+
+use std::collections::HashMap;
+use valley_core::hash::FastBuildHasher;
+
+pub fn serialize(xs: &[(u64, u32)]) -> String {
+    let mut m: HashMap<u64, u32, FastBuildHasher> = HashMap::default();
+    for &(k, v) in xs {
+        m.insert(k, v);
+    }
+    let mut out = String::new();
+    for (k, v) in m.iter() {
+        out.push_str(&format!("{k}={v};"));
+    }
+    out
+}

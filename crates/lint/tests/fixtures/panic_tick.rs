@@ -1,0 +1,16 @@
+//! Fixture: `.unwrap()` in a tick-path file (linted under a virtual
+//! tick-path name) — per-cycle code must not carry panic paths.
+
+pub fn head(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    // Unwraps inside test scopes are exempt even in tick-path files.
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = vec![1u64];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

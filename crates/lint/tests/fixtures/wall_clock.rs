@@ -1,0 +1,9 @@
+//! Fixture: wall-clock reads inside a result-affecting crate — timing
+//! must never leak into simulation results.
+
+use std::time::Instant;
+
+pub fn stamp() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}

@@ -217,6 +217,8 @@ impl Crossbar {
         assert!(pkt.flits > 0, "packets must have at least one flit");
         let dst = pkt.dst;
         let was_empty = self.outputs[dst].is_empty();
+        let _audit_pause = (self.outputs[dst].len() == self.outputs[dst].capacity())
+            .then(valley_core::alloc_audit::pause);
         self.outputs[dst].push_back(pkt);
         self.queued += 1;
         if dst < 64 {

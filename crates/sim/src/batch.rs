@@ -496,6 +496,7 @@ fn run_lockstep(sims: Vec<GpuSim>) -> Vec<SimReport> {
     let mut dram_cycle: u64 = 0;
 
     'outer: while !active.is_empty() {
+        crate::alloc_audit::note_cycle(cycle);
         // ---- Shared fast-forward ----
         // The scheduler verdicts are evaluated first (and cached — a
         // lane untouched since the evaluation cannot change its
@@ -617,6 +618,7 @@ fn run_lockstep(sims: Vec<GpuSim>) -> Vec<SimReport> {
         }
     }
 
+    crate::alloc_audit::window_close();
     // Cycle safety limit: every still-active lane truncates with the
     // identical clock state its solo run would have truncated with.
     for &i in &active {

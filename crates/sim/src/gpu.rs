@@ -435,6 +435,7 @@ impl GpuSim {
         let mut slices_next = WakeGate::new();
 
         'outer: loop {
+            crate::alloc_audit::note_cycle(cycle);
             // ---- Fast-forward over globally event-free cycles ----
             if event_driven {
                 if let FastForward::Truncated = self.fast_forward(
@@ -632,6 +633,7 @@ impl GpuSim {
             }
         }
 
+        crate::alloc_audit::window_close();
         // Settle all deferred counters (no-ops after a dense run).
         self.req_net.flush_deferred(noc_cycle);
         self.reply_net.flush_deferred(noc_cycle);

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub use valley_core::alloc_audit;
 mod batch;
 mod coalesce;
 mod config;

@@ -75,6 +75,8 @@ impl LlcSlice {
 
     /// Accepts a transaction delivered by the request NoC.
     pub(crate) fn deliver(&mut self, txn: u64) {
+        let _audit_pause =
+            (self.input.len() == self.input.capacity()).then(valley_core::alloc_audit::pause);
         self.input.push_back(txn);
         self.cached_next = 0;
     }
@@ -175,6 +177,8 @@ impl LlcSlice {
     fn emit_writeback(&mut self, victim: u64, txns: &mut TxnTable, mapper: &AddressMapper) {
         let mapped = mapper.map(PhysAddr::new(victim));
         let wb = txns.alloc(0, NO_WARP, true, victim, mapped, self.id);
+        let _audit_pause = (self.dram_retry.len() == self.dram_retry.capacity())
+            .then(valley_core::alloc_audit::pause);
         self.dram_retry.push_back(wb);
     }
 
@@ -366,6 +370,8 @@ impl LlcSlice {
                 match cfg.llc_write_policy {
                     LlcWritePolicy::WriteThrough => {
                         // Update the line, forward the write.
+                        let _audit_pause = (self.dram_retry.len() == self.dram_retry.capacity())
+                            .then(valley_core::alloc_audit::pause);
                         self.dram_retry.push_back(txn);
                     }
                     LlcWritePolicy::WriteBack => {
@@ -373,6 +379,8 @@ impl LlcSlice {
                     }
                 }
             } else {
+                let _audit_pause =
+                    (self.hits.len() == self.hits.capacity()).then(valley_core::alloc_audit::pause);
                 self.hits.push_back((cycle + cfg.llc_latency, txn));
             }
             return;
@@ -382,6 +390,8 @@ impl LlcSlice {
             match cfg.llc_write_policy {
                 LlcWritePolicy::WriteThrough => {
                     // Write no-allocate: straight to DRAM.
+                    let _audit_pause = (self.dram_retry.len() == self.dram_retry.capacity())
+                        .then(valley_core::alloc_audit::pause);
                     self.dram_retry.push_back(txn);
                 }
                 LlcWritePolicy::WriteBack => {
@@ -398,6 +408,8 @@ impl LlcSlice {
         match self.mshr.allocate(t.line, txn) {
             MshrAllocation::NewEntry => {
                 self.input.pop_front();
+                let _audit_pause = (self.dram_retry.len() == self.dram_retry.capacity())
+                    .then(valley_core::alloc_audit::pause);
                 self.dram_retry.push_back(txn);
             }
             MshrAllocation::Merged => {

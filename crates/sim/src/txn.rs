@@ -91,6 +91,10 @@ impl TxnTable {
         slice: u16,
     ) -> u64 {
         let id = self.ns_tag | self.txns.len() as u64;
+        // Arena growth is amortized pool growth, not per-tick work;
+        // declare the reallocation to the allocation audit.
+        let _audit_pause =
+            (self.txns.len() == self.txns.capacity()).then(crate::alloc_audit::pause);
         self.txns.push(Txn {
             sm,
             warp,
@@ -110,6 +114,8 @@ impl TxnTable {
     /// own shard — and does not count toward [`TxnTable::len`].
     pub(crate) fn alloc_copy(&mut self, mut txn: Txn, origin: u64) -> u64 {
         let id = self.ns_tag | self.txns.len() as u64;
+        let _audit_pause =
+            (self.txns.len() == self.txns.capacity()).then(crate::alloc_audit::pause);
         txn.origin = origin;
         self.txns.push(txn);
         id

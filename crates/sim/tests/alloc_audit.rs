@@ -1,0 +1,194 @@
+//! Steady-state allocation audit: a counting global allocator proves
+//! that the simulator's tick loops allocate nothing once warmed up —
+//! the zero-alloc claim the engines' hot-loop buffer reuse is built on.
+//!
+//! Each test runs a workload once to learn its cycle count, then arms
+//! an audit window over a mid-run span (away from construction and
+//! from report building at termination) and re-runs, asserting that no
+//! unpaused allocation landed inside the window. Allocations the
+//! engines legitimately perform mid-run — workload instruction
+//! generation, arena growth — are bracketed with `alloc_audit::pause`
+//! at their sites and surface in `paused_allocs`, which the tests also
+//! check to prove the window actually armed.
+//!
+//! Requires `--features alloc-audit`; without it the hooks are empty
+//! and this file compiles to nothing.
+#![cfg(feature = "alloc-audit")]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::{Arc, Mutex};
+use valley_core::{AddressMapper, GddrMap, SchemeKind};
+use valley_sim::{alloc_audit, BatchSim, GpuConfig, GpuSim, Instruction, LaneAddrs, Parallelism};
+use valley_workloads::{KernelSpec, Workload};
+
+/// Counts every heap allocation into the audit before delegating to the
+/// system allocator. Frees are not interesting — the claim is about
+/// acquiring memory in the steady state, and a free implies a matching
+/// earlier alloc anyway.
+struct CountingAlloc;
+
+/// Prints a backtrace for the first few violating allocations, so a
+/// failing run names the offending site instead of just a count. The
+/// pause guard keeps the capture's own allocations out of the span
+/// counter (they land in `paused_allocs`, which is test-visible but
+/// only asserted non-zero).
+static TRACED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn trace_violation(size: usize) {
+    if alloc_audit::violation_imminent() {
+        let _p = alloc_audit::pause();
+        if TRACED.fetch_add(1, std::sync::atomic::Ordering::Relaxed) < 6 {
+            eprintln!(
+                "steady-state allocation of {size} bytes:\n{}",
+                std::backtrace::Backtrace::force_capture()
+            );
+        }
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        trace_violation(layout.size());
+        alloc_audit::on_alloc();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        trace_violation(layout.size());
+        alloc_audit::on_alloc();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        trace_violation(layout.size());
+        alloc_audit::on_alloc();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// The audit counters are process-global; serialize the tests so one
+/// test's armed window never sees another's allocations. A poisoned
+/// lock only means another audit test failed — still safe to proceed.
+static AUDIT_LOCK: Mutex<()> = Mutex::new(());
+
+fn audit_lock() -> std::sync::MutexGuard<'static, ()> {
+    AUDIT_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// A sustained workload: every warp issues a long interleaved stream of
+/// coalesced loads, strided loads and stores across distinct regions,
+/// so TB issue, coalescing, cache, NoC and DRAM traffic all stay busy
+/// deep into the run (keeping mid-run audit windows non-vacuous).
+fn sustained_workload(tbs: u64, warps: usize, insts: usize) -> Workload {
+    let gen = Arc::new(move |tb: u64, warp: usize| {
+        let base = (tb << 22) | ((warp as u64) << 14);
+        (0..insts)
+            .map(|i| {
+                let addr = base + (i as u64) * 256;
+                match i % 3 {
+                    0 => Instruction::Load(LaneAddrs::contiguous(addr, 32, 4)),
+                    1 => Instruction::Load(LaneAddrs::strided(addr, 16, 512)),
+                    _ => Instruction::Store(LaneAddrs::contiguous(addr, 32, 4)),
+                }
+            })
+            .collect()
+    });
+    Workload::new("audit", vec![KernelSpec::new("k", tbs, warps, gen)])
+}
+
+fn build_sim(tbs: u64, warps: usize, insts: usize) -> GpuSim {
+    let map = GddrMap::baseline();
+    let mapper = AddressMapper::build(SchemeKind::Base, &map, 0);
+    GpuSim::new(
+        GpuConfig::table1(),
+        mapper,
+        map,
+        Box::new(sustained_workload(tbs, warps, insts)),
+    )
+}
+
+/// Runs `run` twice: once unaudited to learn the total cycle count,
+/// then with an audit window over `window(total_cycles)`, returning
+/// (span_allocs, paused_allocs) observed inside the armed window.
+fn audit<R>(
+    build: impl Fn() -> R,
+    run: impl Fn(R) -> u64,
+    window: impl Fn(u64) -> (u64, u64),
+) -> (u64, u64) {
+    let total = run(build());
+    let (start, end) = window(total);
+    assert!(
+        start < end && end <= total,
+        "window [{start}, {end}) must sit inside the {total}-cycle run"
+    );
+    alloc_audit::set_window(start, end);
+    run(build());
+    (alloc_audit::span_allocs(), alloc_audit::paused_allocs())
+}
+
+#[test]
+fn dense_steady_state_allocates_nothing() {
+    let _guard = audit_lock();
+    let (span, paused) = audit(
+        || build_sim(24, 4, 48),
+        |sim| sim.run_dense().cycles,
+        // Mid-run: past construction/warm-up, short of drain/teardown.
+        |total| (total / 4, total * 3 / 4),
+    );
+    assert_eq!(span, 0, "dense tick loop allocated mid-run");
+    assert!(paused > 0, "window never armed or no declared sites fired");
+}
+
+#[test]
+fn evented_steady_state_allocates_nothing() {
+    let _guard = audit_lock();
+    let (span, paused) = audit(
+        || build_sim(24, 4, 48),
+        |sim| sim.run_with(Parallelism::Off).cycles,
+        |total| (total / 4, total * 3 / 4),
+    );
+    assert_eq!(span, 0, "evented tick loop allocated mid-run");
+    assert!(paused > 0, "window never armed or no declared sites fired");
+}
+
+#[test]
+fn batched_epoch_allocates_nothing() {
+    let _guard = audit_lock();
+    // The batched driver checks the audit window once per 32768-cycle
+    // epoch, so the workload must span several epochs and the window
+    // must cover exactly one interior epoch — one where no lane
+    // terminates (termination builds that lane's report).
+    const EPOCH: u64 = 32768;
+    let lanes = || {
+        (0..4)
+            .map(|_| build_sim(96, 4, 96))
+            .collect::<Vec<GpuSim>>()
+    };
+    let (span, paused) = audit(
+        lanes,
+        |sims| {
+            BatchSim::new(sims)
+                .run()
+                .iter()
+                .map(|r| r.cycles)
+                .max()
+                .unwrap()
+        },
+        |total| {
+            assert!(
+                total >= 3 * EPOCH,
+                "workload too short ({total} cycles) to isolate an interior epoch"
+            );
+            (EPOCH, 2 * EPOCH)
+        },
+    );
+    assert_eq!(span, 0, "batched epoch allocated mid-run");
+    assert!(paused > 0, "window never armed or no declared sites fired");
+}

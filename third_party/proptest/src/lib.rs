@@ -4,8 +4,16 @@
 //! over functions whose arguments are drawn from strategies, integer-range /
 //! tuple / [`collection::vec`] / [`any`] strategies, and the
 //! `prop_assert*` / [`prop_assume!`] macros. Cases are generated from a
-//! deterministic per-test seed; there is **no shrinking** — a failure
-//! reports the offending generated values via the assertion message.
+//! deterministic per-test seed.
+//!
+//! Failures **shrink**: integer strategies bisect toward their lower
+//! bound, tuples shrink coordinate-wise and vectors shed length, with
+//! the greedy loop keeping any smaller input that still fails. The
+//! panic reports both the minimal failing input (via `Debug`) and its
+//! assertion message — which, by this workspace's convention of
+//! formatting every generated coordinate into `prop_assert!` messages,
+//! still pins the exact reproducer even for strategies that don't
+//! shrink (floats, exotic compositions).
 //!
 //! The number of cases per property defaults to 64 and can be raised with
 //! the `PROPTEST_CASES` environment variable.
@@ -55,6 +63,33 @@ pub trait Strategy {
     type Value;
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    /// Appends smaller candidates derived from a failing `value`, most
+    /// aggressive first. The default — no candidates — means "cannot
+    /// shrink", which is always sound: the runner then reports the
+    /// original failing value.
+    fn shrink(&self, value: &Self::Value, out: &mut Vec<Self::Value>) {
+        let _ = (value, out);
+    }
+}
+
+/// Pushes the integer bisection candidates for a failing `v` drawn from
+/// `[lo, ..]`: the bound itself, the midpoint, and the predecessor —
+/// ordered most aggressive first so the greedy loop converges in
+/// `O(log)` rounds.
+macro_rules! int_shrink {
+    ($v:expr, $lo:expr, $out:expr) => {{
+        let (v, lo) = ($v, $lo);
+        if v != lo {
+            $out.push(lo);
+            let mid = lo + (v - lo) / 2;
+            if mid != lo && mid != v {
+                $out.push(mid);
+            }
+            if v - 1 != mid && v - 1 != lo {
+                $out.push(v - 1);
+            }
+        }
+    }};
 }
 
 macro_rules! impl_range_strategy {
@@ -66,6 +101,9 @@ macro_rules! impl_range_strategy {
                 assert!(self.start < self.end, "empty range strategy");
                 let span = (self.end - self.start) as u64;
                 self.start + (rng.next_u64() % span) as $t
+            }
+            fn shrink(&self, value: &$t, out: &mut Vec<$t>) {
+                int_shrink!(*value, self.start, out);
             }
         }
         impl Strategy for ::std::ops::RangeInclusive<$t> {
@@ -79,6 +117,9 @@ macro_rules! impl_range_strategy {
                     return rng.next_u64() as $t;
                 }
                 lo + (rng.next_u64() % (span + 1)) as $t
+            }
+            fn shrink(&self, value: &$t, out: &mut Vec<$t>) {
+                int_shrink!(*value, *self.start(), out);
             }
         }
     )*};
@@ -118,12 +159,22 @@ impl Strategy for ::std::ops::RangeInclusive<f64> {
 pub trait Arbitrary: Sized {
     /// Draws one arbitrary value.
     fn arbitrary(rng: &mut TestRng) -> Self;
+    /// Appends smaller candidates for a failing value (see
+    /// [`Strategy::shrink`]). Default: none.
+    fn shrink(value: &Self, out: &mut Vec<Self>) {
+        let _ = (value, out);
+    }
 }
 
 impl Arbitrary for bool {
     #[inline]
     fn arbitrary(rng: &mut TestRng) -> bool {
         rng.next_u64() >> 63 == 1
+    }
+    fn shrink(value: &bool, out: &mut Vec<bool>) {
+        if *value {
+            out.push(false);
+        }
     }
 }
 
@@ -133,6 +184,9 @@ macro_rules! impl_arbitrary_int {
             #[inline]
             fn arbitrary(rng: &mut TestRng) -> $t {
                 rng.next_u64() as $t
+            }
+            fn shrink(value: &$t, out: &mut Vec<$t>) {
+                int_shrink!(*value, 0, out);
             }
         }
     )*};
@@ -149,6 +203,9 @@ impl<T: Arbitrary> Strategy for Any<T> {
     fn sample(&self, rng: &mut TestRng) -> T {
         T::arbitrary(rng)
     }
+    fn shrink(&self, value: &T, out: &mut Vec<T>) {
+        T::shrink(value, out);
+    }
 }
 
 /// The strategy of all values of `T` (shim: `bool` and unsigned integers).
@@ -156,31 +213,94 @@ pub fn any<T: Arbitrary>() -> Any<T> {
     Any(std::marker::PhantomData)
 }
 
-impl<A: Strategy, B: Strategy> Strategy for (A, B) {
-    type Value = (A::Value, B::Value);
-    fn sample(&self, rng: &mut TestRng) -> Self::Value {
-        (self.0.sample(rng), self.1.sample(rng))
-    }
+/// Tuple strategies sample per coordinate and shrink coordinate-wise:
+/// each candidate shrinks one coordinate while cloning the rest, so the
+/// greedy runner performs coordinate descent toward the joint minimum.
+macro_rules! impl_tuple_strategy {
+    ($($S:ident / $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+)
+        where
+            $($S::Value: Clone),+
+        {
+            type Value = ($($S::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+            fn shrink(&self, value: &Self::Value, out: &mut Vec<Self::Value>) {
+                $(
+                    {
+                        let mut c = Vec::new();
+                        self.$idx.shrink(&value.$idx, &mut c);
+                        for s in c {
+                            let mut v = value.clone();
+                            v.$idx = s;
+                            out.push(v);
+                        }
+                    }
+                )+
+            }
+        }
+    };
 }
 
-impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
-    type Value = (A::Value, B::Value, C::Value);
-    fn sample(&self, rng: &mut TestRng) -> Self::Value {
-        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
-    }
-}
-
-impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
-    type Value = (A::Value, B::Value, C::Value, D::Value);
-    fn sample(&self, rng: &mut TestRng) -> Self::Value {
-        (
-            self.0.sample(rng),
-            self.1.sample(rng),
-            self.2.sample(rng),
-            self.3.sample(rng),
-        )
-    }
-}
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7);
+impl_tuple_strategy!(
+    A / 0,
+    B / 1,
+    C / 2,
+    D / 3,
+    E / 4,
+    F / 5,
+    G / 6,
+    H / 7,
+    I / 8
+);
+impl_tuple_strategy!(
+    A / 0,
+    B / 1,
+    C / 2,
+    D / 3,
+    E / 4,
+    F / 5,
+    G / 6,
+    H / 7,
+    I / 8,
+    J / 9
+);
+impl_tuple_strategy!(
+    A / 0,
+    B / 1,
+    C / 2,
+    D / 3,
+    E / 4,
+    F / 5,
+    G / 6,
+    H / 7,
+    I / 8,
+    J / 9,
+    K / 10
+);
+impl_tuple_strategy!(
+    A / 0,
+    B / 1,
+    C / 2,
+    D / 3,
+    E / 4,
+    F / 5,
+    G / 6,
+    H / 7,
+    I / 8,
+    J / 9,
+    K / 10,
+    L / 11
+);
 
 /// Collection strategies, mirroring `proptest::collection`.
 pub mod collection {
@@ -223,12 +343,40 @@ pub mod collection {
         sizes: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn sample(&self, rng: &mut TestRng) -> Self::Value {
             let span = (self.sizes.hi - self.sizes.lo) as u64;
             let len = self.sizes.lo + (rng.next_u64() % span.max(1)) as usize;
             (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+        fn shrink(&self, value: &Self::Value, out: &mut Vec<Self::Value>) {
+            // Length first (most aggressive: minimum, half, one less),
+            // then element-wise shrinks at the surviving length.
+            let lo = self.sizes.lo;
+            let len = value.len();
+            if len > lo {
+                out.push(value[..lo].to_vec());
+                let half = lo + (len - lo) / 2;
+                if half != lo && half != len {
+                    out.push(value[..half].to_vec());
+                }
+                if len - 1 != half && len - 1 != lo {
+                    out.push(value[..len - 1].to_vec());
+                }
+            }
+            let mut c = Vec::new();
+            for i in 0..len {
+                self.elem.shrink(&value[i], &mut c);
+                for s in c.drain(..) {
+                    let mut v = value.clone();
+                    v[i] = s;
+                    out.push(v);
+                }
+            }
         }
     }
 
@@ -277,16 +425,94 @@ where
     }
 }
 
+/// Cap on failing-candidate evaluations during one shrink (each greedy
+/// round re-derives candidates, so bisection converges well under it;
+/// the cap only guards pathological strategies).
+const SHRINK_BUDGET: usize = 1024;
+
+/// Greedily minimizes a failing `value`: keeps any shrink candidate
+/// that still fails and restarts from it, until no candidate fails or
+/// the budget runs out. Returns the minimal value, its failure message
+/// and how many candidates were evaluated.
+fn shrink_failure<S, F>(
+    strat: &S,
+    mut value: S::Value,
+    mut msg: String,
+    f: &mut F,
+) -> (S::Value, String, usize)
+where
+    S: Strategy,
+    F: FnMut(&S::Value) -> Result<(), TestCaseError>,
+{
+    let mut evaluated = 0usize;
+    let mut candidates = Vec::new();
+    'progress: loop {
+        candidates.clear();
+        strat.shrink(&value, &mut candidates);
+        for cand in candidates.drain(..) {
+            if evaluated >= SHRINK_BUDGET {
+                break 'progress;
+            }
+            evaluated += 1;
+            // A rejected candidate is simply not a failure; skip it.
+            if let Err(TestCaseError::Fail(m)) = f(&cand) {
+                value = cand;
+                msg = m;
+                continue 'progress;
+            }
+        }
+        break;
+    }
+    (value, msg, evaluated)
+}
+
+/// [`run_cases`] over a single strategy (typically the tuple bundling a
+/// property's arguments), with shrinking: on failure the input is
+/// greedily minimized and the panic reports both the minimal input and
+/// its assertion message.
+pub fn run_cases_shrinking<S, F>(name: &str, strat: S, mut f: F)
+where
+    S: Strategy,
+    S::Value: std::fmt::Debug,
+    F: FnMut(&S::Value) -> Result<(), TestCaseError>,
+{
+    let target = cases();
+    let mut rng = TestRng::from_name(name);
+    let mut accepted = 0usize;
+    let mut attempts = 0usize;
+    while accepted < target {
+        attempts += 1;
+        assert!(
+            attempts <= target * 10,
+            "proptest shim: {name} rejected too many cases ({accepted}/{target} accepted)"
+        );
+        let value = strat.sample(&mut rng);
+        match f(&value) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                let (minimal, min_msg, evaluated) = shrink_failure(&strat, value, msg, &mut f);
+                panic!(
+                    "proptest case failed (attempt {attempts}, \
+                     {evaluated} shrink candidate(s) tried): {min_msg}\n\
+                     minimal failing input: {minimal:?}"
+                )
+            }
+        }
+    }
+}
+
 /// Defines property tests: each `fn name(arg in strategy, ...) { body }`
-/// becomes a `#[test]` running the body over generated inputs.
+/// becomes a `#[test]` running the body over generated inputs, with
+/// failures shrunk to a minimal input (see [`run_cases_shrinking`]).
 #[macro_export]
 macro_rules! proptest {
     ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
         $(
             $(#[$meta])*
             fn $name() {
-                $crate::run_cases(stringify!($name), |prop_rng| {
-                    $(let $arg = $crate::Strategy::sample(&($strat), prop_rng);)+
+                $crate::run_cases_shrinking(stringify!($name), ($(($strat),)+), |prop_value| {
+                    let ($($arg,)+) = ::std::clone::Clone::clone(prop_value);
                     #[allow(clippy::redundant_closure_call)]
                     (|| -> ::std::result::Result<(), $crate::TestCaseError> {
                         $body
@@ -305,7 +531,10 @@ macro_rules! prop_assert {
         $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
     };
     ($cond:expr, $($fmt:tt)*) => {
-        if !$cond {
+        // Bound to a plain bool so negating it never negates a float
+        // comparison in caller code (clippy: neg_cmp_op_on_partial_ord).
+        let cond: bool = $cond;
+        if !cond {
             return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
         }
     };
@@ -391,5 +620,88 @@ mod tests {
             prop_assert_eq!(x % 2, 0);
             prop_assert_ne!(x % 2, 1);
         }
+    }
+
+    /// Runs a failing property and returns its panic message.
+    fn failure_message(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+        let err = std::panic::catch_unwind(f).expect_err("property should fail");
+        err.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload should be a string")
+    }
+
+    #[test]
+    fn integer_failures_shrink_to_the_boundary() {
+        // Fails for x >= 17; bisection from any failing draw must land
+        // exactly on the boundary value.
+        let msg = failure_message(|| {
+            crate::run_cases_shrinking("int_shrink", (3u64..1000,), |&(x,)| {
+                prop_assert!(x < 17, "x = {x}");
+                Ok(())
+            })
+        });
+        assert!(
+            msg.contains("minimal failing input: (17,)"),
+            "unexpected message: {msg}"
+        );
+    }
+
+    #[test]
+    fn tuple_failures_shrink_coordinate_wise() {
+        // Fails iff x >= 3 && y >= 5: coordinate descent must reach the
+        // joint minimum (3, 5) regardless of the original draw.
+        let msg = failure_message(|| {
+            crate::run_cases_shrinking("tuple_shrink", (0u64..100, 0usize..100), |&(x, y)| {
+                prop_assert!(x < 3 || y < 5, "x = {x}, y = {y}");
+                Ok(())
+            })
+        });
+        assert!(
+            msg.contains("minimal failing input: (3, 5)"),
+            "unexpected message: {msg}"
+        );
+    }
+
+    #[test]
+    fn vec_failures_shed_length_and_shrink_elements() {
+        // Fails for any vec with >= 3 elements: minimal is 3 zeros.
+        let msg = failure_message(|| {
+            crate::run_cases_shrinking("vec_shrink", (collection::vec(0u32..50, 0..20),), |(v,)| {
+                prop_assert!(v.len() < 3, "len = {}", v.len());
+                Ok(())
+            })
+        });
+        assert!(
+            msg.contains("minimal failing input: ([0, 0, 0],)"),
+            "unexpected message: {msg}"
+        );
+    }
+
+    #[test]
+    fn shrinking_keeps_the_assertion_message_of_the_minimal_case() {
+        let msg = failure_message(|| {
+            crate::run_cases_shrinking("msg_follows", (0u64..1000,), |&(x,)| {
+                prop_assert!(x < 40, "saw x = {x}");
+                Ok(())
+            })
+        });
+        assert!(msg.contains("saw x = 40"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn unshrinkable_strategies_still_report_the_failure() {
+        // Floats have no shrinker; the original draw must be reported.
+        let msg = failure_message(|| {
+            crate::run_cases_shrinking("no_shrinker", (0.5f64..1.0,), |&(x,)| {
+                prop_assert!(x < 0.25, "x = {x}");
+                Ok(())
+            })
+        });
+        assert!(
+            msg.contains("0 shrink candidate(s) tried"),
+            "unexpected message: {msg}"
+        );
+        assert!(msg.contains("minimal failing input: ("));
     }
 }
