@@ -18,13 +18,18 @@
 //! With `--gate PCT` (CI), the freshly measured Ref-scale smoke slice is
 //! compared against the committed `BENCH_suite.json` *before* it is
 //! overwritten: if the per-job geomean of cold wall times regressed by
-//! more than `PCT` percent, the run fails. Wall-clock gating is noisy by
-//! nature, so CI uses a generous threshold (25%) meant to catch real
-//! order-of-magnitude regressions, not jitter.
+//! more than `PCT` percent, the run fails. Only **measured** per-job
+//! walls are fingerprinted that way — batched lanes carry averaged
+//! shares of one batch wall (see [`valley_harness::WallKind`]), so the
+//! batched rows gate on their median sweep walls instead. Wall-clock
+//! gating is noisy by nature, so CI uses a generous threshold (25%)
+//! meant to catch real order-of-magnitude regressions, not jitter.
 
 use std::time::Instant;
 use valley_core::SchemeKind;
-use valley_harness::{execute_job, pool, run_sweep, ResultStore, SweepOptions, SweepSpec};
+use valley_harness::{
+    execute_job, pool, run_sweep, ResultStore, SweepOptions, SweepSpec, WallKind,
+};
 use valley_sim::json::{self, Json};
 use valley_workloads::{Benchmark, Scale};
 
@@ -43,6 +48,15 @@ fn committed_smoke_walls(section: &str) -> Option<Vec<(String, f64)>> {
         ),
         _ => None,
     }
+}
+
+/// Reads a batched section's committed median cold sweep wall, if
+/// present. Batched lanes only carry averaged wall shares, never
+/// measured per-job walls, so their sections gate on this median.
+fn committed_median(section: &str) -> Option<f64> {
+    let text = std::fs::read_to_string("BENCH_suite.json").ok()?;
+    let v = json::parse(&text).ok()?;
+    v.get(section)?.get("cold_wall_seconds_median")?.as_f64()
 }
 
 /// Geometric mean of new/old per-job wall ratios over the jobs present
@@ -72,7 +86,8 @@ fn main() {
         other => panic!("unknown arguments {other:?} (usage: bench_wall [--gate PCT])"),
     };
     let committed = gate_pct.and_then(|_| committed_smoke_walls("harness_smoke"));
-    let committed_batched = gate_pct.and_then(|_| committed_smoke_walls("harness_smoke_batched"));
+    let committed_batched = gate_pct.and_then(|_| committed_median("harness_smoke_batched"));
+    let committed_soa = gate_pct.and_then(|_| committed_median("harness_smoke_batched_soa"));
     // The sequential rows (and the --gate comparison against committed
     // sequential baselines) must run on the sequential engine even when
     // the caller's environment sets VALLEY_SIM_THREADS; snapshot the
@@ -247,6 +262,28 @@ fn main() {
             seq.spec
         );
     }
+    // Wall attribution sanity: every sequential job carries a measured
+    // wall, and no lockstep lane claims one — batched lanes get averaged
+    // shares of the batch wall (or a zero cloned share), never a
+    // per-lane measurement, so the gate below must not fingerprint them.
+    assert!(
+        seq_cold.jobs.iter().all(|j| j.wall.is_measured()),
+        "a sequential job's wall is not flagged as measured"
+    );
+    let averaged_lanes = bat_cold
+        .jobs
+        .iter()
+        .filter(|j| j.wall == WallKind::Averaged)
+        .count();
+    let cloned_lanes = bat_cold
+        .jobs
+        .iter()
+        .filter(|j| j.wall == WallKind::Cloned)
+        .count();
+    assert!(
+        !bat_cold.jobs.iter().any(|j| j.wall.is_measured()),
+        "a lockstep batch lane claims a measured wall — attribution broken"
+    );
     let median = |xs: &mut Vec<f64>| {
         xs.sort_by(|a, b| a.partial_cmp(b).expect("wall times are finite"));
         xs[xs.len() / 2]
@@ -256,8 +293,49 @@ fn main() {
     let batch_speedup = seq_median / bat_median;
     println!(
         "harness smoke batched (seeds 1-3, --batch {BATCH_WIDTH}, 1 worker, median of \
-         {BATCH_ROUNDS}): cold {:.0} ms vs sequential {:.0} ms — {batch_speedup:.2}x",
+         {BATCH_ROUNDS}): cold {:.0} ms vs sequential {:.0} ms — {batch_speedup:.2}x \
+         ({averaged_lanes} averaged + {cloned_lanes} cloned lane walls)",
         bat_median * 1e3,
+        seq_median * 1e3,
+    );
+
+    // Composed batch × threads smoke row: the same widened slice,
+    // `--batch 9` *and* VALLEY_SIM_THREADS=2, so each batch splits into
+    // two lockstep lane groups ticked concurrently under the shared
+    // epoch tape. Results stay bit-identical; the row tracks what the
+    // composition buys (or costs) next to the 1-thread batched row on
+    // this machine.
+    let soa_scratch =
+        std::env::temp_dir().join(format!("valley-bench-wall-soa-{}", std::process::id()));
+    std::fs::remove_dir_all(&soa_scratch).ok();
+    let soa_store = ResultStore::open(&soa_scratch).expect("composed scratch store opens");
+    std::env::set_var("VALLEY_SIM_THREADS", "2");
+    let mut soa_walls = Vec::new();
+    let mut soa_cold = None;
+    for _ in 0..BATCH_ROUNDS {
+        let r = run_sweep(&seeds_spec, &soa_store, &one_bat).expect("composed batched sweep");
+        soa_walls.push(r.wall.as_secs_f64());
+        soa_cold = Some(r);
+    }
+    match &ambient_sim_threads {
+        Some(v) => std::env::set_var("VALLEY_SIM_THREADS", v),
+        None => std::env::remove_var("VALLEY_SIM_THREADS"),
+    }
+    let soa_cold = soa_cold.expect("at least one composed round ran");
+    std::fs::remove_dir_all(&soa_scratch).ok();
+    for (seq, soa) in seq_cold.jobs.iter().zip(&soa_cold.jobs) {
+        assert_eq!(
+            seq.report, soa.report,
+            "composed batch x threads engine diverged on {} — bit-identity broken",
+            seq.spec
+        );
+    }
+    let soa_median = median(&mut soa_walls);
+    let soa_speedup = seq_median / soa_median;
+    println!(
+        "harness smoke batched soa (seeds 1-3, --batch {BATCH_WIDTH}, VALLEY_SIM_THREADS=2, \
+         median of {BATCH_ROUNDS}): cold {:.0} ms vs sequential {:.0} ms — {soa_speedup:.2}x",
+        soa_median * 1e3,
         seq_median * 1e3,
     );
 
@@ -282,16 +360,6 @@ fn main() {
         .map(|j| {
             (
                 format!("{}/{}", j.spec.bench, j.spec.scheme),
-                Json::Num((j.wall_ms * 1e3).round() / 1e3),
-            )
-        })
-        .collect();
-    let bat_smoke_walls = bat_cold
-        .jobs
-        .iter()
-        .map(|j| {
-            (
-                format!("{}/{}/s{}", j.spec.bench, j.spec.scheme, j.spec.seed),
                 Json::Num((j.wall_ms * 1e3).round() / 1e3),
             )
         })
@@ -375,7 +443,41 @@ fn main() {
                     "speedup_vs_sequential".into(),
                     Json::Num((batch_speedup * 1e3).round() / 1e3),
                 ),
-                ("job_wall_ms".into(), Json::Obj(bat_smoke_walls)),
+                // Per-lane walls are *attributions* (averaged shares of
+                // one batch wall, or zero for cloned lanes), not
+                // measurements, so they are counted here rather than
+                // recorded as a `job_wall_ms` fingerprint.
+                ("averaged_lanes".into(), Json::UInt(averaged_lanes as u64)),
+                ("cloned_lanes".into(), Json::UInt(cloned_lanes as u64)),
+            ]),
+        ),
+        (
+            "harness_smoke_batched_soa".into(),
+            Json::Obj(vec![
+                (
+                    "slice".into(),
+                    Json::Str(
+                        "mt+sp+mum x base+pae x seeds 1-3 @ ref scale, --batch 9, \
+                         VALLEY_SIM_THREADS=2, 1 worker"
+                            .into(),
+                    ),
+                ),
+                ("batch".into(), Json::UInt(BATCH_WIDTH as u64)),
+                ("sim_threads".into(), Json::UInt(2)),
+                ("jobs".into(), Json::UInt(soa_cold.jobs.len() as u64)),
+                ("rounds".into(), Json::UInt(BATCH_ROUNDS as u64)),
+                (
+                    "cold_wall_seconds_median".into(),
+                    Json::Num((soa_median * 1e6).round() / 1e6),
+                ),
+                (
+                    "sequential_wall_seconds_median".into(),
+                    Json::Num((seq_median * 1e6).round() / 1e6),
+                ),
+                (
+                    "speedup_vs_sequential".into(),
+                    Json::Num((soa_speedup * 1e3).round() / 1e3),
+                ),
             ]),
         ),
     ]);
@@ -413,40 +515,33 @@ fn main() {
                  (first run on this branch?)"
             ),
         }
-        // The batched row gates the same way against its own committed
-        // baseline: per-lane wall shares regressing past the threshold
-        // mean the lockstep engine itself got slower.
-        let fresh_batched: Vec<(String, f64)> = bat_cold
-            .jobs
-            .iter()
-            .map(|j| {
-                (
-                    format!("{}/{}/s{}", j.spec.bench, j.spec.scheme, j.spec.seed),
-                    j.wall_ms,
-                )
-            })
-            .collect();
-        match committed_batched
-            .as_deref()
-            .and_then(|c| smoke_regression_ratio(c, &fresh_batched))
-        {
-            Some(ratio) => {
+        // The batched rows gate on their median sweep walls, never on
+        // per-lane wall shares: lanes carry attributions of one batch
+        // wall (averaged or cloned), and fingerprinting those as
+        // per-job measurements is exactly the bug the `wall` field
+        // exists to prevent. A regressed median means the lockstep
+        // engine itself got slower.
+        let gate_median = |label: &str, committed: Option<f64>, fresh: f64| match committed {
+            Some(old) if old > 0.0 => {
+                let ratio = fresh / old;
                 println!(
-                    "batched smoke gate: per-lane cold wall geomean is {ratio:.3}x the \
-                     committed BENCH_suite.json (threshold {:.3}x)",
+                    "{label} smoke gate: median cold wall is {ratio:.3}x the committed \
+                     BENCH_suite.json (threshold {:.3}x)",
                     1.0 + pct / 100.0
                 );
                 assert!(
                     ratio <= 1.0 + pct / 100.0,
-                    "batched Ref-scale smoke slice regressed {:.1}% (> {pct}%) vs committed \
+                    "{label} Ref-scale smoke slice regressed {:.1}% (> {pct}%) vs committed \
                      BENCH_suite.json",
                     (ratio - 1.0) * 100.0
                 );
             }
-            None => println!(
-                "batched smoke gate: no comparable committed BENCH_suite.json — gate skipped \
-                 (first batched run on this branch?)"
+            _ => println!(
+                "{label} smoke gate: no comparable committed BENCH_suite.json — gate skipped \
+                 (first {label} run on this branch?)"
             ),
-        }
+        };
+        gate_median("batched", committed_batched, bat_median);
+        gate_median("batched-soa", committed_soa, soa_median);
     }
 }

@@ -47,7 +47,7 @@ use valley_fabric::{
 use valley_harness::util::{amean, hmean, row, scheme_header};
 use valley_harness::{
     default_results_dir, parse_scheme, run_sweep, ConfigId, JobSpec, ResultStore, StoreOptions,
-    StoredResult, SweepOptions, SweepSpec, DEFAULT_SEED,
+    StoredResult, SweepOptions, SweepSpec, WallKind, DEFAULT_SEED,
 };
 use valley_power::DramPowerModel;
 use valley_sim::Batching;
@@ -390,22 +390,25 @@ fn cmd_status(args: &[String]) -> Result<(), String> {
         }
     }
 
-    // Batched-run telemetry, from wall times alone (the record schema
-    // deliberately has no batch field — batch width is pure scheduling
-    // and never part of a job key): the batch executor attributes the
-    // identical per-lane share of one batch's wall to every lane, so
-    // records whose exact wall_ms bits recur in the store were almost
-    // surely produced by one batch. Sequential wall times are
-    // high-resolution timer readings; exact f64 collisions between
-    // independent runs are negligible.
-    let mut wall_counts: BTreeMap<u64, usize> = BTreeMap::new();
+    // Wall-attribution telemetry, straight from the records' `wall`
+    // field: only measured walls are genuine per-job timings; averaged
+    // walls are equal shares of a lockstep batch's wall, and cloned
+    // walls mark lanes served by an identical lane's simulation (batch
+    // width itself is pure scheduling and never part of a job key).
+    let mut averaged = 0usize;
+    let mut cloned = 0usize;
     for e in &scan.records {
-        *wall_counts.entry(e.wall_ms.to_bits()).or_insert(0) += 1;
+        match e.wall {
+            WallKind::Measured => {}
+            WallKind::Averaged => averaged += 1,
+            WallKind::Cloned => cloned += 1,
+        }
     }
-    let batched: usize = wall_counts.values().filter(|&&n| n > 1).copied().sum();
-    if batched > 0 {
+    if averaged + cloned > 0 {
         println!(
-            "\nbatched runs: {batched} of {} result(s) share a batch wall time",
+            "\nbatched runs: {averaged} result(s) carry an averaged batch wall, \
+             {cloned} were cloned from an identical lane ({} of {} measured)",
+            scan.records.len() - averaged - cloned,
             scan.records.len()
         );
     }
@@ -490,12 +493,12 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
 /// The shared result table (`query` locally, `fetch` over the wire).
 fn print_result_table<'a>(rows: impl IntoIterator<Item = &'a StoredResult>) {
     println!(
-        "{:<8}{:<8}{:>6}  {:<7}{:<9}{:>12}{:>8}{:>10}{:>10}",
-        "bench", "scheme", "seed", "scale", "config", "cycles", "ipc", "rbhit%", "wall_ms"
+        "{:<8}{:<8}{:>6}  {:<7}{:<9}{:>12}{:>8}{:>10}{:>10}  {:<9}",
+        "bench", "scheme", "seed", "scale", "config", "cycles", "ipc", "rbhit%", "wall_ms", "wall"
     );
     for e in rows {
         println!(
-            "{:<8}{:<8}{:>6}  {:<7}{:<9}{:>12}{:>8.3}{:>10.1}{:>10.1}",
+            "{:<8}{:<8}{:>6}  {:<7}{:<9}{:>12}{:>8.3}{:>10.1}{:>10.1}  {:<9}",
             e.spec.bench.label(),
             e.spec.scheme.label(),
             e.spec.seed,
@@ -505,6 +508,7 @@ fn print_result_table<'a>(rows: impl IntoIterator<Item = &'a StoredResult>) {
             e.report.ipc(),
             e.report.row_buffer_hit_rate() * 100.0,
             e.wall_ms,
+            e.wall.as_str(),
         );
     }
 }

@@ -49,7 +49,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use valley_core::hash::FastMap;
-use valley_harness::{JobFailure, JobSpec, ResultStore, StoredResult, SweepSpec};
+use valley_harness::{JobFailure, JobSpec, ResultStore, StoredResult, SweepSpec, WallKind};
 use valley_sim::SimReport;
 
 /// Options controlling one serve run.
@@ -126,7 +126,7 @@ struct State {
     leases: BTreeMap<u64, LeaseEntry>,
     next_lease: u64,
     /// Fresh results awaiting the in-order commit cursor.
-    buffered: BTreeMap<usize, (SimReport, f64)>,
+    buffered: BTreeMap<usize, (SimReport, f64, WallKind)>,
     next_commit: usize,
     attempts: Vec<u32>,
     cache_hits: u64,
@@ -313,8 +313,8 @@ fn advance_commit(state: &mut State, jobs: &[JobSpec], store: &ResultStore) {
         match state.status[i] {
             Slot::Dead => {}
             Slot::Done => {
-                if let Some((report, wall_ms)) = state.buffered.remove(&i) {
-                    if let Err(e) = store.put(&jobs[i], &report, wall_ms) {
+                if let Some((report, wall_ms, wall)) = state.buffered.remove(&i) {
+                    if let Err(e) = store.put(&jobs[i], &report, wall_ms, wall) {
                         let failure = JobFailure::store_write(jobs[i], e.to_string());
                         state.failures.push(FailureNote {
                             job: jobs[i].label(),
@@ -333,10 +333,12 @@ fn advance_commit(state: &mut State, jobs: &[JobSpec], store: &ResultStore) {
     }
 }
 
-/// Returns expired leases' jobs to the queue. Called lazily from every
-/// request-path state access — a waiting worker polls on
-/// [`CoordOptions::retry_ms`], which bounds how stale a deadline check
-/// can get without any timer thread.
+/// Returns expired leases' jobs to the queue. Called lazily from the
+/// `Request` path and from every read-side frame — `Status` and `Query`
+/// alike — so deadlines stay honest even when the only traffic is a
+/// fetch/status poller watching a stalled sweep. A waiting worker
+/// additionally polls on [`CoordOptions::retry_ms`], which bounds how
+/// stale a deadline check can get without any timer thread.
 fn reap_expired(state: &mut State, now: Instant, verbose: bool) {
     let expired: Vec<u64> = state
         .leases
@@ -483,14 +485,23 @@ fn handle_conn(
                 maybe_finish(shared, wake_addr);
                 reply
             }
-            Msg::Query { filters } => Msg::Results {
-                records: shared
-                    .store
-                    .entries()
-                    .into_iter()
-                    .filter(|r| filters.matches(r))
-                    .collect(),
-            },
+            Msg::Query { filters } => {
+                // The fetch path reaps too: a client polling for
+                // results must not let an expired lease pin its jobs
+                // while idle workers wait for them to re-queue.
+                {
+                    let mut state = shared.state.lock().expect("fabric state");
+                    reap_expired(&mut state, Instant::now(), shared.opts.verbose);
+                }
+                Msg::Results {
+                    records: shared
+                        .store
+                        .entries()
+                        .into_iter()
+                        .filter(|r| filters.matches(r))
+                        .collect(),
+                }
+            }
             Msg::Status => {
                 let mut state = shared.state.lock().expect("fabric state");
                 reap_expired(&mut state, Instant::now(), shared.opts.verbose);
@@ -530,10 +541,19 @@ fn handle_request(shared: &Shared<'_>, conn: u64, worker: &str, capacity: u64) -
         // nothing will ever become pending again, so workers go home.
         return Msg::Drained;
     }
-    let Some(first) = state.pending.pop_front() else {
-        return Msg::Wait {
-            retry_ms: shared.opts.retry_ms,
+    // The pending deque can hold stale indices: a reaped lease's job
+    // re-queues as pending, and a later stale `Done` for it flips the
+    // status to done while the queue slot remains. Leasing such a job
+    // again would double-execute it, so skip anything no longer pending.
+    let first = loop {
+        let Some(i) = state.pending.pop_front() else {
+            return Msg::Wait {
+                retry_ms: shared.opts.retry_ms,
+            };
         };
+        if state.status[i] == Slot::Pending {
+            break i;
+        }
     };
     // Same grouping as the local batched sweep: jobs in one lease share
     // (config, scale, scheme), so the worker can run them as one
@@ -549,6 +569,9 @@ fn handle_request(shared: &Shared<'_>, conn: u64, worker: &str, capacity: u64) -
             let Some(i) = state.pending.pop_front() else {
                 break;
             };
+            if state.status[i] != Slot::Pending {
+                continue;
+            }
             if machine(i) == machine(first) {
                 taken.push(i);
             } else {
@@ -610,7 +633,7 @@ fn handle_done(shared: &Shared<'_>, worker: &str, lease: u64, results: Vec<Store
             Slot::Done | Slot::Dead => duplicates += 1,
             _ => {
                 state.status[i] = Slot::Done;
-                state.buffered.insert(i, (r.report, r.wall_ms));
+                state.buffered.insert(i, (r.report, r.wall_ms, r.wall));
                 state.executed += 1;
                 stored += 1;
                 state.workers.entry(worker.to_string()).or_insert((0, 0)).0 += 1;

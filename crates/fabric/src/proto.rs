@@ -12,14 +12,17 @@
 //! round trip bit-identical.
 
 use valley_harness::{parse_scheme, ConfigId};
-use valley_harness::{FailureKind, JobFailure, JobSpec, StoredResult};
+use valley_harness::{FailureKind, JobFailure, JobSpec, StoredResult, WallKind};
 use valley_sim::json::Json;
 use valley_sim::SimReport;
 use valley_workloads::{Benchmark, Scale};
 
 /// Protocol version, carried in every [`Msg::Hello`]. A coordinator
 /// rejects mismatched peers loudly instead of misparsing their frames.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// v2 added the `wall` attribution field to result records (see
+/// [`WallKind`]); a v1 peer would drop it silently, so the version gates
+/// it out.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// What a connecting peer is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -248,11 +251,12 @@ pub fn job_from_json(v: &Json) -> Result<JobSpec, String> {
     })
 }
 
-/// Encodes a stored result (job + wall time + report).
+/// Encodes a stored result (job + wall time + attribution + report).
 pub fn record_to_json(r: &StoredResult) -> Json {
     Json::Obj(vec![
         ("job".into(), job_to_json(&r.spec)),
         ("wall_ms".into(), Json::Num(r.wall_ms)),
+        ("wall".into(), Json::Str(r.wall.as_str().into())),
         ("report".into(), r.report.to_json_value()),
     ])
 }
@@ -264,11 +268,18 @@ pub fn record_from_json(v: &Json) -> Result<StoredResult, String> {
         .get("wall_ms")
         .and_then(Json::as_f64)
         .ok_or("record field 'wall_ms' missing or not a number")?;
+    let wall_name = v
+        .get("wall")
+        .and_then(Json::as_str)
+        .ok_or("record field 'wall' missing or not a string")?;
+    let wall =
+        WallKind::parse(wall_name).ok_or_else(|| format!("unknown wall kind '{wall_name}'"))?;
     let report = SimReport::from_json_value(v.get("report").ok_or("record has no report")?)?;
     Ok(StoredResult {
         spec,
         report,
         wall_ms,
+        wall,
     })
 }
 

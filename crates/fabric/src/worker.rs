@@ -17,7 +17,7 @@ use std::io::{BufReader, BufWriter};
 use std::net::TcpStream;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
-use valley_harness::{execute_batch, JobFailure, JobSpec, StoredResult};
+use valley_harness::{execute_batch_timed, JobFailure, JobSpec, StoredResult};
 
 /// Options controlling one worker run.
 #[derive(Clone, Debug)]
@@ -220,14 +220,14 @@ fn execute_lease(
         );
     }
     let start = Instant::now();
-    let outcome = catch_unwind(AssertUnwindSafe(|| execute_batch(jobs)));
+    let outcome = catch_unwind(AssertUnwindSafe(|| execute_batch_timed(jobs)));
     let elapsed = start.elapsed();
     match outcome {
-        Ok(reports) => {
-            // Same attribution rule as the local batched sweep: a
-            // lane's individual wall time is unobservable inside a
-            // lockstep batch, so each lane gets an equal share.
-            let wall_ms = elapsed.as_secs_f64() * 1e3 / jobs.len() as f64;
+        Ok(lanes) => {
+            // Same attribution rule as the local batched sweep: the
+            // executor measures what it can and flags the rest — lone
+            // jobs are measured, lockstep lanes carry an averaged share
+            // of the batch wall, cloned lanes ~0.
             summary.leases += 1;
             summary.completed += jobs.len() as u64;
             if opts.verbose {
@@ -237,11 +237,12 @@ fn execute_lease(
                 lease,
                 results: jobs
                     .iter()
-                    .zip(reports)
-                    .map(|(&spec, report)| StoredResult {
+                    .zip(lanes)
+                    .map(|(&spec, lane)| StoredResult {
                         spec,
-                        report,
-                        wall_ms,
+                        report: lane.report,
+                        wall_ms: lane.wall_ms,
+                        wall: lane.wall,
                     })
                     .collect(),
             }

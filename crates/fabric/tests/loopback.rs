@@ -1,20 +1,21 @@
 //! End-to-end fabric tests over 127.0.0.1: a coordinator and in-process
 //! workers exercising the real TCP protocol. Pins the two headline
 //! guarantees — a distributed sweep's store is identical to a local
-//! sequential sweep's (shard-for-shard, modulo only the measured
-//! `wall_ms`), and a worker killed mid-job loses nothing: its lease is
-//! re-issued and the grid completes with zero lost and zero duplicated
-//! results.
+//! sequential sweep's (shard-for-shard, modulo only the `wall_ms` value
+//! and its `wall` attribution), and a worker killed mid-job loses
+//! nothing: its lease is re-issued and the grid completes with zero
+//! lost and zero duplicated results.
 
 use std::io::{BufReader, BufWriter};
 use std::net::TcpStream;
 use valley_core::SchemeKind;
 use valley_fabric::{
-    read_frame, run_worker, write_frame, CoordOptions, Coordinator, Msg, Role, ServeSummary,
-    WorkerOptions, PROTOCOL_VERSION,
+    read_frame, run_worker, write_frame, CoordOptions, Coordinator, Msg, QueryFilters, Role,
+    ServeSummary, WorkerOptions, PROTOCOL_VERSION,
 };
 use valley_harness::{
     execute_batch, run_sweep, JobFailure, ResultStore, StoredResult, SweepOptions, SweepSpec,
+    WallKind,
 };
 use valley_workloads::{Benchmark, Scale};
 
@@ -119,13 +120,17 @@ fn serve_while(
     })
 }
 
-/// Replaces the measured `wall_ms` value — the single nondeterministic
-/// field of a stored record — with `0`.
+/// Replaces the `wall_ms` value and its `wall` attribution — the only
+/// fields of a stored record that depend on how (and how fast) the job
+/// was executed rather than on what it computed — with placeholders.
 fn normalize_wall(line: &str) -> String {
-    let field = "\"wall_ms\":";
-    let start = line.find(field).expect("record has wall_ms") + field.len();
-    let end = start + line[start..].find(',').expect("wall_ms is not last");
-    format!("{}0{}", &line[..start], &line[end..])
+    let mut out = line.to_string();
+    for (field, placeholder) in [("\"wall_ms\":", "0"), ("\"wall\":", "\"x\"")] {
+        let start = out.find(field).expect("record has wall fields") + field.len();
+        let end = start + out[start..].find(',').expect("wall field is not last");
+        out = format!("{}{placeholder}{}", &out[..start], &out[end..]);
+    }
+    out
 }
 
 /// Both stores' shard files, as (file name → wall-normalized contents).
@@ -285,6 +290,7 @@ fn expired_lease_is_reaped_and_late_completion_is_idempotent() {
                 spec,
                 report,
                 wall_ms: 1.0,
+                wall: WallKind::Measured,
             })
             .collect();
         match stalled.roundtrip(&Msg::Done { lease, results }) {
@@ -306,6 +312,81 @@ fn expired_lease_is_reaped_and_late_completion_is_idempotent() {
         summary.telemetry.releases >= 1,
         "expired lease never reaped"
     );
+    assert_eq!(store.len(), 4);
+}
+
+/// The fetch path reaps too: with every job of the grid stuck behind
+/// expired leases, a read-side `Query` alone re-queues them — the
+/// releases are counted at query time, before any worker asks for work
+/// or reports in — and the stale worker's late completions still land
+/// through the idempotent stale-done path. If only the request path
+/// reaped, the late `Done` frames would retire their own leases
+/// normally and the final `releases` count would fall short.
+#[test]
+fn query_path_reaps_expired_leases() {
+    let spec = grid();
+    let tmp = TempStore::new("query-reap");
+    let store = tmp.open();
+    let opts = CoordOptions {
+        lease_ms: 50,
+        linger: true,
+        ..coord_opts()
+    };
+    let summary = serve_while(&spec, &store, &opts, |addr| {
+        // The victim leases the whole grid (two same-machine leases of
+        // two jobs each), then stalls past both deadlines.
+        let mut victim = RawPeer::connect(addr, "victim");
+        let (lease_a, jobs_a) = victim.lease(2);
+        let (lease_b, jobs_b) = victim.lease(2);
+        assert_eq!(
+            jobs_a.len() + jobs_b.len(),
+            4,
+            "the grid was not fully leased"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(120));
+        // A fetch-only watcher triggers the reap: no Request, no Status.
+        let mut watcher = RawPeer::connect(addr, "watcher");
+        match watcher.roundtrip(&Msg::Query {
+            filters: QueryFilters::default(),
+        }) {
+            Msg::Results { records } => assert!(records.is_empty(), "nothing is stored yet"),
+            other => panic!("expected results, got {other:?}"),
+        }
+        // The victim's late completions arrive after its leases were
+        // reaped; the jobs re-queued at query time, so the results are
+        // accepted through the stale-done path.
+        for (lease, jobs) in [(lease_a, jobs_a), (lease_b, jobs_b)] {
+            let results = execute_batch(&jobs)
+                .into_iter()
+                .zip(&jobs)
+                .map(|(report, &spec)| StoredResult {
+                    spec,
+                    report,
+                    wall_ms: 1.0,
+                    wall: WallKind::Measured,
+                })
+                .collect();
+            match victim.roundtrip(&Msg::Done { lease, results }) {
+                Msg::Ack { stored, duplicates } => {
+                    assert_eq!(stored, 2, "a late completion was lost");
+                    assert_eq!(duplicates, 0);
+                }
+                other => panic!("expected an ack, got {other:?}"),
+            }
+        }
+        match victim.roundtrip(&Msg::Shutdown) {
+            Msg::Ack { .. } => {}
+            other => panic!("expected a shutdown ack, got {other:?}"),
+        }
+    });
+    assert!(summary.complete(), "grid incomplete: {summary:?}");
+    assert_eq!(summary.telemetry.executed, 4);
+    assert_eq!(summary.telemetry.duplicates, 0);
+    assert_eq!(
+        summary.telemetry.releases, 4,
+        "the fetch path did not reap the expired leases"
+    );
+    assert_eq!(summary.telemetry.active_leases, 0);
     assert_eq!(store.len(), 4);
 }
 

@@ -15,7 +15,9 @@ use valley_fabric::proto::{
 };
 use valley_fabric::wire::{read_frame, write_frame, WireError};
 use valley_fabric::{FailureNote, WorkerOptions};
-use valley_harness::{ConfigId, FailureKind, JobFailure, JobSpec, StoredResult};
+use valley_harness::{ConfigId, FailureKind, JobFailure, JobSpec, StoredResult, WallKind};
+
+const WALL_KINDS: [WallKind; 3] = [WallKind::Measured, WallKind::Averaged, WallKind::Cloned];
 use valley_sim::json::Json;
 use valley_sim::{EpochHist, SimReport};
 use valley_workloads::{Benchmark, Scale};
@@ -118,9 +120,9 @@ proptest! {
         prop_assert_eq!(back, spec);
     }
 
-    /// Stored results (job + report + wall time) survive the frame
-    /// round trip bit-identically — including counters above 2^53 and
-    /// the exact f64 bits of `wall_ms`.
+    /// Stored results (job + report + wall time + attribution) survive
+    /// the frame round trip bit-identically — including counters above
+    /// 2^53, the exact f64 bits of `wall_ms`, and every `wall` kind.
     #[test]
     fn stored_result_round_trip(
         bench in 0usize..64,
@@ -128,16 +130,19 @@ proptest! {
         big in (1u64 << 53)..=u64::MAX,
         frac in 0.0f64..=1.0,
         wall_ms in 0.0f64..1e9,
+        wall_kind in 0usize..3,
     ) {
         let spec = job(bench, bench / 7, cycles, bench / 3, bench / 5);
         let r = StoredResult {
             spec,
             report: report(cycles, big, frac, &spec),
             wall_ms,
+            wall: WALL_KINDS[wall_kind],
         };
         let back = record_from_json(&frame_round_trip(&record_to_json(&r))).unwrap();
         prop_assert_eq!(back.spec, r.spec);
         prop_assert_eq!(back.wall_ms.to_bits(), r.wall_ms.to_bits());
+        prop_assert_eq!(back.wall, r.wall);
         prop_assert_eq!(back.report.epoch_hist, r.report.epoch_hist);
         prop_assert_eq!(back.report, r.report);
     }
@@ -172,6 +177,7 @@ proptest! {
                     spec,
                     report: report(n, (1 << 53) | n, frac, &spec),
                     wall_ms: frac * 1e4,
+                    wall: WALL_KINDS[(n % 3) as usize],
                 }],
             },
             6 => Msg::Failed {
@@ -197,6 +203,7 @@ proptest! {
                     spec,
                     report: report(m, (1 << 54) | m, frac, &spec),
                     wall_ms: frac,
+                    wall: WALL_KINDS[(m % 3) as usize],
                 }],
             },
             10 => Msg::Status,

@@ -261,12 +261,79 @@ pub fn execute_job(spec: &JobSpec) -> SimReport {
     }
 }
 
+/// How a result's `wall_ms` was obtained — stored with the record so
+/// perf fingerprints (the bench gate, `valley status`) can tell genuine
+/// measurements from batch-wall attributions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WallKind {
+    /// The job executed alone and was timed directly.
+    Measured,
+    /// The job ran as one lane of a lockstep batch: the batch wall was
+    /// split evenly over the batch's *unique* simulations, so the value
+    /// is an attribution, not a measurement.
+    Averaged,
+    /// The job's report was cloned from an identical lane (a
+    /// deterministic scheme swept over seeds); its marginal cost is ~0
+    /// and the stored value is 0.
+    Cloned,
+}
+
+impl WallKind {
+    /// Stable identifier used in stored records and wire messages.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            WallKind::Measured => "measured",
+            WallKind::Averaged => "averaged",
+            WallKind::Cloned => "cloned",
+        }
+    }
+
+    /// Parses [`WallKind::as_str`].
+    pub fn parse(s: &str) -> Option<WallKind> {
+        match s {
+            "measured" => Some(WallKind::Measured),
+            "averaged" => Some(WallKind::Averaged),
+            "cloned" => Some(WallKind::Cloned),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is a genuine single-job measurement, usable as
+    /// a perf fingerprint. Averaged and cloned walls describe scheduling
+    /// economics, not simulation speed.
+    pub fn is_measured(self) -> bool {
+        self == WallKind::Measured
+    }
+}
+
+/// One batched lane's outcome: the report plus the lane's wall-clock
+/// attribution (see [`WallKind`]).
+#[derive(Clone, Debug)]
+pub struct LaneOutcome {
+    /// The lane's simulation report.
+    pub report: SimReport,
+    /// Wall milliseconds attributed to this lane. Sums to the batch's
+    /// measured wall across the lanes.
+    pub wall_ms: f64,
+    /// How `wall_ms` was obtained.
+    pub wall: WallKind,
+}
+
 /// Runs a batch of same-machine jobs through the lockstep batched
 /// engine ([`BatchSim`]) and returns their reports in `specs` order —
 /// each bit-identical to what [`execute_job`] would have produced for
 /// that spec alone. The lanes share one config and one address-map
 /// allocation; batch width is pure scheduling and is deliberately not
-/// part of any job key.
+/// part of any job key. See [`execute_batch_timed`] for the wall-clock
+/// attribution.
+pub fn execute_batch(specs: &[JobSpec]) -> Vec<SimReport> {
+    execute_batch_timed(specs)
+        .into_iter()
+        .map(|o| o.report)
+        .collect()
+}
+
+/// [`execute_batch`] with per-lane wall attribution.
 ///
 /// Lanes that are the *same simulation* run once: BASE/PM/RMP build the
 /// same BIM for every seed (the seed is part of the job key because keys
@@ -275,12 +342,26 @@ pub fn execute_job(spec: &JobSpec) -> SimReport {
 /// the report. This is where the batch engine wins big on multi-seed
 /// groups — N seeds of a deterministic scheme cost one simulation.
 ///
+/// Wall attribution is honest about what the engine can and cannot
+/// measure: a lone job is [`WallKind::Measured`]; a collapsed group's
+/// one executed lane is `Measured` and its clones are
+/// [`WallKind::Cloned`] at ~0 cost; lockstep lanes interleave on one
+/// clock, so each unique simulation gets an equal share of the batch
+/// wall flagged [`WallKind::Averaged`]. The shares always sum to the
+/// measured batch wall.
+///
 /// All specs must share the same [`ConfigId`] (the sweep batcher groups
 /// on (config, scale, scheme)); [`BatchSim::new`] enforces the clock
 /// agreement that actually matters.
-pub fn execute_batch(specs: &[JobSpec]) -> Vec<SimReport> {
+pub fn execute_batch_timed(specs: &[JobSpec]) -> Vec<LaneOutcome> {
     if specs.len() == 1 {
-        return vec![execute_job(&specs[0])];
+        let start = std::time::Instant::now();
+        let report = execute_job(&specs[0]);
+        return vec![LaneOutcome {
+            report,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+            wall: WallKind::Measured,
+        }];
     }
     debug_assert!(
         specs.iter().all(|s| s.config == specs[0].config),
@@ -305,8 +386,22 @@ pub fn execute_batch(specs: &[JobSpec]) -> Vec<SimReport> {
         })
         .collect();
     if unique.len() == 1 {
+        let start = std::time::Instant::now();
         let report = execute_job(unique[0]);
-        return vec![report; specs.len()];
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        return lane_of
+            .iter()
+            .enumerate()
+            .map(|(i, _)| LaneOutcome {
+                report: report.clone(),
+                wall_ms: if i == 0 { wall_ms } else { 0.0 },
+                wall: if i == 0 {
+                    WallKind::Measured
+                } else {
+                    WallKind::Cloned
+                },
+            })
+            .collect();
     }
     let cfg = Arc::new(specs[0].config.gpu_config());
     let map: Arc<dyn DramAddressMap + Send + Sync> = if specs[0].config.is_stacked() {
@@ -322,8 +417,26 @@ pub fn execute_batch(specs: &[JobSpec]) -> Vec<SimReport> {
             GpuSim::with_shared(Arc::clone(&cfg), mapper, Arc::clone(&map), workload)
         })
         .collect();
+    let start = std::time::Instant::now();
     let reports = BatchSim::new(sims).run();
-    lane_of.into_iter().map(|l| reports[l].clone()).collect()
+    let share_ms = start.elapsed().as_secs_f64() * 1e3 / unique.len() as f64;
+    let mut attributed: Vec<bool> = vec![false; unique.len()];
+    lane_of
+        .into_iter()
+        .map(|l| {
+            let first = !attributed[l];
+            attributed[l] = true;
+            LaneOutcome {
+                report: reports[l].clone(),
+                wall_ms: if first { share_ms } else { 0.0 },
+                wall: if first {
+                    WallKind::Averaged
+                } else {
+                    WallKind::Cloned
+                },
+            }
+        })
+        .collect()
 }
 
 /// Parses a scheme label (case-insensitive) — the inverse of

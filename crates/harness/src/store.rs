@@ -5,8 +5,9 @@
 //! the job-key hash. Each line is one self-describing record:
 //!
 //! ```json
-//! {"v":1,"hash":"9f3c…","bench":"MT","scheme":"PAE","seed":1,
-//!  "scale":"ref","config":"table1","wall_ms":139.4,"report":{…}}
+//! {"v":2,"hash":"9f3c…","bench":"MT","scheme":"PAE","seed":1,
+//!  "scale":"ref","config":"table1","wall_ms":139.4,"wall":"measured",
+//!  "report":{…}}
 //! ```
 //!
 //! Appends are atomic per shard (a mutex per shard file — writers on
@@ -31,7 +32,7 @@
 //! every stored record. [`scan`] reports both leniently and [`gc`]
 //! compacts them away; `valley status` / `valley gc` expose them.
 
-use crate::job::{parse_scheme, ConfigId, JobKey, JobSpec};
+use crate::job::{parse_scheme, ConfigId, JobKey, JobSpec, WallKind};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
@@ -41,8 +42,10 @@ use valley_sim::SimReport;
 use valley_workloads::{Benchmark, Scale};
 
 /// Version of the store record layout (independent of the report schema
-/// nested inside it).
-pub const STORE_VERSION: u32 = 1;
+/// nested inside it). v2 added the `wall` attribution field (see
+/// [`WallKind`]): v1 records silently mixed measured walls with batch
+/// averages, so they are orphaned rather than reinterpreted.
+pub const STORE_VERSION: u32 = 2;
 
 /// Number of shard files. Also the modulus of [`JobKey::shard`].
 pub const NUM_SHARDS: usize = 16;
@@ -57,6 +60,9 @@ pub struct StoredResult {
     pub report: SimReport,
     /// Wall time of the original execution, in milliseconds.
     pub wall_ms: f64,
+    /// How `wall_ms` was obtained (measured alone, averaged over a
+    /// lockstep batch, or ~0 for a cloned duplicate lane).
+    pub wall: WallKind,
 }
 
 /// Errors from opening or writing the store.
@@ -181,9 +187,15 @@ impl ResultStore {
 
     /// Appends one result and updates the index. Writers on different
     /// shards do not contend.
-    pub fn put(&self, spec: &JobSpec, report: &SimReport, wall_ms: f64) -> Result<(), StoreError> {
+    pub fn put(
+        &self,
+        spec: &JobSpec,
+        report: &SimReport,
+        wall_ms: f64,
+        wall: WallKind,
+    ) -> Result<(), StoreError> {
         let key = spec.key();
-        let mut line = record_json(spec, &key, report, wall_ms).to_json_string();
+        let mut line = record_json(spec, &key, report, wall_ms, wall).to_json_string();
         line.push('\n');
         let shard = key.shard(NUM_SHARDS);
         {
@@ -200,6 +212,7 @@ impl ResultStore {
                 spec: *spec,
                 report: report.clone(),
                 wall_ms,
+                wall,
             },
         );
         Ok(())
@@ -233,7 +246,13 @@ fn shard_path(dir: &Path, shard: usize) -> PathBuf {
     dir.join(format!("shard-{shard:02}.jsonl"))
 }
 
-fn record_json(spec: &JobSpec, key: &JobKey, report: &SimReport, wall_ms: f64) -> Json {
+fn record_json(
+    spec: &JobSpec,
+    key: &JobKey,
+    report: &SimReport,
+    wall_ms: f64,
+    wall: WallKind,
+) -> Json {
     Json::Obj(vec![
         ("v".into(), Json::UInt(u64::from(STORE_VERSION))),
         ("hash".into(), Json::Str(key.hash_hex())),
@@ -243,6 +262,7 @@ fn record_json(spec: &JobSpec, key: &JobKey, report: &SimReport, wall_ms: f64) -
         ("scale".into(), Json::Str(spec.scale.name().into())),
         ("config".into(), Json::Str(spec.config.name())),
         ("wall_ms".into(), Json::Num(wall_ms)),
+        ("wall".into(), Json::Str(wall.as_str().into())),
         ("report".into(), report.to_json_value()),
     ])
 }
@@ -562,6 +582,9 @@ fn parse_record(line: &str) -> Result<(u64, StoredResult), String> {
         .get("wall_ms")
         .and_then(Json::as_f64)
         .ok_or("record field 'wall_ms' missing or not a number")?;
+    let wall_name = text("wall")?;
+    let wall =
+        WallKind::parse(&wall_name).ok_or_else(|| format!("unknown wall kind '{wall_name}'"))?;
     let spec = JobSpec {
         bench,
         scheme,
@@ -590,6 +613,7 @@ fn parse_record(line: &str) -> Result<(u64, StoredResult), String> {
             spec,
             report,
             wall_ms,
+            wall,
         },
     ))
 }

@@ -2,7 +2,7 @@
 //! already has, run the rest on the work-stealing pool, persist every
 //! fresh result, and hand back the full grid in deterministic order.
 
-use crate::job::{execute_batch, execute_job, JobSpec, SweepSpec};
+use crate::job::{execute_batch_timed, execute_job, JobSpec, SweepSpec, WallKind};
 use crate::pool;
 use crate::store::{ResultStore, StoreError};
 use std::time::{Duration, Instant};
@@ -40,6 +40,10 @@ pub struct JobOutcome {
     /// Wall time in milliseconds: the original execution time for cache
     /// hits, this run's execution time for misses.
     pub wall_ms: f64,
+    /// How `wall_ms` was obtained (see [`WallKind`]): a genuine per-job
+    /// measurement, an equal share of a lockstep batch's wall, or ~0 for
+    /// a lane cloned from an identical one.
+    pub wall: WallKind,
     /// Whether the result came from the store.
     pub cached: bool,
 }
@@ -195,12 +199,13 @@ fn record_fresh(
     idx: usize,
     report: SimReport,
     wall_ms: f64,
+    wall: WallKind,
     jobs: &[JobSpec],
     outcomes: &mut [Option<JobOutcome>],
     failures: &mut Vec<JobFailure>,
 ) {
     let job = jobs[idx];
-    if let Err(e) = store.put(&job, &report, wall_ms) {
+    if let Err(e) = store.put(&job, &report, wall_ms, wall) {
         failures.push(JobFailure::store_write(job, e.to_string()));
         return;
     }
@@ -211,6 +216,7 @@ fn record_fresh(
         spec: job,
         report,
         wall_ms,
+        wall,
         cached: false,
     });
 }
@@ -236,6 +242,7 @@ pub fn run_sweep(
                 spec: *job,
                 report: stored.report,
                 wall_ms: stored.wall_ms,
+                wall: stored.wall,
                 cached: true,
             })),
             None => {
@@ -310,6 +317,7 @@ pub fn run_sweep(
                         idx,
                         report,
                         wall_ms,
+                        WallKind::Measured,
                         &jobs,
                         &mut outcomes,
                         &mut failures,
@@ -363,9 +371,9 @@ pub fn run_sweep(
             workers,
             |b| {
                 let specs: Vec<JobSpec> = batches[b].iter().map(|&i| jobs[i]).collect();
-                let t = Instant::now();
-                let reports = execute_batch(&specs);
-                (reports, t.elapsed())
+                // Wall attribution happens inside: the executor knows
+                // which lanes it measured, averaged or cloned.
+                execute_batch_timed(&specs)
             },
             |done| {
                 if opts.verbose {
@@ -394,18 +402,20 @@ pub fn run_sweep(
         );
         for (b, result) in results.into_iter().enumerate() {
             match result {
-                Ok((reports, elapsed)) => {
-                    // A lane's individual wall time is unobservable
-                    // inside a lockstep batch; attribute an equal share
-                    // of the batch's wall to each lane.
-                    let wall_ms = elapsed.as_secs_f64() * 1e3 / batches[b].len() as f64;
-                    for (&idx, report) in batches[b].iter().zip(reports) {
+                Ok(lanes) => {
+                    // A lane's individual wall is unobservable inside a
+                    // lockstep batch; the executor attributes an equal
+                    // share of the batch wall to each *unique* lane and
+                    // flags it [`WallKind::Averaged`] (clones are ~0),
+                    // so the stored record says what the number means.
+                    for (&idx, lane) in batches[b].iter().zip(lanes) {
                         record_fresh(
                             store,
                             opts,
                             idx,
-                            report,
-                            wall_ms,
+                            lane.report,
+                            lane.wall_ms,
+                            lane.wall,
                             &jobs,
                             &mut outcomes,
                             &mut failures,

@@ -228,7 +228,7 @@ fn unknown_store_version_fails_loudly() {
     // Rewrite the populated shard's record to claim a future version.
     let shard = populated_shard(&tmp.0);
     let text = std::fs::read_to_string(&shard).unwrap();
-    std::fs::write(&shard, text.replacen("{\"v\":1,", "{\"v\":99,", 1)).unwrap();
+    std::fs::write(&shard, text.replacen("{\"v\":2,", "{\"v\":99,", 1)).unwrap();
     let err = ResultStore::open(&tmp.0).unwrap_err();
     assert!(err.to_string().contains("version 99"), "wrong error: {err}");
 }

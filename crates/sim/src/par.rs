@@ -396,8 +396,9 @@ impl SmPool for ShardSmPool<'_, '_> {
 }
 
 /// Splits `0..n` into `parts` contiguous ranges (earlier ranges one
-/// longer when `n % parts != 0`).
-fn split_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+/// longer when `n % parts != 0`). Shared with the batched engine, which
+/// partitions lanes across groups the same way it partitions SMs here.
+pub(crate) fn split_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
     let base = n / parts;
     let extra = n % parts;
     let mut out = Vec::with_capacity(parts);
@@ -447,7 +448,12 @@ fn memory_groups(map: &dyn DramAddressMap, llc_slices: usize) -> Vec<(Vec<u16>, 
 /// then pairs every atomic update with a locked notify, so a parked
 /// peer either observes the update before waiting (the lock orders the
 /// two) or is woken by the notify — no missed-wakeup window.
-struct Ctrl {
+///
+/// Generic over the plan payload `P` so both epoch-barrier engines
+/// share it: this engine publishes a [`Plan`] per shard epoch, the
+/// batched many-sim engine (`crate::batch`) a lane-group plan per
+/// lockstep epoch.
+pub(crate) struct Ctrl<P> {
     /// Epoch counter, bumped by [`Ctrl::publish`] after the plan write.
     epoch: AtomicU64,
     /// Workers still ticking the current epoch.
@@ -455,8 +461,8 @@ struct Ctrl {
     stop: AtomicBool,
     /// The published plan; written before the `epoch` bump (Release)
     /// and read after observing it (Acquire), the lock being needed
-    /// only because `Plan` is not atomic.
-    plan: Mutex<Plan>,
+    /// only because the payload is not atomic.
+    plan: Mutex<P>,
     /// Park-path lock: pure synchronization, no data.
     m: Mutex<()>,
     start_cv: Condvar,
@@ -464,13 +470,13 @@ struct Ctrl {
     workers: usize,
 }
 
-impl Ctrl {
-    fn new(workers: usize) -> Self {
+impl<P: Copy + Default> Ctrl<P> {
+    pub(crate) fn new(workers: usize) -> Self {
         Ctrl {
             epoch: AtomicU64::new(0),
             remaining: AtomicUsize::new(0),
             stop: AtomicBool::new(false),
-            plan: Mutex::new(Plan::default()),
+            plan: Mutex::new(P::default()),
             m: Mutex::new(()),
             start_cv: Condvar::new(),
             done_cv: Condvar::new(),
@@ -479,7 +485,7 @@ impl Ctrl {
     }
 
     /// Coordinator: publish `plan` and release the workers.
-    fn publish(&self, plan: &Plan) {
+    pub(crate) fn publish(&self, plan: &P) {
         *self.plan.lock().expect("ctrl poisoned") = *plan;
         self.remaining.store(self.workers, Ordering::Release);
         self.epoch.fetch_add(1, Ordering::Release);
@@ -493,7 +499,7 @@ impl Ctrl {
     /// Coordinator: wait until every worker finished the epoch — spin
     /// first, park on the Condvar only if the workers outlast the
     /// budget.
-    fn wait_done(&self) {
+    pub(crate) fn wait_done(&self) {
         for _ in 0..SPIN_ITERS {
             if self.remaining.load(Ordering::Acquire) == 0 {
                 return;
@@ -507,7 +513,7 @@ impl Ctrl {
     }
 
     /// Coordinator: wake all workers for exit.
-    fn stop(&self) {
+    pub(crate) fn stop(&self) {
         self.stop.store(true, Ordering::Release);
         let _g = self.m.lock().expect("ctrl poisoned");
         self.start_cv.notify_all();
@@ -515,7 +521,7 @@ impl Ctrl {
 
     /// Worker: wait for an epoch newer than `seen` (spin, then park);
     /// `None` = shut down.
-    fn next_epoch(&self, seen: u64) -> Option<(u64, Plan)> {
+    pub(crate) fn next_epoch(&self, seen: u64) -> Option<(u64, P)> {
         let ready = |this: &Self| -> Option<Option<u64>> {
             if this.stop.load(Ordering::Acquire) {
                 return Some(None);
@@ -546,7 +552,7 @@ impl Ctrl {
     }
 
     /// Worker: report epoch completion.
-    fn done(&self) {
+    pub(crate) fn done(&self) {
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
             // Last one out: lock-paired notify (see `publish`).
             let _g = self.m.lock().expect("ctrl poisoned");

@@ -67,7 +67,12 @@ pub trait WarpProgram: Send {
 }
 
 /// A kernel launch: a grid of TBs with identical per-warp structure.
-pub trait KernelSource {
+///
+/// `Send` because the batched engine (see [`crate::BatchSim`]) moves
+/// whole lanes — simulator plus the resident kernel — to worker threads
+/// between epoch barriers; sources are plain data in every
+/// implementation.
+pub trait KernelSource: Send {
     /// Kernel name (for reports).
     fn name(&self) -> String;
 
@@ -86,7 +91,10 @@ pub trait KernelSource {
 }
 
 /// A complete workload: an ordered list of kernel launches.
-pub trait WorkloadSource {
+///
+/// `Send` for the same reason as [`KernelSource`]: a batched lane owns
+/// its workload and may tick on any worker thread.
+pub trait WorkloadSource: Send {
     /// Benchmark name (e.g. "MT").
     fn name(&self) -> String;
 

@@ -125,6 +125,69 @@ fn first_divergence(a: &SimReport, b: &SimReport) -> String {
 
 const SLICE_CHOICES: [usize; 3] = [2, 4, 8];
 
+/// Deterministic batched(2,3,5,8) × groups(1,2,4) grid over every
+/// mapping scheme: each cell of the composed engine (lane groups ticked
+/// with `threads = groups`, so groups > 1 runs the threaded epoch
+/// barrier) must reproduce the per-lane sequential reports bit for bit.
+/// The failure message carries the full reproducer coordinates.
+#[test]
+fn batched_width_by_group_grid_matches_sequential() {
+    const WIDTHS: [usize; 4] = [2, 3, 5, 8];
+    const GROUPS: [usize; 3] = [1, 2, 4];
+    let map: Arc<dyn DramAddressMap + Send + Sync> = Arc::new(GddrMap::baseline());
+    for (si, &scheme) in SchemeKind::ALL_SCHEMES.iter().enumerate() {
+        let shape = Shape {
+            num_sms: 2,
+            llc_slices: 4,
+            sched: WarpScheduler::Gto,
+            policy: LlcWritePolicy::WriteThrough,
+            scheme,
+        };
+        let mut cfg = GpuConfig::table1()
+            .with_sms(shape.num_sms)
+            .with_scheduler(shape.sched)
+            .with_llc_write_policy(shape.policy);
+        cfg.llc_slices = shape.llc_slices;
+        let cfg = Arc::new(cfg);
+        // Per-lane mapper seeds and workload seeds derive from the lane
+        // index, like a sweep's seed × benchmark axes.
+        let lane_coords: Vec<(u64, (u64, u64, usize, usize))> = (0..8)
+            .map(|lane| {
+                let l = lane as u64;
+                (l % 4, (mix(0xBA7C4 ^ ((si as u64) << 8) ^ l), 4, 1, 1))
+            })
+            .collect();
+        let goldens: Vec<SimReport> = lane_coords
+            .iter()
+            .map(|&(map_seed, wl)| {
+                build_lane(&cfg, &map, shape, map_seed, wl).run_with(Parallelism::Off)
+            })
+            .collect();
+        assert!(goldens[0].cycles > 0, "degenerate grid simulated nothing");
+        for width in WIDTHS {
+            for groups in GROUPS {
+                let sims = lane_coords[..width]
+                    .iter()
+                    .map(|&(map_seed, wl)| build_lane(&cfg, &map, shape, map_seed, wl))
+                    .collect();
+                let reports = BatchSim::new(sims).run_grouped(groups, groups);
+                for (lane, (batched, golden)) in reports.iter().zip(&goldens[..width]).enumerate() {
+                    let (map_seed, (wl_seed, ..)) = lane_coords[lane];
+                    assert!(
+                        batched.results_json() == golden.results_json(),
+                        "composed batched engine diverged: scheme={scheme:?} \
+                         width={width} groups={groups} threads={groups} lane={lane} \
+                         map_seed={map_seed} wl=(tbs=4,wpb=1,seed={wl_seed:#x},kernels=1) \
+                         sms=2 slices=4 sched=Gto policy=WriteThrough \
+                         — first divergence: {}",
+                        first_divergence(golden, batched)
+                    );
+                }
+            }
+        }
+    }
+}
+
 proptest! {
     #[test]
     fn batched_engine_matches_sequential_for_random_grids(

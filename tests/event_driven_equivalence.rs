@@ -23,6 +23,12 @@ const SHARD_COUNTS: [usize; 4] = [2, 3, 4, 7];
 /// batch drains.
 const BATCH_WIDTHS: [usize; 4] = [2, 3, 5, 8];
 
+/// The lane-group counts the batched grid pins: 1 is the inline SoA
+/// driver, 2 and 4 partition the lanes across concurrent groups (the
+/// batch × threads composition), including counts that don't divide
+/// the width evenly.
+const GROUP_COUNTS: [usize; 3] = [1, 2, 4];
+
 fn build(bench: Benchmark, scheme: SchemeKind) -> GpuSim {
     let map = GddrMap::baseline();
     let mapper = AddressMapper::build(scheme, &map, 1);
@@ -108,9 +114,11 @@ fn assert_equivalent(bench: Benchmark, scheme: SchemeKind) {
         );
     }
 
-    // Batched lockstep engine: every lane of every batch width must
-    // reproduce the sequential report byte for byte.
+    // Batched lockstep engine, batched(width) × groups grid: every lane
+    // of every cell must reproduce the sequential report byte for byte.
     for width in BATCH_WIDTHS {
+        // Env-honoring entry point — the CI matrix runs this battery
+        // under VALLEY_SIM_THREADS, composing batch × threads here.
         let sims = (0..width).map(|_| build(bench, scheme)).collect();
         for (lane, report) in BatchSim::new(sims).run().into_iter().enumerate() {
             assert_eq!(
@@ -118,6 +126,22 @@ fn assert_equivalent(bench: Benchmark, scheme: SchemeKind) {
                 golden,
                 "{tag}: batch({width}) lane {lane} report JSON diverged from sequential"
             );
+        }
+        // Pinned group counts, threads = groups (threaded transport for
+        // groups > 1), independent of the machine and the environment.
+        for groups in GROUP_COUNTS {
+            let sims = (0..width).map(|_| build(bench, scheme)).collect();
+            let reports = BatchSim::new(sims).run_grouped(groups, groups);
+            for (lane, report) in reports.into_iter().enumerate() {
+                assert_eq!(
+                    report.results_json(),
+                    golden,
+                    "{tag}: composed batch diverged from sequential at \
+                     width={width} groups={groups} threads={groups} lane={lane} \
+                     (rebuild with build({bench:?}, {scheme:?}) and replay \
+                     BatchSim::run_grouped({groups}, {groups}) at that width)"
+                );
+            }
         }
     }
 }
@@ -152,6 +176,24 @@ fn threaded_transport_is_bit_identical() {
             golden,
             "MT/PAE parallel({shards} shards, {threads} threads) diverged"
         );
+    }
+    // Same contract for the batched engine's group transport: fewer
+    // threads than groups exercises the multi-group-per-worker path.
+    for (groups, threads) in [(4, 2), (4, 4), (3, 2)] {
+        let sims = (0..5)
+            .map(|_| build(Benchmark::Mt, SchemeKind::Pae))
+            .collect();
+        for (lane, report) in BatchSim::new(sims)
+            .run_grouped(groups, threads)
+            .into_iter()
+            .enumerate()
+        {
+            assert_eq!(
+                report.results_json(),
+                golden,
+                "MT/PAE batch(width=5, {groups} groups, {threads} threads) lane {lane} diverged"
+            );
+        }
     }
 }
 
