@@ -26,6 +26,8 @@
 //! meant to catch real order-of-magnitude regressions, not jitter.
 
 use std::time::Instant;
+use valley_compute::{matgen, BvrTable, ComputeBackend, ComputeScratch, CpuBackend};
+use valley_core::entropy::{Bvr, EntropyMethod};
 use valley_core::SchemeKind;
 use valley_harness::{
     execute_job, pool, run_sweep, ResultStore, SweepOptions, SweepSpec, WallKind,
@@ -88,6 +90,8 @@ fn main() {
     let committed = gate_pct.and_then(|_| committed_smoke_walls("harness_smoke"));
     let committed_batched = gate_pct.and_then(|_| committed_median("harness_smoke_batched"));
     let committed_soa = gate_pct.and_then(|_| committed_median("harness_smoke_batched_soa"));
+    let committed_kbim = gate_pct.and_then(|_| committed_median("kernel_bim_bitsliced"));
+    let committed_ksweep = gate_pct.and_then(|_| committed_median("kernel_entropy_sweep"));
     // The sequential rows (and the --gate comparison against committed
     // sequential baselines) must run on the sequential engine even when
     // the caller's environment sets VALLEY_SIM_THREADS; snapshot the
@@ -339,6 +343,88 @@ fn main() {
         seq_median * 1e3,
     );
 
+    // Compute-plane kernel rows: the bit-sliced BIM batch kernel against
+    // the scalar per-address loop on a dense full-rank 30-bit matrix
+    // (the mapping schemes are identity-heavy and ride the sparse fast
+    // path, where both backends run the same code). Scalar and
+    // bit-sliced reps interleave round by round and the medians are
+    // compared, so machine-load drift hits both measurements evenly —
+    // the same discipline as the batched-engine rows above.
+    const KERNEL_ROUNDS: usize = 5;
+    const KERNEL_REPS: usize = 64;
+    let kernel_bim = matgen::dense_invertible(30, 1);
+    let kernel_addrs: Vec<u64> = {
+        let mut a = 0x1234_5678u64;
+        (0..4096)
+            .map(|_| {
+                a = (a.wrapping_mul(0x9e37_79b9) ^ a) & 0x3fff_ffff;
+                a
+            })
+            .collect()
+    };
+    let scalar_be = CpuBackend::with_sparse_cutoff(usize::MAX);
+    let sliced_be = CpuBackend::with_sparse_cutoff(0);
+    let mut kscratch = ComputeScratch::new();
+    let mut kout = Vec::new();
+    let mut kernel_scalar_walls = Vec::new();
+    let mut kernel_sliced_walls = Vec::new();
+    for _ in 0..KERNEL_ROUNDS {
+        let t = Instant::now();
+        for _ in 0..KERNEL_REPS {
+            scalar_be.bim_apply_batch(&kernel_bim, &kernel_addrs, &mut kout, &mut kscratch);
+        }
+        kernel_scalar_walls.push(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        for _ in 0..KERNEL_REPS {
+            sliced_be.bim_apply_batch(&kernel_bim, &kernel_addrs, &mut kout, &mut kscratch);
+        }
+        kernel_sliced_walls.push(t.elapsed().as_secs_f64());
+    }
+    let kernel_scalar_median = median(&mut kernel_scalar_walls);
+    let kernel_sliced_median = median(&mut kernel_sliced_walls);
+    let kernel_speedup = kernel_scalar_median / kernel_sliced_median;
+    println!(
+        "kernel bim bitsliced (dense30, {} addrs x {KERNEL_REPS} reps, median of \
+         {KERNEL_ROUNDS}): {:.2} ms vs scalar {:.2} ms — {kernel_speedup:.2}x",
+        kernel_addrs.len(),
+        kernel_sliced_median * 1e3,
+        kernel_scalar_median * 1e3,
+    );
+    assert!(
+        kernel_speedup >= 4.0,
+        "bit-sliced bim_apply_batch is only {kernel_speedup:.2}x the scalar loop on a dense \
+         full-rank matrix (acceptance floor is 4x)"
+    );
+
+    // The all-bits window-entropy sweep over a fig05-shaped table
+    // (30 address bits x 1024 TBs, the paper's window of 12).
+    const SWEEP_REPS: usize = 16;
+    let sweep_rows: Vec<Vec<Bvr>> = (0..30)
+        .map(|bit| (0..1024u64).map(|i| Bvr::new((i + bit) % 13, 16)).collect())
+        .collect();
+    let sweep_table = BvrTable::from_bit_rows(&sweep_rows, 1024);
+    let mut sweep_out = Vec::new();
+    let mut sweep_walls = Vec::new();
+    for _ in 0..KERNEL_ROUNDS {
+        let t = Instant::now();
+        for _ in 0..SWEEP_REPS {
+            sliced_be.window_entropy_sweep(
+                &sweep_table,
+                12,
+                EntropyMethod::MixtureBvr,
+                &mut sweep_out,
+                &mut kscratch,
+            );
+        }
+        sweep_walls.push(t.elapsed().as_secs_f64());
+    }
+    let sweep_median = median(&mut sweep_walls);
+    println!(
+        "kernel entropy sweep (30 bits x 1024 TBs, w=12 mixture x {SWEEP_REPS} reps, median \
+         of {KERNEL_ROUNDS}): {:.2} ms",
+        sweep_median * 1e3,
+    );
+
     let cycles_per_job = test_jobs
         .iter()
         .zip(&reports)
@@ -480,6 +566,47 @@ fn main() {
                 ),
             ]),
         ),
+        (
+            "kernel_bim_bitsliced".into(),
+            Json::Obj(vec![
+                (
+                    "case".into(),
+                    Json::Str(format!(
+                        "dense30 full-rank, {} addrs x {KERNEL_REPS} reps, interleaved",
+                        kernel_addrs.len()
+                    )),
+                ),
+                ("rounds".into(), Json::UInt(KERNEL_ROUNDS as u64)),
+                (
+                    "cold_wall_seconds_median".into(),
+                    Json::Num((kernel_sliced_median * 1e6).round() / 1e6),
+                ),
+                (
+                    "scalar_wall_seconds_median".into(),
+                    Json::Num((kernel_scalar_median * 1e6).round() / 1e6),
+                ),
+                (
+                    "speedup_vs_scalar".into(),
+                    Json::Num((kernel_speedup * 1e3).round() / 1e3),
+                ),
+            ]),
+        ),
+        (
+            "kernel_entropy_sweep".into(),
+            Json::Obj(vec![
+                (
+                    "case".into(),
+                    Json::Str(format!(
+                        "30 bits x 1024 TBs, w=12 mixture x {SWEEP_REPS} reps"
+                    )),
+                ),
+                ("rounds".into(), Json::UInt(KERNEL_ROUNDS as u64)),
+                (
+                    "cold_wall_seconds_median".into(),
+                    Json::Num((sweep_median * 1e6).round() / 1e6),
+                ),
+            ]),
+        ),
     ]);
     let mut json = snapshot.to_json_string();
     json.push('\n');
@@ -543,5 +670,7 @@ fn main() {
         };
         gate_median("batched", committed_batched, bat_median);
         gate_median("batched-soa", committed_soa, soa_median);
+        gate_median("kernel-bim", committed_kbim, kernel_sliced_median);
+        gate_median("kernel-sweep", committed_ksweep, sweep_median);
     }
 }

@@ -1,25 +1,10 @@
 //! Figure 3 worked example: window-based entropy of 8 TBs whose BVRs are
 //! 0,0,1,1,0,0,1,1 under window sizes 2 and 4, plus footnote 1's window.
-
-use valley_core::entropy::{shannon_entropy, window_entropy, Bvr};
+//!
+//! Thin consumer: the rendering lives in [`valley_bench::figures`]
+//! (routed through the `valley-compute` backend) and is pinned
+//! byte-for-byte by the golden tests.
 
 fn main() {
-    let bvrs: Vec<Bvr> = [0u64, 0, 1, 1, 0, 0, 1, 1]
-        .iter()
-        .map(|&o| Bvr::new(o, 1))
-        .collect();
-
-    println!("Figure 3: sorted TB BVRs = 0 0 1 1 0 0 1 1\n");
-    for w in [2usize, 4] {
-        let h = window_entropy(&bvrs, w);
-        println!("window size {w}: H* = {h:.4}");
-    }
-    println!("\npaper: H* = 3/7 = 0.43 for w=2 and H* = 5/5 = 1 for w=4");
-
-    // Footnote 1: a window of three TBs, BVRs {0, 0, 1}.
-    let h = shannon_entropy(&[2.0 / 3.0, 1.0 / 3.0]);
-    println!("\nfootnote 1: window with BVRs (0,0,1) -> H_W = {h:.2} (paper: 0.92)");
-
-    assert!((window_entropy(&bvrs, 2) - 3.0 / 7.0).abs() < 1e-12);
-    assert!((window_entropy(&bvrs, 4) - 1.0).abs() < 1e-12);
+    print!("{}", valley_bench::figures::fig03_text());
 }

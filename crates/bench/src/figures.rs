@@ -311,6 +311,56 @@ pub fn fig02_text() -> String {
     out
 }
 
+/// Figure 3 worked example: window-based entropy of 8 TBs whose BVRs
+/// are 0,0,1,1,0,0,1,1 under window sizes 2 and 4, plus footnote 1's
+/// window. The sweep runs through the [`valley_compute::ComputeBackend`]
+/// trait (a one-bit [`valley_compute::BvrTable`]); the golden test pins
+/// the output byte-for-byte against the scalar-era snapshot.
+///
+/// # Panics
+///
+/// Panics if the computed entropies stop reproducing the paper's values
+/// (the asserts are part of the figure's claim).
+pub fn fig03_text() -> String {
+    use valley_compute::{backend, BvrTable, ComputeScratch};
+    use valley_core::entropy::{shannon_entropy, Bvr, EntropyMethod};
+
+    let bvrs: Vec<Bvr> = [0u64, 0, 1, 1, 0, 0, 1, 1]
+        .iter()
+        .map(|&o| Bvr::new(o, 1))
+        .collect();
+    let table = BvrTable::from_bit_rows(&[bvrs], 8);
+    let mut scratch = ComputeScratch::new();
+    let mut sweep = Vec::new();
+
+    let mut out = String::new();
+    out.push_str("Figure 3: sorted TB BVRs = 0 0 1 1 0 0 1 1\n\n");
+    let mut stars = Vec::new();
+    for w in [2usize, 4] {
+        backend().window_entropy_sweep(
+            &table,
+            w,
+            EntropyMethod::MixtureBvr,
+            &mut sweep,
+            &mut scratch,
+        );
+        let h = sweep[0];
+        stars.push(h);
+        out.push_str(&format!("window size {w}: H* = {h:.4}\n"));
+    }
+    out.push_str("\npaper: H* = 3/7 = 0.43 for w=2 and H* = 5/5 = 1 for w=4\n");
+
+    // Footnote 1: a window of three TBs, BVRs {0, 0, 1}.
+    let h = shannon_entropy(&[2.0 / 3.0, 1.0 / 3.0]);
+    out.push_str(&format!(
+        "\nfootnote 1: window with BVRs (0,0,1) -> H_W = {h:.2} (paper: 0.92)\n"
+    ));
+
+    assert!((stars[0] - 3.0 / 7.0).abs() < 1e-12);
+    assert!((stars[1] - 1.0).abs() < 1e-12);
+    out
+}
+
 /// Figure 17: normalized performance per Watt.
 pub fn fig17(suite: &Suite) {
     let schemes = schemes_of(suite);

@@ -23,6 +23,16 @@ fn fig02_output_is_byte_identical_to_pre_refactor_snapshot() {
 }
 
 #[test]
+fn fig03_output_is_byte_identical_to_pre_compute_snapshot() {
+    // Captured from the scalar `window_entropy` path before the sweep
+    // moved behind the valley-compute backend.
+    assert_eq!(
+        figures::fig03_text(),
+        include_str!("golden/fig03_window_entropy.txt")
+    );
+}
+
+#[test]
 fn fig12_harness_output_is_byte_identical_cold_and_cached() {
     let golden = include_str!("golden/fig12_speedup_test_scale.txt");
     let dir = std::env::temp_dir().join(format!("valley-golden-{}", std::process::id()));

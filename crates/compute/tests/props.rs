@@ -1,0 +1,284 @@
+//! Property batteries: the vectorized kernels against their scalar
+//! `valley-core` oracles. Equality is exact (`==` on integers and on f64
+//! bit patterns), not approximate — BVRs are exact reduced fractions and
+//! the entropy sweep replays the scalar arithmetic statement for
+//! statement. Failure messages carry reproducer coordinates (scheme,
+//! seed, index) matching the existing batteries.
+
+use proptest::prelude::*;
+use valley_compute::matgen::{dense_invertible, half_dense_invertible};
+use valley_compute::{backend, BvrTable, ComputeBackend, ComputeScratch, CpuBackend, TILE};
+use valley_core::entropy::{
+    kernel_entropy_method, window_entropy_method, Bvr, EntropyMethod, TbBitStats,
+};
+use valley_core::{AddressMapper, Bim, GddrMap, SchemeKind};
+
+const ADDR_MASK: u64 = (1 << 30) - 1;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn addr_stream(seed: u64, len: usize, mask: u64) -> Vec<u64> {
+    let mut state = seed;
+    (0..len).map(|_| splitmix(&mut state) & mask).collect()
+}
+
+/// Runs one batch through a backend and checks it against the scalar
+/// per-address oracle, with reproducer coordinates on mismatch.
+fn assert_batch_matches(
+    be: &dyn ComputeBackend,
+    bim: &Bim,
+    addrs: &[u64],
+    scratch: &mut ComputeScratch,
+    out: &mut Vec<u64>,
+    what: &str,
+) -> Result<(), TestCaseError> {
+    be.bim_apply_batch(bim, addrs, out, scratch);
+    prop_assert_eq!(out.len(), addrs.len(), "{}: length mismatch", what);
+    for (i, (&a, &got)) in addrs.iter().zip(out.iter()).enumerate() {
+        let want = bim.apply(a);
+        prop_assert_eq!(
+            got,
+            want,
+            "{}: index {} addr {:#x}: batch {:#x} != scalar {:#x}",
+            what,
+            i,
+            a,
+            got,
+            want
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    /// Every scheme's BIM, every tile shape (empty, sub-tile, exact
+    /// multiples, ragged tails): batch application equals per-address
+    /// `Bim::apply` on all three backend configurations — default,
+    /// forced-scalar and forced-bit-sliced. One scratch and one output
+    /// buffer are reused across all of them to catch stale-state bugs.
+    #[test]
+    fn bim_batch_matches_scalar_for_all_schemes(
+        seed in 0u64..64,
+        salt in any::<u64>(),
+        len in 0usize..200,
+    ) {
+        let map = GddrMap::baseline();
+        let addrs = addr_stream(salt, len, ADDR_MASK);
+        let mut scratch = ComputeScratch::new();
+        let mut out = Vec::new();
+        let forced = CpuBackend::with_sparse_cutoff(0);
+        let scalar = CpuBackend::with_sparse_cutoff(usize::MAX);
+        for kind in SchemeKind::ALL_SCHEMES {
+            let m = AddressMapper::build(kind, &map, seed % 16);
+            for (be, cfg) in [
+                (backend(), "default"),
+                (&forced as &dyn ComputeBackend, "bitsliced"),
+                (&scalar as &dyn ComputeBackend, "scalar"),
+            ] {
+                let what = format!("scheme {kind:?} seed {seed} salt {salt:#x} cfg {cfg}");
+                assert_batch_matches(be, m.bim(), &addrs, &mut scratch, &mut out, &what)?;
+            }
+        }
+    }
+
+    /// Random invertible matrices of every dimension — dense (tile path)
+    /// and half-dense — including addresses with garbage bits above the
+    /// matrix dimension, which `apply` masks away.
+    #[test]
+    fn bim_batch_matches_scalar_random_invertible(
+        n in 1u8..=64,
+        seed in any::<u64>(),
+        len in 0usize..300,
+    ) {
+        let addrs = addr_stream(seed ^ 0x5eed, len, u64::MAX);
+        let mut scratch = ComputeScratch::new();
+        let mut out = Vec::new();
+        let forced = CpuBackend::with_sparse_cutoff(0);
+        for (bim, shape) in [
+            (dense_invertible(n, seed), "dense"),
+            (half_dense_invertible(n, seed), "half-dense"),
+        ] {
+            let what = format!("{shape} n {n} seed {seed:#x}");
+            assert_batch_matches(&forced, &bim, &addrs, &mut scratch, &mut out, &what)?;
+        }
+    }
+
+    /// Transposed BVR accumulation equals 64 independent per-bit scans
+    /// (the `TbBitStats::record` oracle), for every bit width and stream
+    /// length, and is invariant to how the stream is split into batches.
+    #[test]
+    fn bvr_sweep_matches_per_bit_scans(
+        seed in any::<u64>(),
+        len in 0usize..300,
+        bits in 1usize..=64,
+        split in 0usize..300,
+    ) {
+        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+        let addrs = addr_stream(seed, len, mask);
+        let oracle = TbBitStats::from_addrs(0, bits as u8, addrs.iter().copied());
+        let mut scratch = ComputeScratch::new();
+        let mut ones = vec![0u64; bits];
+        backend().bvr_sweep(&addrs, &mut ones, &mut scratch);
+        for (b, &got) in ones.iter().enumerate() {
+            prop_assert_eq!(
+                got,
+                oracle.ones(b as u8),
+                "bit {} seed {:#x} len {}: sweep {} != scalar {}",
+                b,
+                seed,
+                len,
+                got,
+                oracle.ones(b as u8)
+            );
+        }
+        // Splitting the stream anywhere must accumulate identically.
+        let cut = split.min(len);
+        let mut split_ones = vec![0u64; bits];
+        backend().bvr_sweep(&addrs[..cut], &mut split_ones, &mut scratch);
+        backend().bvr_sweep(&addrs[cut..], &mut split_ones, &mut scratch);
+        prop_assert_eq!(&split_ones, &ones, "split at {} differs", cut);
+    }
+
+    /// The entropy sweep over a bit-major BVR table is bit-for-bit equal
+    /// to the scalar rolling scan on every row, for both per-window
+    /// methods and any window size.
+    #[test]
+    fn entropy_sweep_matches_scalar_rows(
+        seed in any::<u64>(),
+        bits in 0usize..40,
+        tbs in 1usize..120,
+        window in 1usize..20,
+        distinct in any::<bool>(),
+    ) {
+        let method = if distinct {
+            EntropyMethod::DistinctBvr
+        } else {
+            EntropyMethod::MixtureBvr
+        };
+        let mut state = seed;
+        let rows: Vec<Vec<Bvr>> = (0..bits)
+            .map(|_| {
+                (0..tbs)
+                    .map(|_| {
+                        let total = splitmix(&mut state) % (1 << 40) + 1;
+                        let ones = splitmix(&mut state) % (total + 1);
+                        Bvr::new(ones, total)
+                    })
+                    .collect()
+            })
+            .collect();
+        let table = BvrTable::from_bit_rows(&rows, 1);
+        let mut scratch = ComputeScratch::new();
+        let mut out = Vec::new();
+        backend().window_entropy_sweep(&table, window, method, &mut out, &mut scratch);
+        prop_assert_eq!(out.len(), bits);
+        for (b, (row, &got)) in rows.iter().zip(out.iter()).enumerate() {
+            let want = window_entropy_method(row, window, method);
+            prop_assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "bit {} seed {:#x} w {} {:?}: sweep {} != scalar {}",
+                b,
+                seed,
+                window,
+                method,
+                got,
+                want
+            );
+        }
+    }
+
+    /// End-to-end: `BvrTable::from_tb_stats` + the sweep reproduce
+    /// `kernel_entropy_method` exactly — same TB filtering, same sort,
+    /// same per-bit values — including out-of-order and empty TBs.
+    #[test]
+    fn table_sweep_matches_kernel_entropy(
+        seed in any::<u64>(),
+        ntbs in 0usize..40,
+        window in 1usize..16,
+        distinct in any::<bool>(),
+    ) {
+        let method = if distinct {
+            EntropyMethod::DistinctBvr
+        } else {
+            EntropyMethod::MixtureBvr
+        };
+        let mut state = seed;
+        let mut tbs: Vec<TbBitStats> = (0..ntbs)
+            .map(|i| {
+                // Shuffled ids, occasional empty TBs (skipped by both paths).
+                let id = (i as u64 * 37) % 41;
+                let len = (splitmix(&mut state) % 20) as usize;
+                TbBitStats::from_addrs(
+                    id,
+                    16,
+                    (0..len).map(|_| splitmix(&mut state) & 0xffff),
+                )
+            })
+            .collect();
+        tbs.dedup_by_key(|t| t.tb_id());
+        let oracle = kernel_entropy_method(&tbs, window, method);
+        let table = BvrTable::from_tb_stats(&tbs);
+        prop_assert_eq!(table.requests(), oracle.requests());
+        let mut scratch = ComputeScratch::new();
+        let mut out = Vec::new();
+        backend().window_entropy_sweep(&table, window, method, &mut out, &mut scratch);
+        prop_assert_eq!(out.len(), oracle.per_bit().len());
+        for (b, (&got, &want)) in out.iter().zip(oracle.per_bit()).enumerate() {
+            prop_assert_eq!(
+                got.to_bits(),
+                want.to_bits(),
+                "bit {} seed {:#x} ntbs {} w {}: {} != {}",
+                b,
+                seed,
+                ntbs,
+                window,
+                got,
+                want
+            );
+        }
+    }
+}
+
+/// Accumulating into preseeded counters: totals far past 2³² stay exact,
+/// and the resulting BVRs reduce identically however the requests were
+/// batched.
+#[test]
+fn bvr_accumulation_past_2_pow_32() {
+    let mut scratch = ComputeScratch::new();
+    // Pretend 3·2³³ earlier requests of which 2³³ had bit 0 set.
+    let pre_ones = 1u64 << 33;
+    let pre_total = 3u64 << 33;
+    let mut ones = vec![pre_ones, 0];
+    // Stream 192 more addresses: 64 with bit 0 set, all with bit 1 clear.
+    let addrs: Vec<u64> = (0..192u64).map(|i| u64::from(i % 3 == 0)).collect();
+    backend().bvr_sweep(&addrs, &mut ones, &mut scratch);
+    let total = pre_total + addrs.len() as u64;
+    assert_eq!(ones[0], pre_ones + 64);
+    assert_eq!(ones[1], 0);
+    // The reduced fraction is exact: (2³³+64)/(3·2³³+192) = 1/3.
+    assert_eq!(Bvr::new(ones[0], total), Bvr::new(1, 3));
+    assert_eq!(Bvr::new(ones[1], total), Bvr::new(0, 1));
+}
+
+/// The tile path must engage for dense matrices under the default
+/// backend (otherwise the batteries above would only ever test the
+/// scalar path against itself).
+#[test]
+fn default_backend_tiles_dense_matrices() {
+    let bim = dense_invertible(30, 7);
+    assert!(bim.special_rows().len() > 24);
+    let addrs = addr_stream(7, 4 * TILE + 17, ADDR_MASK);
+    let mut scratch = ComputeScratch::new();
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    backend().bim_apply_batch(&bim, &addrs, &mut a, &mut scratch);
+    CpuBackend::with_sparse_cutoff(usize::MAX).bim_apply_batch(&bim, &addrs, &mut b, &mut scratch);
+    assert_eq!(a, b);
+    assert_eq!(backend().tile_width(), TILE);
+}

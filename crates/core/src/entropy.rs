@@ -134,6 +134,25 @@ impl TbBitStats {
         s
     }
 
+    /// Builds statistics from pre-accumulated per-bit 1-counts, e.g. the
+    /// transposed-tile BVR sweep in `valley-compute`. `ones[b]` is the
+    /// number of the `requests` addresses with bit `b` set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any count exceeds `requests`.
+    pub fn from_counts(tb_id: u64, requests: u64, ones: Vec<u64>) -> Self {
+        assert!(
+            ones.iter().all(|&c| c <= requests),
+            "per-bit 1-count exceeds the request count"
+        );
+        TbBitStats {
+            tb_id,
+            requests,
+            ones,
+        }
+    }
+
     /// Records one request address.
     #[inline]
     pub fn record(&mut self, addr: u64) {
@@ -156,6 +175,16 @@ impl TbBitStats {
     /// Number of address bits tracked.
     pub fn addr_bits(&self) -> u8 {
         self.ones.len() as u8
+    }
+
+    /// The raw 1-count of address bit `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is out of range.
+    #[inline]
+    pub fn ones(&self, bit: u8) -> u64 {
+        self.ones[bit as usize]
     }
 
     /// The BVR of address bit `bit`, or `None` if no requests were recorded.
@@ -254,6 +283,23 @@ pub fn window_entropy(bvrs: &[Bvr], window: usize) -> f64 {
     window_entropy_method(bvrs, window, EntropyMethod::MixtureBvr)
 }
 
+/// Reusable buffers for [`window_entropy_with_scratch`]. One scratch can
+/// serve any mix of bits, windows and methods; buffers grow to the largest
+/// input seen and are then reused allocation-free, which is what lets the
+/// `valley-compute` entropy sweep run with zero steady-state allocations.
+#[derive(Clone, Debug, Default)]
+pub struct EntropyScratch {
+    prefix: Vec<f64>,
+    counts: BvrCounts,
+}
+
+impl EntropyScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// [`window_entropy`] with an explicit per-window entropy method.
 ///
 /// Runs in O(n) for both methods (the naive per-window recomputation is
@@ -266,6 +312,19 @@ pub fn window_entropy(bvrs: &[Bvr], window: usize) -> f64 {
 /// round-off plus the ≤1e-9 table interpolation error (the property
 /// tests in `tests/props.rs` pin this).
 pub fn window_entropy_method(bvrs: &[Bvr], window: usize, method: EntropyMethod) -> f64 {
+    window_entropy_with_scratch(bvrs, window, method, &mut EntropyScratch::new())
+}
+
+/// [`window_entropy_method`] with caller-provided scratch buffers. The
+/// arithmetic is identical statement for statement — same prefix sums, same
+/// rolling updates, same table lookups — so the result is bit-exactly equal
+/// to the allocating variant; only the buffers' origin differs.
+pub fn window_entropy_with_scratch(
+    bvrs: &[Bvr],
+    window: usize,
+    method: EntropyMethod,
+    scratch: &mut EntropyScratch,
+) -> f64 {
     if bvrs.is_empty() {
         return 0.0;
     }
@@ -276,7 +335,9 @@ pub fn window_entropy_method(bvrs: &[Bvr], window: usize, method: EntropyMethod)
             // Prefix sums: window sums are two lookups, and the bounded
             // cancellation error keeps results within round-off of the
             // naive per-window summation.
-            let mut prefix = Vec::with_capacity(bvrs.len() + 1);
+            let prefix = &mut scratch.prefix;
+            prefix.clear();
+            prefix.reserve(bvrs.len() + 1);
             let mut acc = 0.0f64;
             prefix.push(0.0);
             for v in bvrs {
@@ -302,8 +363,8 @@ pub fn window_entropy_method(bvrs: &[Bvr], window: usize, method: EntropyMethod)
                     f64::from(c) * f64::from(c).ln()
                 }
             };
-            let mut counts: BvrCounts =
-                HashMap::with_capacity_and_hasher(w.min(64), Default::default());
+            let counts = &mut scratch.counts;
+            counts.clear();
             let mut s = 0.0f64; // Σ c·ln c over the current window
             for &v in &bvrs[..w] {
                 let c = counts.entry(v).or_insert(0);

@@ -367,6 +367,11 @@ fn cmd_status(args: &[String]) -> Result<(), String> {
     if let Some(addr) = flags.get("fabric") {
         return fabric_status_report(addr);
     }
+    // Which analytics compute plane this build runs its BIM/entropy
+    // sweeps on (today always the bit-sliced CPU backend; a GPU backend
+    // would slot in behind the same trait and report here).
+    let be = valley_compute::backend();
+    println!("compute: {} (tile width {})", be.name(), be.tile_width());
     let dir = results_dir(&flags);
     // A lenient scan instead of a strict open: a store full of schema
     // orphans should *report* its state (and point at `gc`), not error.

@@ -57,7 +57,15 @@ impl FileCtx<'_> {
 /// Crates whose simulation results must be bit-reproducible; wall-clock
 /// reads there are lint failures. Harness/fabric timing (sweep wall_ms,
 /// lease clocks) is measurement, not simulation, and stays exempt.
-pub const RESULT_AFFECTING_CRATES: &[&str] = &["core", "cache", "dram", "noc", "sim", "workloads"];
+pub const RESULT_AFFECTING_CRATES: &[&str] = &[
+    "core",
+    "cache",
+    "compute",
+    "dram",
+    "noc",
+    "sim",
+    "workloads",
+];
 
 /// Hot tick-path files (suffix-matched): `unwrap`/`expect`/`panic!` are
 /// forbidden outside tests so a malformed input degrades into an error
@@ -65,6 +73,8 @@ pub const RESULT_AFFECTING_CRATES: &[&str] = &["core", "cache", "dram", "noc", "
 pub const TICK_PATH_FILES: &[&str] = &[
     "crates/cache/src/mshr.rs",
     "crates/cache/src/setassoc.rs",
+    "crates/compute/src/bitslice.rs",
+    "crates/compute/src/cpu.rs",
     "crates/dram/src/channel.rs",
     "crates/dram/src/system.rs",
     "crates/noc/src/lib.rs",

@@ -3,8 +3,9 @@
 //! optionally applies an address-mapping scheme, and produces the
 //! per-bit entropy profiles of Figures 5 and 10.
 
-use valley_core::entropy::{application_entropy, kernel_entropy, TbBitStats};
-use valley_core::{AddressMapper, EntropyProfile, PhysAddr};
+use valley_compute::{backend, BvrTable, ComputeScratch};
+use valley_core::entropy::{application_entropy, EntropyMethod, TbBitStats};
+use valley_core::{AddressMapper, EntropyProfile};
 use valley_sim::{tb_request_addresses, WorkloadSource};
 
 /// Address bits analyzed (the 30-bit physical address space).
@@ -20,24 +21,47 @@ pub const ENTROPY_GRANULARITY: u64 = 64;
 /// `window` is the concurrency window `w` (the paper uses the SM count,
 /// 12). If `mapper` is given, every request address is transformed first
 /// — this produces the per-scheme profiles of Figure 10.
+///
+/// The whole pipeline runs through the `valley-compute` backend: batch
+/// BIM application, transposed per-bit BVR accumulation, and the
+/// window-entropy sweep over a bit-major [`BvrTable`]. The scalar path
+/// (`TbBitStats::record` + `kernel_entropy`) stays behind as the test
+/// oracle below; the results are bit-exactly equal.
 pub fn kernel_profile(
     workload: &dyn WorkloadSource,
     kernel_index: usize,
     window: usize,
     mapper: Option<&AddressMapper>,
 ) -> EntropyProfile {
+    let be = backend();
+    let mut scratch = ComputeScratch::new();
+    let mut mapped = Vec::new();
     let kernel = workload.kernel(kernel_index);
     let tbs: Vec<TbBitStats> = (0..kernel.num_thread_blocks())
         .map(|tb| {
             let addrs = tb_request_addresses(kernel.as_ref(), tb, ENTROPY_GRANULARITY);
-            let mapped = addrs.into_iter().map(|a| match mapper {
-                Some(m) => m.map(PhysAddr::new(a)).raw(),
-                None => a,
-            });
-            TbBitStats::from_addrs(tb, ADDR_BITS, mapped)
+            let addrs: &[u64] = match mapper {
+                Some(m) => {
+                    be.bim_apply_batch(m.bim(), &addrs, &mut mapped, &mut scratch);
+                    &mapped
+                }
+                None => &addrs,
+            };
+            let mut ones = vec![0u64; ADDR_BITS as usize];
+            be.bvr_sweep(addrs, &mut ones, &mut scratch);
+            TbBitStats::from_counts(tb, addrs.len() as u64, ones)
         })
         .collect();
-    kernel_entropy(&tbs, window)
+    let table = BvrTable::from_tb_stats(&tbs);
+    let mut per_bit = Vec::new();
+    be.window_entropy_sweep(
+        &table,
+        window,
+        EntropyMethod::MixtureBvr,
+        &mut per_bit,
+        &mut scratch,
+    );
+    EntropyProfile::from_per_bit(per_bit, table.requests())
 }
 
 /// Computes the application-level entropy profile of `workload`:
@@ -60,7 +84,62 @@ mod tests {
     use super::*;
     use crate::benchmarks::Benchmark;
     use crate::gen::Scale;
-    use valley_core::{GddrMap, SchemeKind};
+    use valley_core::entropy::kernel_entropy;
+    use valley_core::{GddrMap, PhysAddr, SchemeKind};
+
+    /// The pre-compute scalar pipeline, verbatim: per-address mapping,
+    /// `TbBitStats::record` bit loops, `kernel_entropy`'s per-bit scans.
+    /// Kept as the oracle for the vectorized path above.
+    fn kernel_profile_scalar(
+        workload: &dyn WorkloadSource,
+        kernel_index: usize,
+        window: usize,
+        mapper: Option<&AddressMapper>,
+    ) -> EntropyProfile {
+        let kernel = workload.kernel(kernel_index);
+        let tbs: Vec<TbBitStats> = (0..kernel.num_thread_blocks())
+            .map(|tb| {
+                let addrs = tb_request_addresses(kernel.as_ref(), tb, ENTROPY_GRANULARITY);
+                let mapped = addrs.into_iter().map(|a| match mapper {
+                    Some(m) => m.map(PhysAddr::new(a)).raw(),
+                    None => a,
+                });
+                TbBitStats::from_addrs(tb, ADDR_BITS, mapped)
+            })
+            .collect();
+        kernel_entropy(&tbs, window)
+    }
+
+    #[test]
+    fn compute_path_matches_scalar_oracle_exactly() {
+        // Bit-exact, not approximate: the vectorized pipeline must
+        // reproduce the scalar per-bit f64s down to the last ulp, which
+        // is what keeps the figure outputs byte-identical.
+        let map = GddrMap::baseline();
+        let all = AddressMapper::build(SchemeKind::All, &map, 1);
+        for bench in [Benchmark::Mt, Benchmark::Sp] {
+            let w = bench.workload(Scale::Test);
+            for mapper in [None, Some(&all)] {
+                for k in 0..w.num_kernels() {
+                    let fast = kernel_profile(&w, k, 12, mapper);
+                    let scalar = kernel_profile_scalar(&w, k, 12, mapper);
+                    assert_eq!(fast.requests(), scalar.requests(), "{bench:?} kernel {k}");
+                    assert_eq!(
+                        fast.per_bit().len(),
+                        scalar.per_bit().len(),
+                        "{bench:?} kernel {k}"
+                    );
+                    for (b, (x, y)) in fast.per_bit().iter().zip(scalar.per_bit()).enumerate() {
+                        assert_eq!(
+                            x.to_bits(),
+                            y.to_bits(),
+                            "{bench:?} kernel {k} bit {b}: {x} != {y}"
+                        );
+                    }
+                }
+            }
+        }
+    }
 
     #[test]
     fn profiles_are_normalized() {
